@@ -1,0 +1,205 @@
+//! The distributed alarm tracking system (ATS) of §1.4 / Figure 1.5.
+//!
+//! Administrative operators manage alarms; technical operators fill
+//! out repair reports, potentially on different servers. The
+//! `ComponentKindReferenceConsistency` constraint spans both objects:
+//! an alarm with `alarmKind = "Signal"` can only be removed by
+//! repairing a component that is a "Signal Controller" or a "Signal
+//! Cable".
+
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{Cluster, ClusterBuilder};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{NodeId, ObjectId, Result, SatisfactionDegree, Value};
+use std::sync::Arc;
+
+/// The ATS application model (Figure 1.5, simplified).
+pub fn ats_app() -> AppDescriptor {
+    AppDescriptor::new("ats")
+        .with_class(
+            ClassDescriptor::new("Alarm")
+                .with_field("alarmKind", Value::from("Signal"))
+                .with_field("description", Value::from(""))
+                .with_field("repairReport", Value::Null),
+        )
+        .with_class(
+            ClassDescriptor::new("RepairReport")
+                .with_field("componentKind", Value::from("Signal Controller"))
+                .with_field("affectedComponent", Value::from(""))
+                .with_field("alarm", Value::Null),
+        )
+}
+
+/// The `ComponentKindReferenceConsistency` constraint of Figure 1.5 /
+/// Listing 4.1: validated from the repair report, triggered by
+/// `RepairReport::setComponentKind` (context = called object) *and*
+/// `Alarm::setAlarmKind` (context = the alarm's repair report, reached
+/// through the reference getter — the `<preparation-class>`).
+///
+/// Per §3.1 the ATS accepts even *possibly violated* threats (the
+/// technical operator knows the repaired component), so the acceptance
+/// floor is `uncheckable` as in Listing 4.1.
+pub fn component_kind_constraint() -> RegisteredConstraint {
+    let expr = "self.alarm.alarmKind <> \"Signal\" or \
+                self.componentKind = \"Signal Controller\" or \
+                self.componentKind = \"Signal Cable\"";
+    RegisteredConstraint::new(
+        ConstraintMeta::new("ComponentKindReferenceConsistency")
+            .tradeable(SatisfactionDegree::Uncheckable)
+            .describe("signal alarms require signal components"),
+        Arc::new(ExprConstraint::parse(expr).expect("valid expression")),
+    )
+    .context_class("RepairReport")
+    .affects(
+        "RepairReport",
+        "setComponentKind",
+        ContextPreparation::CalledObject,
+    )
+    .affects(
+        "Alarm",
+        "setAlarmKind",
+        ContextPreparation::ReferenceField("repairReport".into()),
+    )
+}
+
+/// Builds an ATS cluster.
+///
+/// # Errors
+///
+/// Propagates cluster-construction failures.
+pub fn ats_cluster(nodes: u32) -> Result<Cluster> {
+    ClusterBuilder::new(nodes, ats_app())
+        .constraint(component_kind_constraint())
+        .build()
+}
+
+/// Creates a linked alarm/repair-report pair.
+///
+/// # Errors
+///
+/// Propagates transaction failures.
+pub fn create_alarm_with_report(
+    cluster: &mut Cluster,
+    node: NodeId,
+    key: &str,
+) -> Result<(ObjectId, ObjectId)> {
+    let alarm = ObjectId::new("Alarm", key);
+    let report = ObjectId::new("RepairReport", format!("R-{key}"));
+    let (a, r) = (alarm.clone(), report.clone());
+    cluster.run_tx(node, move |c, tx| {
+        c.create(node, tx, EntityState::for_class(c.app(), &a)?)?;
+        c.create(node, tx, EntityState::for_class(c.app(), &r)?)?;
+        c.set_field(node, tx, &a, "repairReport", Value::Ref(r.clone()))?;
+        c.set_field(node, tx, &r, "alarm", Value::Ref(a.clone()))
+    })?;
+    Ok((alarm, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_repair_is_accepted() {
+        let mut cluster = ats_cluster(2).unwrap();
+        let node = NodeId(0);
+        let (_alarm, report) = create_alarm_with_report(&mut cluster, node, "A-17").unwrap();
+        cluster
+            .run_tx(node, |c, tx| {
+                c.set_field(
+                    node,
+                    tx,
+                    &report,
+                    "componentKind",
+                    Value::from("Signal Cable"),
+                )
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn wrong_component_kind_violates_in_healthy_mode() {
+        let mut cluster = ats_cluster(2).unwrap();
+        let node = NodeId(0);
+        let (_alarm, report) = create_alarm_with_report(&mut cluster, node, "A-17").unwrap();
+        let result = cluster.run_tx(node, |c, tx| {
+            c.set_field(node, tx, &report, "componentKind", Value::from("Antenna"))
+        });
+        assert!(matches!(
+            result,
+            Err(dedisys_types::Error::ConstraintViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn alarm_kind_change_triggers_constraint_via_reference_preparation() {
+        let mut cluster = ats_cluster(2).unwrap();
+        let node = NodeId(0);
+        let (alarm, report) = create_alarm_with_report(&mut cluster, node, "A-17").unwrap();
+        // Repair with a power component first — invalid for a Signal
+        // alarm, but fine once the alarm kind changes.
+        let result = cluster.run_tx(node, |c, tx| {
+            c.set_field(node, tx, &alarm, "alarmKind", Value::from("Power"))
+        });
+        assert!(result.is_ok());
+        cluster
+            .run_tx(node, |c, tx| {
+                c.set_field(node, tx, &report, "componentKind", Value::from("Fuse"))
+            })
+            .unwrap();
+        // Changing the alarm back to Signal now violates — detected
+        // through the Alarm::setAlarmKind trigger point.
+        let result = cluster.run_tx(node, |c, tx| {
+            c.set_field(node, tx, &alarm, "alarmKind", Value::from("Signal"))
+        });
+        assert!(matches!(
+            result,
+            Err(dedisys_types::Error::ConstraintViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn ats_scenario_of_section_3_1_under_partition() {
+        // The technical operator sets the component kind while the
+        // alarm's partition is unreachable: the validation is a
+        // consistency threat and — per the ATS policy — accepted even
+        // though possibly violated.
+        let mut cluster = ats_cluster(2).unwrap();
+        let node = NodeId(0);
+        let (alarm, report) = create_alarm_with_report(&mut cluster, node, "A-17").unwrap();
+        cluster.partition(&[&[0], &[1]]);
+        // Administrative operator changes the alarm in partition {1}.
+        cluster
+            .run_tx(NodeId(1), |c, tx| {
+                c.set_field(NodeId(1), tx, &alarm, "alarmKind", Value::from("Power"))
+            })
+            .unwrap();
+        // Technical operator fills the report in partition {0} with a
+        // power component — violated per the stale local alarm copy
+        // (still "Signal"), but accepted as a possibly-violated threat.
+        cluster
+            .run_tx(NodeId(0), |c, tx| {
+                c.set_field(NodeId(0), tx, &report, "componentKind", Value::from("Fuse"))
+            })
+            .unwrap();
+        // Both writes threaten the same (constraint, context object)
+        // identity; the default identical-once policy stores it once.
+        assert_eq!(cluster.threats().identities().len(), 1);
+        assert!(
+            cluster.ccm_stats().threats_accepted >= 2,
+            "both writes threatened"
+        );
+        // Reunification: the merged state (alarm = Power, component =
+        // Fuse) satisfies the constraint; reconciliation clears the
+        // threats without application involvement.
+        cluster.heal();
+        let summary = cluster.reconcile(
+            &mut dedisys_core::HighestVersionWins,
+            &mut dedisys_core::DeferAll,
+        );
+        assert_eq!(summary.constraints.violations, 0);
+        assert!(cluster.threats().is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the middleware stack itself: wall-clock
+//! cost of driving one operation through interception, CCM,
+//! transactions and replication (the simulator's own efficiency, as
+//! opposed to the virtual-time figures of `repro fig5-*`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{Cluster, ClusterBuilder};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, Value};
+use std::sync::Arc;
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("bench").with_class(
+        ClassDescriptor::new("Item")
+            .with_field("v", Value::Int(0))
+            .with_field("max", Value::Int(1_000_000_000)),
+    )
+}
+
+fn constraint() -> RegisteredConstraint {
+    RegisteredConstraint::new(
+        ConstraintMeta::new("Bounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(ExprConstraint::parse("self.v <= self.max").unwrap()),
+    )
+    .context_class("Item")
+    .affects("Item", "setV", ContextPreparation::CalledObject)
+}
+
+fn cluster(nodes: u32) -> (Cluster, ObjectId) {
+    let mut cluster = ClusterBuilder::new(nodes, app())
+        .constraint(constraint())
+        .build()
+        .unwrap();
+    let id = ObjectId::new("Item", "i");
+    let e = id.clone();
+    cluster
+        .run_tx(NodeId(0), move |c, tx| {
+            c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+    (cluster, id)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster-ops");
+    for nodes in [1u32, 3] {
+        let (mut cl, id) = cluster(nodes);
+        group.bench_with_input(
+            BenchmarkId::new("constrained-write", nodes),
+            &id,
+            |b, id| {
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    let id = id.clone();
+                    cl.run_tx(NodeId(0), move |c, tx| {
+                        c.set_field(NodeId(0), tx, &id, "v", Value::Int(i))
+                    })
+                    .unwrap()
+                })
+            },
+        );
+        let (mut cl, id) = cluster(nodes);
+        group.bench_with_input(BenchmarkId::new("read", nodes), &id, |b, id| {
+            b.iter(|| {
+                let id = id.clone();
+                cl.run_tx(NodeId(0), move |c, tx| c.get_field(NodeId(0), tx, &id, "v"))
+                    .unwrap()
+            })
+        });
+    }
+    // Degraded-mode threat path (negotiation + identical-once dedup).
+    let (mut cl, id) = cluster(2);
+    cl.partition(&[&[0], &[1]]);
+    group.bench_function("degraded-threat-write", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let id = id.clone();
+            cl.run_tx(NodeId(0), move |c, tx| {
+                c.set_field(NodeId(0), tx, &id, "v", Value::Int(i))
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the constraint repository: the
+//! §2.3.2 lookup study (cached) and the scan-per-invocation variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dedisys_constraints::{
+    ConstraintMeta, ConstraintRepository, ContextPreparation, LookupKind, LookupMode,
+    RegisteredConstraint, ValidationContext,
+};
+use dedisys_types::MethodSignature;
+use std::sync::Arc;
+
+fn build_repo(
+    classes: u32,
+    methods: u32,
+    mode: LookupMode,
+) -> (ConstraintRepository, Vec<MethodSignature>) {
+    let mut repo = ConstraintRepository::new(mode);
+    let mut sigs = Vec::new();
+    for class in 0..classes {
+        for method in 0..methods {
+            repo.register(
+                RegisteredConstraint::new(
+                    ConstraintMeta::new(format!("C_{class}_{method}")),
+                    Arc::new(|_: &mut ValidationContext<'_>| Ok(true)),
+                )
+                .context_class(format!("Class{class}"))
+                .affects(
+                    format!("Class{class}"),
+                    format!("method{method}"),
+                    ContextPreparation::CalledObject,
+                ),
+            )
+            .expect("unique");
+            sigs.push(MethodSignature::new(
+                format!("Class{class}"),
+                format!("method{method}"),
+            ));
+        }
+    }
+    (repo, sigs)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repository-lookup");
+    for (classes, methods) in [(25u32, 10u32), (50, 25), (100, 50)] {
+        let (mut repo, sigs) = build_repo(classes, methods, LookupMode::Cached);
+        // Warm the cache.
+        for sig in &sigs {
+            repo.lookup(sig, LookupKind::Invariant);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("cached", format!("{classes}x{methods}")),
+            &sigs,
+            |b, sigs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % sigs.len();
+                    repo.lookup(&sigs[i], LookupKind::Invariant)
+                })
+            },
+        );
+    }
+    // Scan mode over a 78-constraint repository (the paper's app size).
+    let (mut repo, sigs) = build_repo(13, 6, LookupMode::Scan);
+    group.bench_function("scan/78-constraints", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % sigs.len();
+            repo.lookup(&sigs[i], LookupKind::Invariant)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the Chapter 2 validation strategies
+//! (wall-clock complements to `repro fig2-1`/`fig2-2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dedisys_validation::{default_ops, CheckCounts, Company, Mechanism, Strategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let ops = default_ops();
+    let mut group = c.benchmark_group("validation-strategies");
+    group.sample_size(10);
+    let strategies = [
+        Strategy::NoChecks,
+        Strategy::Handcrafted,
+        Strategy::InterceptorInline,
+        Strategy::Generated,
+        Strategy::repository(Mechanism::Static, true),
+        Strategy::repository(Mechanism::Dyn, true),
+        Strategy::repository(Mechanism::Reflective, true),
+        Strategy::repository(Mechanism::Dyn, false),
+        Strategy::Interpreted,
+    ];
+    for strategy in strategies {
+        let mut runner = strategy.runner();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let mut company = Company::generate();
+                    let mut counts = CheckCounts::default();
+                    runner.run(&mut company, ops, &mut counts);
+                    counts
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! The reproduction driver: regenerates every table and figure of the
+//! dissertation's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dedisys-bench --bin repro -- <experiment>|all
+//! ```
+//!
+//! Experiments: fig1-3, fig2-1 … fig2-6, tab2-lookup, fig5-1 … fig5-4,
+//! fig5-6, fig5-8, tab5-async, tab5-psc. See DESIGN.md for the
+//! per-experiment index and EXPERIMENTS.md for a recorded run.
+
+use dedisys_bench::{ch2, ch5};
+
+const CH2: &[&str] = &[
+    "fig2-1",
+    "fig2-2",
+    "fig2-3",
+    "fig2-4",
+    "fig2-5",
+    "fig2-6",
+    "tab2-lookup",
+];
+const CH5: &[&str] = &[
+    "fig1-3",
+    "fig5-1",
+    "fig5-2",
+    "fig5-3",
+    "fig5-4",
+    "fig5-6",
+    "fig5-8",
+    "tab5-async",
+    "tab5-psc",
+    "tab-avail",
+    "tab-worth",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <experiment>|ch2|ch5|all");
+        eprintln!(
+            "experiments: {}",
+            CH2.iter()
+                .chain(CH5)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => {
+                for id in CH5.iter().chain(CH2) {
+                    dispatch(id);
+                }
+            }
+            "ch2" => CH2.iter().for_each(|id| dispatch(id)),
+            "ch5" => CH5.iter().for_each(|id| dispatch(id)),
+            id => dispatch(id),
+        }
+    }
+}
+
+fn dispatch(id: &str) {
+    if CH2.contains(&id) {
+        ch2::run(id);
+    } else if CH5.contains(&id) {
+        ch5::run(id);
+    } else {
+        eprintln!("unknown experiment '{id}'");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,987 @@
+//! Chapter 5 reproduction: healthy/degraded-mode performance, the
+//! reconciliation phase and the §5.5 improvements — measured in
+//! deterministic virtual time (see DESIGN.md §1).
+
+use crate::table::{ops, print_table};
+use dedisys_apps::flight;
+use dedisys_constraints::{
+    ConstraintKind, ConstraintMeta, ContextPreparation, RegisteredConstraint, ValidationContext,
+};
+use dedisys_core::{Cluster, ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState, MethodDescriptor, MethodKind};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SimDuration, Value};
+use std::sync::Arc;
+
+/// The evaluation application of §5.1 ("DedisysTest"): plain items,
+/// a class with always-satisfied/always-violated constraints, and a
+/// guarded class whose writes produce consistency threats in degraded
+/// mode.
+fn eval_app() -> AppDescriptor {
+    AppDescriptor::new("dedisys-test")
+        .with_class(
+            ClassDescriptor::new("Item")
+                .with_field("value", Value::from(""))
+                .with_method(MethodDescriptor::with_kind(
+                    "emptyMethod",
+                    MethodKind::Write,
+                )),
+        )
+        .with_class(
+            ClassDescriptor::new("Checked")
+                .with_field("value", Value::from(""))
+                .with_method(MethodDescriptor::with_kind(
+                    "satisfiedOp",
+                    MethodKind::Write,
+                ))
+                .with_method(MethodDescriptor::with_kind("violatedOp", MethodKind::Write)),
+        )
+        .with_class(
+            ClassDescriptor::new("Guarded")
+                .with_field("value", Value::from(""))
+                .with_method(MethodDescriptor::with_kind("guardedOp", MethodKind::Write)),
+        )
+}
+
+fn eval_constraints() -> Vec<RegisteredConstraint> {
+    // Satisfied / violated achieved by simply returning true/false
+    // (§5.1 — eliminates the validation overhead itself).
+    let satisfied = RegisteredConstraint::new(
+        ConstraintMeta::new("AlwaysSatisfied").kind(ConstraintKind::HardInvariant),
+        Arc::new(|_: &mut ValidationContext<'_>| Ok(true)),
+    )
+    .context_class("Checked")
+    .affects("Checked", "satisfiedOp", ContextPreparation::CalledObject);
+    let violated = RegisteredConstraint::new(
+        ConstraintMeta::new("AlwaysViolated").kind(ConstraintKind::HardInvariant),
+        Arc::new(|_: &mut ValidationContext<'_>| Ok(false)),
+    )
+    .context_class("Checked")
+    .affects("Checked", "violatedOp", ContextPreparation::CalledObject);
+    // The guarded setter reads its object, so degraded-mode validation
+    // is an LCC ⇒ consistency threat; tradeable, accepted statically.
+    let guarded = RegisteredConstraint::new(
+        ConstraintMeta::new("GuardedValue").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(|ctx: &mut ValidationContext<'_>| {
+            ctx.self_field("value")?;
+            Ok(true)
+        }),
+    )
+    .context_class("Guarded")
+    .affects("Guarded", "setValue", ContextPreparation::CalledObject)
+    .affects("Guarded", "guardedOp", ContextPreparation::CalledObject);
+    vec![satisfied, violated, guarded]
+}
+
+fn builder(nodes: u32) -> ClusterBuilder {
+    ClusterBuilder::new(nodes, eval_app()).constraints(eval_constraints())
+}
+
+fn create_pool(cluster: &mut Cluster, node: NodeId, class: &str, count: usize) -> Vec<ObjectId> {
+    create_pool_prefixed(cluster, node, class, "p", count)
+}
+
+fn create_pool_prefixed(
+    cluster: &mut Cluster,
+    node: NodeId,
+    class: &str,
+    prefix: &str,
+    count: usize,
+) -> Vec<ObjectId> {
+    (0..count)
+        .map(|i| {
+            let id = ObjectId::new(class, format!("{prefix}-{class}-{i}"));
+            let e = id.clone();
+            cluster
+                .run_tx(node, move |c, tx| {
+                    c.create(node, tx, EntityState::for_class(c.app(), &e)?)
+                })
+                .expect("pool creation");
+            id
+        })
+        .collect()
+}
+
+/// Ops/sec of `count` repetitions of `f`, each in its own transaction.
+fn throughput(
+    cluster: &mut Cluster,
+    count: usize,
+    mut f: impl FnMut(&mut Cluster, usize) -> bool,
+) -> f64 {
+    let start = cluster.now();
+    let mut attempted = 0u64;
+    for i in 0..count {
+        f(cluster, i);
+        attempted += 1;
+    }
+    let elapsed = cluster.now().since(start);
+    attempted as f64 / elapsed.as_secs_f64()
+}
+
+const N: usize = 500;
+
+/// The standard §5.1 operation mix measured against one cluster.
+/// Returns `(label, ops/sec)` rows; threat rows only when `threats`.
+fn standard_rows(cluster: &mut Cluster, node: NodeId, threats: bool) -> Vec<(String, f64)> {
+    let items = create_pool(cluster, node, "Item", 100);
+    let checked = create_pool(cluster, node, "Checked", 10);
+    let mut rows = Vec::new();
+
+    rows.push((
+        "Create".into(),
+        throughput(cluster, N, |c, i| {
+            let id = ObjectId::new("Item", format!("x-{i}-{}", c.now().as_nanos()));
+            c.run_tx(node, move |c, tx| {
+                c.create(node, tx, EntityState::for_class(c.app(), &id)?)
+            })
+            .is_ok()
+        }),
+    ));
+    let pool = items.clone();
+    rows.push((
+        "Setter (avg.)".into(),
+        throughput(cluster, N, |c, i| {
+            let id = pool[i % pool.len()].clone();
+            c.run_tx(node, move |c, tx| {
+                c.set_field(node, tx, &id, "value", Value::from("v"))
+            })
+            .is_ok()
+        }),
+    ));
+    let pool = items.clone();
+    rows.push((
+        "Getter (avg.)".into(),
+        throughput(cluster, N, |c, i| {
+            let id = pool[i % pool.len()].clone();
+            c.run_tx(node, move |c, tx| c.get_field(node, tx, &id, "value"))
+                .is_ok()
+        }),
+    ));
+    let pool = items.clone();
+    rows.push((
+        "Empty (avg.)".into(),
+        throughput(cluster, N, |c, i| {
+            let id = pool[i % pool.len()].clone();
+            c.run_tx(node, move |c, tx| {
+                c.invoke(node, tx, &id, "emptyMethod", vec![])
+            })
+            .is_ok()
+        }),
+    ));
+    if threats {
+        let pool = checked.clone();
+        rows.push((
+            "Satisfied (avg.)".into(),
+            throughput(cluster, N, |c, i| {
+                let id = pool[i % pool.len()].clone();
+                c.run_tx(node, move |c, tx| {
+                    c.invoke(node, tx, &id, "satisfiedOp", vec![])
+                })
+                .is_ok()
+            }),
+        ));
+        let pool = checked;
+        rows.push((
+            "Violated (avg.)".into(),
+            throughput(cluster, N, |c, i| {
+                let id = pool[i % pool.len()].clone();
+                c.run_tx(node, move |c, tx| {
+                    c.invoke(node, tx, &id, "violatedOp", vec![])
+                })
+                .is_ok()
+            }),
+        ));
+    }
+    // Delete the item pool (plus extras created above remain).
+    let pool = items;
+    rows.push((
+        "Delete".into(),
+        throughput(cluster, pool.len(), |c, i| {
+            let id = pool[i].clone();
+            c.run_tx(node, move |c, tx| c.delete(node, tx, &id)).is_ok()
+        }),
+    ));
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 5.1
+// ---------------------------------------------------------------------
+
+/// Figure 5.1 — overhead of explicit constraint consistency
+/// management: ops/sec with and without the CCM (single node, no
+/// replication). The paper measures a drop to 87–99 %.
+pub fn fig5_1() -> Vec<(String, f64, f64)> {
+    let mut with_ccm = builder(1).ccm_only().build().expect("cluster");
+    let mut without = builder(1).without_dedisys().build().expect("cluster");
+    let rows_with = standard_rows(&mut with_ccm, NodeId(0), false);
+    let rows_without = standard_rows(&mut without, NodeId(0), false);
+    rows_with
+        .into_iter()
+        .zip(rows_without)
+        .map(|((label, w), (_, wo))| (label, w, wo))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 5.2 / 5.3
+// ---------------------------------------------------------------------
+
+/// One column of Figure 5.2/5.3.
+#[derive(Debug, Clone)]
+pub struct Fig5Column {
+    /// Column label.
+    pub label: String,
+    /// `(row label, ops/sec)` — `None` where not applicable.
+    pub rows: Vec<(String, Option<f64>)>,
+}
+
+fn dedisys_column(label: &str, total_nodes: u32, partition: Option<&[&[u32]]>) -> Fig5Column {
+    let mut cluster = builder(total_nodes).build().expect("cluster");
+    let node = NodeId(0);
+    // Pools for the threat cases are created while still healthy.
+    let good_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "good", 1);
+    let bad_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "bad", 1000);
+    if let Some(groups) = partition {
+        cluster.partition(groups);
+    }
+    let mut rows: Vec<(String, Option<f64>)> = standard_rows(&mut cluster, node, true)
+        .into_iter()
+        .map(|(l, v)| (l, Some(v)))
+        .collect();
+    if partition.is_some() {
+        // §5.1: "we called an empty method with an associated
+        // constraint 1000 times" — once against a single object
+        // (identical threats) and once against 1000 different objects.
+        let good = throughput(&mut cluster, 1000, |c, _| {
+            let id = good_pool[0].clone();
+            c.run_tx(node, move |c, tx| {
+                c.invoke(node, tx, &id, "guardedOp", vec![])
+            })
+            .is_ok()
+        });
+        let bad = throughput(&mut cluster, 1000, |c, i| {
+            let id = bad_pool[i].clone();
+            c.run_tx(node, move |c, tx| {
+                c.invoke(node, tx, &id, "guardedOp", vec![])
+            })
+            .is_ok()
+        });
+        rows.insert(rows.len() - 1, ("Accepted threat (1)".into(), Some(good)));
+        rows.insert(rows.len() - 1, ("Accepted threat (1000)".into(), Some(bad)));
+    } else {
+        rows.insert(rows.len() - 1, ("Accepted threat (1)".into(), None));
+        rows.insert(rows.len() - 1, ("Accepted threat (1000)".into(), None));
+    }
+    Fig5Column {
+        label: label.to_owned(),
+        rows,
+    }
+}
+
+fn no_dedisys_column() -> Fig5Column {
+    let mut cluster = builder(1).without_dedisys().build().expect("cluster");
+    let mut rows: Vec<(String, Option<f64>)> = standard_rows(&mut cluster, NodeId(0), false)
+        .into_iter()
+        .map(|(l, v)| (l, Some(v)))
+        .collect();
+    for label in [
+        "Satisfied (avg.)",
+        "Violated (avg.)",
+        "Accepted threat (1)",
+        "Accepted threat (1000)",
+    ] {
+        rows.insert(rows.len() - 1, (label.into(), None));
+    }
+    Fig5Column {
+        label: "No DeDiSys (1 node)".into(),
+        rows,
+    }
+}
+
+/// Figure 5.2 — No DeDiSys vs DeDiSys with the same number of nodes in
+/// healthy and degraded mode (paper: threat good case 74 ops/s, bad
+/// case 3 ops/s).
+pub fn fig5_2() -> Vec<Fig5Column> {
+    vec![
+        no_dedisys_column(),
+        dedisys_column("DeDiSys healthy (3)", 3, None),
+        dedisys_column(
+            "DeDiSys degraded (3-in-partition)",
+            4,
+            Some(&[&[0, 1, 2], &[3]]),
+        ),
+    ]
+}
+
+/// Figure 5.3 — healthy with three nodes vs degraded with two nodes in
+/// the partition (degraded writes can beat healthy: fewer backups).
+pub fn fig5_3() -> Vec<Fig5Column> {
+    vec![
+        no_dedisys_column(),
+        dedisys_column("DeDiSys healthy (3)", 3, None),
+        dedisys_column(
+            "DeDiSys degraded (2-in-partition)",
+            3,
+            Some(&[&[0, 1], &[2]]),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 5.4
+// ---------------------------------------------------------------------
+
+/// Figure 5.4 — replication effects per node count: per-operation
+/// ops/sec for 1–4 DeDiSys nodes, the aggregate read capacity, and the
+/// multicast+transaction-handling ceiling.
+pub fn fig5_4() -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    // Reference: No DeDiSys single node.
+    let mut baseline = builder(1).without_dedisys().build().expect("cluster");
+    let base_rows = standard_rows(&mut baseline, NodeId(0), false);
+    out.push(
+        std::iter::once("No DeDiSys".to_owned())
+            .chain(base_rows.iter().map(|(_, v)| ops(*v)))
+            .chain(["-".to_owned(), "-".to_owned()])
+            .collect(),
+    );
+    for n in 1..=4u32 {
+        let mut cluster = builder(n).build().expect("cluster");
+        let rows = standard_rows(&mut cluster, NodeId(0), false);
+        let getter = rows
+            .iter()
+            .find(|(l, _)| l.starts_with("Getter"))
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        // Reads execute locally on every node: the aggregate read
+        // capacity scales with the node count (§5.1).
+        let aggregate_reads = getter * f64::from(n);
+        // Theoretical update ceiling (the "Multicast + Tx handling"
+        // case of §5.1): ping multicast round trip + transaction
+        // association at the backups — no state extraction, no
+        // database writes.
+        let costs = *cluster.costs();
+        let ceiling = if n >= 2 {
+            let per_op = costs.net_hop * 2
+                + SimDuration::from_micros(1_500) // tx association
+                + SimDuration::from_micros(300) * u64::from(n - 2);
+            ops(1.0 / per_op.as_secs_f64())
+        } else {
+            "-".to_owned()
+        };
+        out.push(
+            std::iter::once(format!("DeDiSys {n} node(s)"))
+                .chain(rows.iter().map(|(_, v)| ops(*v)))
+                .chain([ops(aggregate_reads), ceiling])
+                .collect(),
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 5.6 — reconciliation time
+// ---------------------------------------------------------------------
+
+/// One reconciliation measurement.
+#[derive(Debug, Clone)]
+pub struct ReconRow {
+    /// Policy label.
+    pub label: String,
+    /// Threat records stored at heal time.
+    pub stored_threats: usize,
+    /// Virtual time of replica reconciliation.
+    pub replica: SimDuration,
+    /// Virtual time of constraint reconciliation.
+    pub constraint: SimDuration,
+}
+
+/// Figure 5.6 — time for missed-update propagation and threat
+/// re-evaluation, under the identical-once vs full-history policies
+/// (1000 degraded operations over 200 objects → 200 vs 1000 records).
+pub fn fig5_6() -> Vec<ReconRow> {
+    let mut out = Vec::new();
+    for (policy, label) in [
+        (HistoryPolicy::IdenticalOnce, "Identical threats once"),
+        (HistoryPolicy::FullHistory, "Full threat history"),
+    ] {
+        let mut cluster = builder(2).threat_policy(policy).build().expect("cluster");
+        let node = NodeId(0);
+        let pool = create_pool(&mut cluster, node, "Guarded", 200);
+        cluster.partition(&[&[0], &[1]]);
+        for i in 0..1000 {
+            let id = pool[i % pool.len()].clone();
+            cluster
+                .run_tx(node, move |c, tx| {
+                    c.set_field(node, tx, &id, "value", Value::from("d"))
+                })
+                .expect("degraded write");
+        }
+        let stored = cluster.threats().len();
+        cluster.heal();
+        let summary = cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+        out.push(ReconRow {
+            label: label.into(),
+            stored_threats: stored,
+            replica: summary.replica_duration,
+            constraint: summary.constraint_duration,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 5.8 — reduced threat history across iterations
+// ---------------------------------------------------------------------
+
+/// Figure 5.8 — degraded-mode throughput across five iterations of the
+/// same 200 threat-producing operations (paper: ≈4 ops/s with full
+/// history vs ≈15 ops/s with identical-once after the first
+/// iteration).
+pub fn fig5_8() -> Vec<(String, Vec<f64>)> {
+    let mut out = Vec::new();
+    for (policy, label) in [
+        (
+            HistoryPolicy::FullHistory,
+            "Accepted threats (full history)",
+        ),
+        (
+            HistoryPolicy::IdenticalOnce,
+            "Accepted threats (identical only once)",
+        ),
+    ] {
+        let mut cluster = builder(2).threat_policy(policy).build().expect("cluster");
+        let node = NodeId(0);
+        let pool = create_pool(&mut cluster, node, "Guarded", 200);
+        cluster.partition(&[&[0], &[1]]);
+        let mut iterations = Vec::new();
+        for _ in 0..5 {
+            let rate = throughput(&mut cluster, 200, |c, i| {
+                let id = pool[i].clone();
+                c.run_tx(node, move |c, tx| {
+                    c.set_field(node, tx, &id, "value", Value::from("t"))
+                })
+                .is_ok()
+            });
+            iterations.push(rate);
+        }
+        out.push((label.into(), iterations));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// §5.5.3 — asynchronous constraints
+// ---------------------------------------------------------------------
+
+/// §5.5.3 — degraded-mode ops/sec with soft vs asynchronous
+/// constraints (paper: async ≈ 2× soft with identical-once storage).
+pub fn tab5_async() -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (kind, label) in [
+        (ConstraintKind::SoftInvariant, "Soft constraint"),
+        (ConstraintKind::AsyncInvariant, "Asynchronous constraint"),
+    ] {
+        let constraint = RegisteredConstraint::new(
+            ConstraintMeta::new("G")
+                .kind(kind)
+                .tradeable(SatisfactionDegree::PossiblySatisfied),
+            Arc::new(|ctx: &mut ValidationContext<'_>| {
+                ctx.self_field("value")?;
+                Ok(true)
+            }),
+        )
+        .context_class("Guarded")
+        .affects("Guarded", "setValue", ContextPreparation::CalledObject);
+        let mut cluster = ClusterBuilder::new(2, eval_app())
+            .constraint(constraint)
+            .build()
+            .expect("cluster");
+        let node = NodeId(0);
+        let pool = create_pool(&mut cluster, node, "Guarded", 1);
+        cluster.partition(&[&[0], &[1]]);
+        let rate = throughput(&mut cluster, 500, |c, _| {
+            let id = pool[0].clone();
+            c.run_tx(node, move |c, tx| {
+                c.set_field(node, tx, &id, "value", Value::from("x"))
+            })
+            .is_ok()
+        });
+        out.push((label.into(), rate));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// §5.5.2 — partition-sensitive constraints
+// ---------------------------------------------------------------------
+
+/// §5.5.2 — overbooking introduced with the plain vs the
+/// partition-sensitive ticket constraint under a 2-way split.
+pub fn tab5_psc() -> Vec<(String, i64, i64)> {
+    let mut out = Vec::new();
+    for (psc, label) in [
+        (false, "Plain ticket constraint"),
+        (true, "Partition-sensitive"),
+    ] {
+        let mut b = ClusterBuilder::new(2, flight::flight_app()).methods(flight::flight_methods());
+        b = if psc {
+            b.constraint(flight::partition_sensitive_ticket_constraint())
+        } else {
+            b.constraint(flight::ticket_constraint())
+        };
+        let mut cluster = b.build().expect("cluster");
+        let flight_id =
+            flight::create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70).expect("flight");
+        cluster.partition(&[&[0], &[1]]);
+        // Both sides keep selling single tickets until rejected.
+        let mut sold_in_partition = [0i64; 2];
+        for (i, node) in [NodeId(0), NodeId(1)].into_iter().enumerate() {
+            while flight::sell_tickets(&mut cluster, node, &flight_id, 1).is_ok() {
+                sold_in_partition[i] += 1;
+                if sold_in_partition[i] > 50 {
+                    break;
+                }
+            }
+        }
+        // Merge additively (sales are increments).
+        cluster.heal();
+        let mut merge = |conflict: &dedisys_core::ReplicaConflict| {
+            let total: i64 = conflict
+                .candidates
+                .iter()
+                .filter_map(|(_, s)| s.as_ref())
+                .filter_map(|s| s.field("sold").as_int())
+                .map(|s| s - 70)
+                .sum();
+            let mut merged = conflict.candidates[0].1.clone().expect("live");
+            merged.set_field("sold", Value::Int(70 + total), dedisys_types::SimTime::ZERO);
+            Some(merged)
+        };
+        cluster.reconcile(&mut merge, &mut DeferAll);
+        let sold = cluster
+            .entity_on(NodeId(0), &flight_id)
+            .unwrap()
+            .field("sold")
+            .as_int()
+            .unwrap();
+        let overbooked = (sold - 80).max(0);
+        out.push((label.into(), sold, overbooked));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Simulation studies [Se05] / abstract conclusions
+// ---------------------------------------------------------------------
+
+/// Availability study: fraction of operations that *succeed* during a
+/// network partition, per protocol (the \[Se05\] simulation finding that
+/// the approach + P4 increases availability under partitions).
+pub fn tab_avail() -> Vec<(String, Vec<(f64, f64)>)> {
+    use dedisys_core::ProtocolKind;
+    let mut out = Vec::new();
+    for (protocol, label) in [
+        (ProtocolKind::PrimaryBackup, "Primary-backup"),
+        (ProtocolKind::PrimaryPartition, "Primary partition"),
+        (ProtocolKind::PrimaryPerPartition, "DeDiSys P4 + threats"),
+    ] {
+        let mut rows = Vec::new();
+        for write_fraction in [0.1, 0.3, 0.5] {
+            let mut cluster = builder(3).protocol(protocol).build().expect("cluster");
+            let node = NodeId(1); // a *minority*-side client after the split
+            let pool = create_pool(&mut cluster, NodeId(0), "Guarded", 20);
+            cluster.partition(&[&[0, 2], &[1]]);
+            let total = 400usize;
+            let mut ok = 0u64;
+            for i in 0..total {
+                let id = pool[i % pool.len()].clone();
+                let write = (i as f64 / total as f64) < write_fraction;
+                let result = if write {
+                    cluster.run_tx(node, move |c, tx| {
+                        c.set_field(node, tx, &id, "value", Value::from("w"))
+                    })
+                } else {
+                    cluster
+                        .run_tx(node, move |c, tx| c.get_field(node, tx, &id, "value"))
+                        .map(|_| ())
+                };
+                if result.is_ok() {
+                    ok += 1;
+                }
+            }
+            rows.push((write_fraction, ok as f64 / total as f64));
+        }
+        out.push((label.to_owned(), rows));
+    }
+    out
+}
+
+/// The abstract's cost/benefit conclusion: the middleware pays off
+/// when (i) the read-to-write ratio is high and (ii) the number of
+/// replicated nodes is small. Computes the system-wide throughput of
+/// a DeDiSys cluster relative to a single unreplicated server, over
+/// read fractions × node counts (reads execute locally on every node;
+/// writes pay synchronous propagation).
+pub fn tab_worth() -> Vec<(u32, Vec<(f64, f64)>)> {
+    // Per-op virtual costs measured from the standard rows.
+    let mut baseline = builder(1).without_dedisys().build().expect("cluster");
+    let base = standard_rows(&mut baseline, NodeId(0), false);
+    let rate = |rows: &[(String, f64)], label: &str| {
+        rows.iter()
+            .find(|(l, _)| l.starts_with(label))
+            .map(|(_, v)| *v)
+            .unwrap_or(1.0)
+    };
+    let base_read = rate(&base, "Getter");
+    let base_write = rate(&base, "Setter");
+    let mut out = Vec::new();
+    for n in 1..=4u32 {
+        let mut cluster = builder(n).build().expect("cluster");
+        let rows = standard_rows(&mut cluster, NodeId(0), false);
+        let read = rate(&rows, "Getter");
+        let write = rate(&rows, "Setter");
+        let mut points = Vec::new();
+        for read_fraction in [0.5, 0.9, 0.99] {
+            let w = 1.0 - read_fraction;
+            // System-wide capacity: reads scale with the node count,
+            // writes are serialized through the primary + propagation.
+            let dedisys = 1.0 / (read_fraction / (read * f64::from(n)) + w / write);
+            let single = 1.0 / (read_fraction / base_read + w / base_write);
+            points.push((read_fraction, dedisys / single));
+        }
+        out.push((n, points));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 1.3 — the motivating scenario
+// ---------------------------------------------------------------------
+
+/// §1.3 — the narrative numbers: 70 sold healthy, +7/+8 under the
+/// split, 85 after merge, 80 after rebooking. Returns
+/// `(after_a, after_b, merged, reconciled)`.
+pub fn fig1_3() -> (i64, i64, i64, i64) {
+    let mut cluster = flight::booking_cluster(4).expect("cluster");
+    let id = flight::create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70).expect("flight");
+    cluster.partition(&[&[0, 1], &[2, 3]]);
+    let after_a = flight::sell_tickets(&mut cluster, NodeId(0), &id, 7).expect("side A");
+    let after_b = flight::sell_tickets(&mut cluster, NodeId(2), &id, 8).expect("side B");
+    cluster.heal();
+    let mut merged_value = 0;
+    let mut merge = |conflict: &dedisys_core::ReplicaConflict| {
+        let total: i64 = conflict
+            .candidates
+            .iter()
+            .filter_map(|(_, s)| s.as_ref())
+            .filter_map(|s| s.field("sold").as_int())
+            .map(|s| s - 70)
+            .sum();
+        merged_value = 70 + total;
+        let mut merged = conflict.candidates[0].1.clone().expect("live");
+        merged.set_field("sold", Value::Int(70 + total), dedisys_types::SimTime::ZERO);
+        Some(merged)
+    };
+    let flight_fix = id.clone();
+    let mut rebook = move |_v: &dedisys_core::ViolationReport,
+                           ops: &mut dedisys_core::ReconOps<'_>| {
+        let seats = ops.read(&flight_fix, "seats").unwrap().as_int().unwrap();
+        ops.write(&flight_fix, "sold", Value::Int(seats)).unwrap();
+        true
+    };
+    cluster.reconcile(&mut merge, &mut rebook);
+    let reconciled = cluster
+        .entity_on(NodeId(0), &id)
+        .unwrap()
+        .field("sold")
+        .as_int()
+        .unwrap();
+    (after_a, after_b, merged_value, reconciled)
+}
+
+// ---------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------
+
+fn print_columns(title: &str, columns: &[Fig5Column]) {
+    let mut header = vec!["operation"];
+    for c in columns {
+        header.push(&c.label);
+    }
+    let row_labels: Vec<String> = columns[0].rows.iter().map(|(l, _)| l.clone()).collect();
+    let rows: Vec<Vec<String>> = row_labels
+        .iter()
+        .map(|label| {
+            let mut row = vec![label.clone()];
+            for c in columns {
+                let value = c
+                    .rows
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .and_then(|(_, v)| *v);
+                row.push(value.map(ops).unwrap_or_else(|| "-".into()));
+            }
+            row
+        })
+        .collect();
+    print_table(title, &header, &rows);
+}
+
+/// Runs and prints one chapter-5 experiment.
+pub fn run(id: &str) {
+    match id {
+        "fig5-1" => {
+            let rows: Vec<Vec<String>> = fig5_1()
+                .into_iter()
+                .map(|(label, with, without)| {
+                    let pct = with / without * 100.0;
+                    vec![label, ops(with), ops(without), format!("{pct:.1}%"), "87–99%".into()]
+                })
+                .collect();
+            print_table(
+                "Figure 5.1 — overhead of explicit constraint consistency management (ops/s)",
+                &["operation", "with CCM", "without", "retained", "paper"],
+                &rows,
+            );
+        }
+        "fig5-2" => print_columns(
+            "Figure 5.2 — No DeDiSys vs DeDiSys, healthy and degraded (same partition size); paper threat cases: 74 vs 3 ops/s",
+            &fig5_2(),
+        ),
+        "fig5-3" => print_columns(
+            "Figure 5.3 — healthy (3 nodes) vs degraded (2 nodes in partition)",
+            &fig5_3(),
+        ),
+        "fig5-4" => {
+            let rows = fig5_4();
+            print_table(
+                "Figure 5.4 — replication effects per node count (ops/s)",
+                &[
+                    "configuration",
+                    "create",
+                    "setter",
+                    "getter (per node)",
+                    "empty",
+                    "delete",
+                    "reads aggregate",
+                    "multicast+tx ceiling",
+                ],
+                &rows,
+            );
+        }
+        "fig5-6" => {
+            let rows: Vec<Vec<String>> = fig5_6()
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        r.label,
+                        r.stored_threats.to_string(),
+                        format!("{}", r.replica),
+                        format!("{}", r.constraint),
+                    ]
+                })
+                .collect();
+            print_table(
+                "Figure 5.6 — reconciliation time (1000 degraded ops over 200 objects)",
+                &["policy", "threat records", "replica recon", "constraint recon"],
+                &rows,
+            );
+            println!("  paper shape: replica phase dominates and scales with the record count");
+        }
+        "fig5-8" => {
+            let rows: Vec<Vec<String>> = fig5_8()
+                .into_iter()
+                .map(|(label, iters)| {
+                    let mut row = vec![label];
+                    row.extend(iters.iter().map(|v| ops(*v)));
+                    row
+                })
+                .collect();
+            print_table(
+                "Figure 5.8 — identical-threat improvement across iterations (ops/s)",
+                &["configuration", "iter 1", "iter 2", "iter 3", "iter 4", "iter 5"],
+                &rows,
+            );
+            println!("  paper: ≈4 ops/s (full history) vs ≈15 ops/s (identical once, after iter 1)");
+        }
+        "tab5-async" => {
+            let rows: Vec<Vec<String>> = tab5_async()
+                .into_iter()
+                .map(|(label, rate)| vec![label, ops(rate)])
+                .collect();
+            print_table(
+                "§5.5.3 — soft vs asynchronous constraints in degraded mode (ops/s)",
+                &["configuration", "ops/s"],
+                &rows,
+            );
+            println!("  paper: asynchronous ≈ 2× soft (identical threats stored once)");
+        }
+        "tab5-psc" => {
+            let rows: Vec<Vec<String>> = tab5_psc()
+                .into_iter()
+                .map(|(label, sold, overbooked)| {
+                    vec![label, sold.to_string(), overbooked.to_string()]
+                })
+                .collect();
+            print_table(
+                "§5.5.2 — partition-sensitive constraints: overbooking after the split (80 seats)",
+                &["constraint", "sold after merge", "overbooked"],
+                &rows,
+            );
+        }
+        "fig1-3" => {
+            let (a, b, merged, reconciled) = fig1_3();
+            print_table(
+                "§1.3 — the motivating flight-booking scenario (80 seats, 70 sold)",
+                &["stage", "sold"],
+                &[
+                    vec!["partition A after +7".into(), a.to_string()],
+                    vec!["partition B after +8".into(), b.to_string()],
+                    vec!["after reunification (merge)".into(), merged.to_string()],
+                    vec!["after reconciliation (rebooked)".into(), reconciled.to_string()],
+                ],
+            );
+            println!("  paper narrative: 77 / 78 / 85 / 80");
+        }
+        "tab-avail" => {
+            let data = tab_avail();
+            let rows: Vec<Vec<String>> = data
+                .into_iter()
+                .map(|(label, points)| {
+                    let mut row = vec![label];
+                    row.extend(points.iter().map(|(_, a)| format!("{:.0}%", a * 100.0)));
+                    row
+                })
+                .collect();
+            print_table(
+                "[Se05] availability in a minority partition (ops succeeding), by write fraction",
+                &["protocol", "10% writes", "30% writes", "50% writes"],
+                &rows,
+            );
+            println!("  paper: the approach + P4 increases availability in the presence of partitions");
+        }
+        "tab-worth" => {
+            let data = tab_worth();
+            let rows: Vec<Vec<String>> = data
+                .into_iter()
+                .map(|(n, points)| {
+                    let mut row = vec![format!("{n} node(s)")];
+                    row.extend(points.iter().map(|(_, r)| format!("{r:.2}×")));
+                    row
+                })
+                .collect();
+            print_table(
+                "Abstract conclusion — system throughput vs a single unreplicated server, by read fraction",
+                &["DeDiSys nodes", "50% reads", "90% reads", "99% reads"],
+                &rows,
+            );
+            println!("  paper: most worth its costs when the read-to-write ratio is high and the node count small");
+        }
+        other => panic!("unknown chapter-5 experiment '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §1.3 narrative must match the paper exactly.
+    #[test]
+    fn fig1_3_matches_the_paper_narrative() {
+        assert_eq!(fig1_3(), (77, 78, 85, 80));
+    }
+
+    /// Figure 5.1: CCM-only overhead keeps ≥ 85% of the baseline
+    /// throughput (paper band 87–99%).
+    #[test]
+    fn fig5_1_ccm_overhead_in_paper_band() {
+        for (label, with, without) in fig5_1() {
+            let retained = with / without;
+            assert!(
+                (0.85..=1.0).contains(&retained),
+                "{label}: retained {retained:.3}"
+            );
+        }
+    }
+
+    /// Figure 5.8: identical-once is several times faster than full
+    /// history after the first iteration; iteration 1 is equal.
+    #[test]
+    fn fig5_8_identical_once_improvement() {
+        let data = fig5_8();
+        let full = &data[0].1;
+        let once = &data[1].1;
+        assert!((full[0] - once[0]).abs() / full[0] < 0.1, "iter 1 equal");
+        assert!(once[1] > full[1] * 3.0, "{} vs {}", once[1], full[1]);
+    }
+
+    /// §5.5.2: the partition-sensitive constraint prevents overbooking
+    /// entirely; the plain constraint does not.
+    #[test]
+    fn tab5_psc_prevents_overbooking() {
+        let rows = tab5_psc();
+        let (_, _, plain_overbooked) = rows[0];
+        let (_, psc_sold, psc_overbooked) = rows[1];
+        assert!(plain_overbooked > 0);
+        assert_eq!(psc_overbooked, 0);
+        assert_eq!(psc_sold, 80);
+    }
+
+    /// §5.5.3: async constraints beat soft constraints in degraded mode.
+    #[test]
+    fn tab5_async_is_faster_than_soft() {
+        let rows = tab5_async();
+        let soft = rows[0].1;
+        let async_rate = rows[1].1;
+        assert!(async_rate > soft * 1.1, "{async_rate} vs {soft}");
+    }
+
+    /// [Se05]: P4 + threat trading keeps the minority partition fully
+    /// available; the conventional protocols lose their write share.
+    #[test]
+    fn tab_avail_p4_keeps_full_availability() {
+        for (label, points) in tab_avail() {
+            for (write_fraction, availability) in points {
+                if label.starts_with("DeDiSys") {
+                    assert!(availability > 0.999, "{label}: {availability}");
+                } else {
+                    let expected = 1.0 - write_fraction;
+                    assert!(
+                        (availability - expected).abs() < 0.05,
+                        "{label} at {write_fraction}: {availability}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Figure 5.6: the full-history policy is slower in both
+    /// reconciliation phases.
+    #[test]
+    fn fig5_6_full_history_reconciles_slower() {
+        let rows = fig5_6();
+        let once = &rows[0];
+        let full = &rows[1];
+        assert_eq!(once.stored_threats, 200);
+        assert_eq!(full.stored_threats, 1000);
+        assert!(full.replica > once.replica);
+        assert!(full.constraint > once.constraint);
+    }
+
+    /// Abstract conclusion: replication pays off only for read-heavy
+    /// workloads; write-heavy workloads get worse with more nodes.
+    #[test]
+    fn tab_worth_crossover() {
+        let data = tab_worth();
+        // 99% reads at 3 nodes beats the single server…
+        let three = &data[2].1;
+        assert!(three.last().unwrap().1 > 1.0);
+        // …but 50% reads never does.
+        for (_, points) in &data {
+            assert!(points[0].1 < 1.0);
+        }
+        // Write-heavy degrades with node count.
+        assert!(data[3].1[0].1 < data[1].1[0].1);
+    }
+}

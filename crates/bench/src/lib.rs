@@ -1,0 +1,17 @@
+//! # dedisys-bench
+//!
+//! The reproduction harness: one entry point per table and figure of
+//! the dissertation's evaluation. The `repro` binary
+//! (`cargo run -p dedisys-bench --bin repro -- <experiment>`) prints
+//! each experiment's rows next to the values the paper reports;
+//! EXPERIMENTS.md records a full run.
+//!
+//! * [`ch2`] — the constraint-validation comparison (Figures 2.1–2.6
+//!   and the lookup-time study), measured in wall-clock time.
+//! * [`ch5`] — the middleware evaluation (Figures 5.1–5.4, 5.6, 5.8
+//!   and the §5.5 improvement studies), measured in deterministic
+//!   virtual time.
+
+pub mod ch2;
+pub mod ch5;
+pub mod table;

@@ -1,0 +1,343 @@
+//! The `ConstraintValidationContext` of Figure 4.3.
+
+use dedisys_types::{ClassName, MethodName, ObjectId, Result, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How constraint implementations reach application objects.
+///
+/// The middleware implements this against the entity container (with
+/// replica-aware semantics); tests use [`MapAccess`]. Access failures
+/// ([`dedisys_types::Error::ObjectUnreachable`]) bubble out of
+/// `validate` and make the constraint uncheckable.
+pub trait ObjectAccess {
+    /// Reads `field` of `id`.
+    ///
+    /// # Errors
+    ///
+    /// * [`dedisys_types::Error::ObjectUnreachable`] — no replica of the
+    ///   object is reachable.
+    /// * [`dedisys_types::Error::ObjectNotFound`] — the object does not
+    ///   exist.
+    fn field(&mut self, id: &ObjectId, field: &str) -> Result<Value>;
+
+    /// Ids of all reachable objects of `class` (query-based
+    /// constraints).
+    fn objects_of_class(&mut self, class: &ClassName) -> Vec<ObjectId>;
+}
+
+/// A simple in-memory [`ObjectAccess`] for tests and examples.
+#[derive(Debug, Clone, Default)]
+pub struct MapAccess {
+    fields: BTreeMap<ObjectId, BTreeMap<String, Value>>,
+    unreachable: BTreeSet<ObjectId>,
+}
+
+impl MapAccess {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a field of an object.
+    pub fn put_field(&mut self, id: &ObjectId, field: &str, value: Value) {
+        self.fields
+            .entry(id.clone())
+            .or_default()
+            .insert(field.to_owned(), value);
+    }
+
+    /// Marks an object unreachable (all replicas lost).
+    pub fn set_unreachable(&mut self, id: &ObjectId, unreachable: bool) {
+        if unreachable {
+            self.unreachable.insert(id.clone());
+        } else {
+            self.unreachable.remove(id);
+        }
+    }
+}
+
+impl ObjectAccess for MapAccess {
+    fn field(&mut self, id: &ObjectId, field: &str) -> Result<Value> {
+        if self.unreachable.contains(id) {
+            return Err(dedisys_types::Error::ObjectUnreachable(id.clone()));
+        }
+        let obj = self
+            .fields
+            .get(id)
+            .ok_or_else(|| dedisys_types::Error::ObjectNotFound(id.clone()))?;
+        Ok(obj.get(field).cloned().unwrap_or(Value::Null))
+    }
+
+    fn objects_of_class(&mut self, class: &ClassName) -> Vec<ObjectId> {
+        self.fields
+            .keys()
+            .filter(|id| id.class() == class && !self.unreachable.contains(id))
+            .cloned()
+            .collect()
+    }
+}
+
+/// The validation context handed to [`crate::Constraint::validate`].
+///
+/// Carries (depending on constraint kind, §4.2.1) the context object,
+/// the called object, method and arguments, the method result for
+/// postconditions, and a `@pre` store filled by
+/// `before_method_invocation`. Every object touched through the
+/// context is *gathered* (§4.2.3) so the CCMgr can ask the replication
+/// manager about staleness afterwards.
+pub struct ValidationContext<'a> {
+    access: &'a mut dyn ObjectAccess,
+    context_object: Option<ObjectId>,
+    called_object: Option<ObjectId>,
+    method: Option<MethodName>,
+    args: Vec<Value>,
+    result: Option<Value>,
+    pre_state: BTreeMap<String, Value>,
+    accessed: BTreeSet<ObjectId>,
+    /// Extra values the middleware exposes to constraints — e.g. the
+    /// current partition weight for partition-sensitive constraints
+    /// (§5.5.2) under the key `"partitionWeight"`.
+    environment: BTreeMap<String, Value>,
+}
+
+impl<'a> ValidationContext<'a> {
+    /// Context for an invariant starting from `context_object`.
+    pub fn for_invariant(context_object: ObjectId, access: &'a mut dyn ObjectAccess) -> Self {
+        Self {
+            access,
+            context_object: Some(context_object),
+            called_object: None,
+            method: None,
+            args: Vec::new(),
+            result: None,
+            pre_state: BTreeMap::new(),
+            accessed: BTreeSet::new(),
+            environment: BTreeMap::new(),
+        }
+    }
+
+    /// Context for a query-based invariant (no context object).
+    pub fn for_query(access: &'a mut dyn ObjectAccess) -> Self {
+        Self {
+            access,
+            context_object: None,
+            called_object: None,
+            method: None,
+            args: Vec::new(),
+            result: None,
+            pre_state: BTreeMap::new(),
+            accessed: BTreeSet::new(),
+            environment: BTreeMap::new(),
+        }
+    }
+
+    /// Context for a pre-/postcondition of a method call.
+    pub fn for_method(
+        called_object: ObjectId,
+        method: MethodName,
+        args: Vec<Value>,
+        access: &'a mut dyn ObjectAccess,
+    ) -> Self {
+        Self {
+            access,
+            context_object: Some(called_object.clone()),
+            called_object: Some(called_object),
+            method: Some(method),
+            args,
+            result: None,
+            pre_state: BTreeMap::new(),
+            accessed: BTreeSet::new(),
+            environment: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the context object (after context preparation).
+    pub fn set_context_object(&mut self, id: Option<ObjectId>) {
+        self.context_object = id;
+    }
+
+    /// The context object (`getContextObject()`).
+    pub fn context_object(&self) -> Option<&ObjectId> {
+        self.context_object.as_ref()
+    }
+
+    /// The called object (`getCalledObject()`).
+    pub fn called_object(&self) -> Option<&ObjectId> {
+        self.called_object.as_ref()
+    }
+
+    /// The invoked method (`getMethod()`).
+    pub fn method(&self) -> Option<&MethodName> {
+        self.method.as_ref()
+    }
+
+    /// The method arguments (`getMethodArguments()`).
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The method result (`getMethodResult()`, postconditions only).
+    pub fn result(&self) -> Option<&Value> {
+        self.result.as_ref()
+    }
+
+    /// Sets the method result before postcondition validation.
+    pub fn set_result(&mut self, result: Value) {
+        self.result = Some(result);
+    }
+
+    /// Reads a field, recording the access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ObjectAccess::field`] failures; the unreachable
+    /// object is still recorded as accessed.
+    pub fn field(&mut self, id: &ObjectId, field: &str) -> Result<Value> {
+        self.accessed.insert(id.clone());
+        self.access.field(id, field)
+    }
+
+    /// Convenience: a field of the context object.
+    ///
+    /// # Errors
+    ///
+    /// [`dedisys_types::Error::Config`] if no context object is set;
+    /// otherwise as [`ValidationContext::field`].
+    pub fn self_field(&mut self, field: &str) -> Result<Value> {
+        let id = self
+            .context_object
+            .clone()
+            .ok_or_else(|| dedisys_types::Error::Config("no context object".into()))?;
+        self.field(&id, field)
+    }
+
+    /// Query all objects of a class (recorded as accessed).
+    pub fn objects_of_class(&mut self, class: &ClassName) -> Vec<ObjectId> {
+        let ids = self.access.objects_of_class(class);
+        self.accessed.extend(ids.iter().cloned());
+        ids
+    }
+
+    /// Objects touched during validation (the "gathered affected
+    /// objects" of Figure 4.4).
+    pub fn accessed_objects(&self) -> &BTreeSet<ObjectId> {
+        &self.accessed
+    }
+
+    /// Stores a `@pre` value (called from `before_method_invocation`).
+    pub fn store_pre(&mut self, key: impl Into<String>, value: Value) {
+        self.pre_state.insert(key.into(), value);
+    }
+
+    /// Reads a `@pre` value during `validate`.
+    pub fn pre(&self, key: &str) -> Option<&Value> {
+        self.pre_state.get(key)
+    }
+
+    /// Moves the pre-state out (middleware carries it between the
+    /// before- and after-invocation hooks).
+    pub fn take_pre_state(&mut self) -> BTreeMap<String, Value> {
+        std::mem::take(&mut self.pre_state)
+    }
+
+    /// Restores a previously taken pre-state.
+    pub fn set_pre_state(&mut self, state: BTreeMap<String, Value>) {
+        self.pre_state = state;
+    }
+
+    /// Exposes an environment value to the constraint.
+    pub fn set_env(&mut self, key: impl Into<String>, value: Value) {
+        self.environment.insert(key.into(), value);
+    }
+
+    /// Reads an environment value (e.g. `"partitionWeight"`).
+    pub fn env(&self, key: &str) -> Option<&Value> {
+        self.environment.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::Error;
+
+    fn world() -> (MapAccess, ObjectId) {
+        let id = ObjectId::new("Flight", "F1");
+        let mut w = MapAccess::new();
+        w.put_field(&id, "seats", Value::Int(80));
+        (w, id)
+    }
+
+    #[test]
+    fn field_access_records_objects() {
+        let (mut w, id) = world();
+        let other = ObjectId::new("Person", "P1");
+        w.put_field(&other, "age", Value::Int(30));
+        let mut ctx = ValidationContext::for_invariant(id.clone(), &mut w);
+        ctx.self_field("seats").unwrap();
+        ctx.field(&other, "age").unwrap();
+        assert_eq!(
+            ctx.accessed_objects().iter().cloned().collect::<Vec<_>>(),
+            vec![id, other]
+        );
+    }
+
+    #[test]
+    fn unreachable_objects_error_but_are_recorded() {
+        let (mut w, id) = world();
+        w.set_unreachable(&id, true);
+        let mut ctx = ValidationContext::for_invariant(id.clone(), &mut w);
+        assert_eq!(
+            ctx.self_field("seats"),
+            Err(Error::ObjectUnreachable(id.clone()))
+        );
+        assert!(ctx.accessed_objects().contains(&id));
+    }
+
+    #[test]
+    fn method_context_carries_call_info() {
+        let (mut w, id) = world();
+        let mut ctx = ValidationContext::for_method(
+            id.clone(),
+            MethodName::from("setSeats"),
+            vec![Value::Int(90)],
+            &mut w,
+        );
+        assert_eq!(ctx.called_object(), Some(&id));
+        assert_eq!(ctx.method().unwrap().as_str(), "setSeats");
+        assert_eq!(ctx.args(), &[Value::Int(90)]);
+        ctx.set_result(Value::Bool(true));
+        assert_eq!(ctx.result(), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn pre_state_roundtrip() {
+        let (mut w, id) = world();
+        let mut ctx = ValidationContext::for_invariant(id, &mut w);
+        ctx.store_pre("size", Value::Int(3));
+        assert_eq!(ctx.pre("size"), Some(&Value::Int(3)));
+        let state = ctx.take_pre_state();
+        assert!(ctx.pre("size").is_none());
+        ctx.set_pre_state(state);
+        assert_eq!(ctx.pre("size"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn environment_values() {
+        let (mut w, id) = world();
+        let mut ctx = ValidationContext::for_invariant(id, &mut w);
+        ctx.set_env("partitionWeight", Value::Float(0.5));
+        assert_eq!(ctx.env("partitionWeight"), Some(&Value::Float(0.5)));
+        assert!(ctx.env("missing").is_none());
+    }
+
+    #[test]
+    fn query_context_lists_class_objects() {
+        let (mut w, id) = world();
+        w.put_field(&ObjectId::new("Flight", "F2"), "seats", Value::Int(10));
+        let mut ctx = ValidationContext::for_query(&mut w);
+        let flights = ctx.objects_of_class(&ClassName::from("Flight"));
+        assert_eq!(flights.len(), 2);
+        assert!(ctx.accessed_objects().contains(&id));
+    }
+}

@@ -1,0 +1,245 @@
+//! Tokenizer for the constraint expression language.
+
+use super::expr_err;
+use dedisys_types::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Identifier or keyword.
+    Ident(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `.`.
+    Dot,
+    /// `,`.
+    Comma,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `=` or `==`.
+    Eq,
+    /// `<>` or `!=`.
+    Ne,
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns [`dedisys_types::Error::Expr`] on unknown characters,
+/// unterminated strings or malformed numbers.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(expr_err("unexpected '!' (use 'not' or '!=')"));
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(expr_err("unterminated string literal")),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match chars.get(i + 1) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                other => {
+                                    return Err(expr_err(format!(
+                                        "unknown escape: \\{}",
+                                        other.map(|c| c.to_string()).unwrap_or_default()
+                                    )))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let f = text
+                        .parse::<f64>()
+                        .map_err(|e| expr_err(format!("bad float '{text}': {e}")))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n = text
+                        .parse::<i64>()
+                        .map_err(|e| expr_err(format!("bad integer '{text}': {e}")))?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(expr_err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_ticket_constraint() {
+        let tokens = tokenize("self.soldTickets <= self.seats").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("self".into()),
+                Token::Dot,
+                Token::Ident("soldTickets".into()),
+                Token::Le,
+                Token::Ident("self".into()),
+                Token::Dot,
+                Token::Ident("seats".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_literals_and_operators() {
+        let tokens = tokenize(r#"1 + 2.5 * "a\"b" <> x != y == z"#).unwrap();
+        assert_eq!(tokens[0], Token::Int(1));
+        assert_eq!(tokens[2], Token::Float(2.5));
+        assert_eq!(tokens[4], Token::Str("a\"b".into()));
+        assert_eq!(tokens[5], Token::Ne);
+        assert_eq!(tokens[7], Token::Ne);
+        assert_eq!(tokens[9], Token::Eq);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

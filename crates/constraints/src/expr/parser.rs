@@ -1,0 +1,294 @@
+//! Recursive-descent parser for constraint expressions.
+
+use super::ast::{BinOp, Expr, UnaryOp};
+use super::expr_err;
+use super::lexer::{tokenize, Token};
+use dedisys_types::{Result, Value};
+
+/// Parses `source` into an expression.
+///
+/// # Errors
+///
+/// Returns [`dedisys_types::Error::Expr`] on lexical or syntax errors.
+pub fn parse(source: &str) -> Result<Expr> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.implies()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(expr_err(format!(
+            "unexpected trailing input at token {}",
+            parser.pos
+        )));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<()> {
+        match self.next() {
+            Some(ref t) if t == token => Ok(()),
+            other => Err(expr_err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(id)) if id == kw)
+    }
+
+    fn implies(&mut self) -> Result<Expr> {
+        let mut left = self.or()?;
+        while self.peek_keyword("implies") {
+            self.pos += 1;
+            let right = self.or()?;
+            left = Expr::Binary(BinOp::Implies, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn or(&mut self) -> Result<Expr> {
+        let mut left = self.and()?;
+        while self.peek_keyword("or") {
+            self.pos += 1;
+            let right = self.and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Expr> {
+        let mut left = self.not()?;
+        while self.peek_keyword("and") {
+            self.pos += 1;
+            let right = self.not()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not(&mut self) -> Result<Expr> {
+        if self.peek_keyword("not") {
+            self.pos += 1;
+            let inner = self.not()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary(op, Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut expr = self.primary()?;
+        while matches!(self.peek(), Some(Token::Dot)) {
+            self.pos += 1;
+            match self.next() {
+                Some(Token::Ident(field)) => {
+                    expr = Expr::Field(Box::new(expr), field);
+                }
+                other => return Err(expr_err(format!("expected field name, found {other:?}"))),
+            }
+        }
+        Ok(expr)
+    }
+
+    fn string_arg(&mut self, func: &str) -> Result<String> {
+        self.expect(&Token::LParen, "'('")?;
+        let s = match self.next() {
+            Some(Token::Str(s)) => s,
+            other => {
+                return Err(expr_err(format!(
+                    "{func}(...) expects a string literal, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Token::RParen, "')'")?;
+        Ok(s)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::LParen) => {
+                let inner = self.implies()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(id)) => match id.as_str() {
+                "true" => Ok(Expr::Literal(Value::Bool(true))),
+                "false" => Ok(Expr::Literal(Value::Bool(false))),
+                "null" => Ok(Expr::Literal(Value::Null)),
+                "self" => Ok(Expr::SelfRef),
+                "env" => Ok(Expr::Env(self.string_arg("env")?)),
+                "pre" => Ok(Expr::Pre(self.string_arg("pre")?)),
+                "count" => Ok(Expr::Count(self.string_arg("count")?.into())),
+                "size" => {
+                    self.expect(&Token::LParen, "'('")?;
+                    let inner = self.implies()?;
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(Expr::Size(Box::new(inner)))
+                }
+                "arg" => {
+                    self.expect(&Token::LParen, "'('")?;
+                    let idx = match self.next() {
+                        Some(Token::Int(n)) if n >= 0 => n as usize,
+                        other => {
+                            return Err(expr_err(format!(
+                                "arg(...) expects a non-negative integer, found {other:?}"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(Expr::Arg(idx))
+                }
+                "result" => {
+                    self.expect(&Token::LParen, "'('")?;
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(Expr::MethodResult)
+                }
+                other => Err(expr_err(format!(
+                    "unknown identifier '{other}' (navigation starts at 'self')"
+                ))),
+            },
+            other => Err(expr_err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_navigation_chain() {
+        let e = parse("self.repairReport.componentKind").unwrap();
+        assert_eq!(
+            e,
+            Expr::Field(
+                Box::new(Expr::Field(Box::new(Expr::SelfRef), "repairReport".into())),
+                "componentKind".into()
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_arithmetic_over_comparison_over_bool() {
+        let e = parse("self.a + 1 <= 5 and not self.b").unwrap();
+        match e {
+            Expr::Binary(BinOp::And, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Le, _, _)));
+                assert!(matches!(*r, Expr::Unary(UnaryOp::Not, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_has_lowest_precedence() {
+        let e = parse("self.a or self.b implies self.c").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Implies, _, _)));
+    }
+
+    #[test]
+    fn parses_builtins() {
+        assert_eq!(parse("arg(0)").unwrap(), Expr::Arg(0));
+        assert_eq!(parse("result()").unwrap(), Expr::MethodResult);
+        assert_eq!(parse("pre(\"x\")").unwrap(), Expr::Pre("x".into()));
+        assert_eq!(parse("env(\"w\")").unwrap(), Expr::Env("w".into()));
+        assert_eq!(
+            parse("count(\"Flight\")").unwrap(),
+            Expr::Count("Flight".into())
+        );
+        assert!(matches!(parse("size(self.items)").unwrap(), Expr::Size(_)));
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("self.").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("foo").is_err());
+        assert!(parse("arg(-1)").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("(1").is_err());
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse("-self.a + 1").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Add, _, _)));
+    }
+}

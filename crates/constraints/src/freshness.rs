@@ -1,0 +1,44 @@
+//! Freshness criteria (Figure 4.3, `FreshnessCriterion`).
+
+use dedisys_types::{ClassName, VersionInfo};
+
+/// A maximum-age bound for possibly stale objects of one class, used in
+/// declarative threat negotiation (§4.2.3): the difference
+/// `getEstimatedLatestVersion() - getVersion()` must not exceed
+/// `max_missed_updates`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreshnessCriterion {
+    /// The affected class the criterion applies to.
+    pub class: ClassName,
+    /// Maximum tolerated estimated missed updates.
+    pub max_missed_updates: u64,
+}
+
+impl FreshnessCriterion {
+    /// Creates a criterion.
+    pub fn new(class: impl Into<ClassName>, max_missed_updates: u64) -> Self {
+        Self {
+            class: class.into(),
+            max_missed_updates,
+        }
+    }
+
+    /// Whether a copy with `info` satisfies the criterion.
+    pub fn accepts(&self, info: VersionInfo) -> bool {
+        info.missed_updates() <= self.max_missed_updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::Version;
+
+    #[test]
+    fn accepts_fresh_and_slightly_stale() {
+        let c = FreshnessCriterion::new("Flight", 2);
+        assert!(c.accepts(VersionInfo::fresh(Version(5))));
+        assert!(c.accepts(VersionInfo::new(Version(5), Version(7))));
+        assert!(!c.accepts(VersionInfo::new(Version(5), Version(8))));
+    }
+}

@@ -1,0 +1,113 @@
+//! Context preparation (`<preparation-class>` of Listing 4.1).
+//!
+//! An invariant is implemented against a specific context class; when a
+//! method of a *different* class triggers it, the context object must be
+//! derived from the invocation — e.g. `Alarm.setAlarmKind` triggers the
+//! `ComponentKindReferenceConsistency` constraint whose context object
+//! is the alarm's `RepairReport`, obtained via a getter.
+
+use crate::ObjectAccess;
+use dedisys_types::{ObjectId, Result, Value};
+
+/// How to obtain a constraint's context object from an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextPreparation {
+    /// The called object *is* the context object
+    /// (`CalledObjectIsContextObject`).
+    CalledObject,
+    /// Follow a reference field of the called object
+    /// (`ReferenceIsContextObject` with a getter parameter).
+    ReferenceField(String),
+    /// The constraint needs no context object (query-based).
+    None,
+}
+
+impl ContextPreparation {
+    /// Resolves the context object for a call on `called`.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates unreachable-object failures when following a
+    ///   reference.
+    /// * [`dedisys_types::Error::Config`] when a reference field does
+    ///   not hold an object reference.
+    pub fn resolve(
+        &self,
+        called: &ObjectId,
+        access: &mut dyn ObjectAccess,
+    ) -> Result<Option<ObjectId>> {
+        match self {
+            ContextPreparation::CalledObject => Ok(Some(called.clone())),
+            ContextPreparation::ReferenceField(field) => {
+                let value = access.field(called, field)?;
+                match value {
+                    Value::Ref(id) => Ok(Some(id)),
+                    Value::Null => Err(dedisys_types::Error::Config(format!(
+                        "reference field '{field}' of {called} is null"
+                    ))),
+                    other => Err(dedisys_types::Error::Config(format!(
+                        "field '{field}' of {called} is not a reference (found {})",
+                        other.type_name()
+                    ))),
+                }
+            }
+            ContextPreparation::None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MapAccess;
+
+    #[test]
+    fn called_object_preparation() {
+        let called = ObjectId::new("RepairReport", "R1");
+        let mut w = MapAccess::new();
+        let prep = ContextPreparation::CalledObject;
+        assert_eq!(prep.resolve(&called, &mut w).unwrap(), Some(called));
+    }
+
+    #[test]
+    fn reference_field_preparation() {
+        let alarm = ObjectId::new("Alarm", "A1");
+        let report = ObjectId::new("RepairReport", "R1");
+        let mut w = MapAccess::new();
+        w.put_field(&alarm, "repairReport", Value::Ref(report.clone()));
+        let prep = ContextPreparation::ReferenceField("repairReport".into());
+        assert_eq!(prep.resolve(&alarm, &mut w).unwrap(), Some(report));
+    }
+
+    #[test]
+    fn non_reference_field_rejected() {
+        let alarm = ObjectId::new("Alarm", "A1");
+        let mut w = MapAccess::new();
+        w.put_field(&alarm, "repairReport", Value::Int(3));
+        let prep = ContextPreparation::ReferenceField("repairReport".into());
+        assert!(prep.resolve(&alarm, &mut w).is_err());
+    }
+
+    #[test]
+    fn unreachable_reference_propagates() {
+        let alarm = ObjectId::new("Alarm", "A1");
+        let mut w = MapAccess::new();
+        w.put_field(&alarm, "repairReport", Value::Null);
+        w.set_unreachable(&alarm, true);
+        let prep = ContextPreparation::ReferenceField("repairReport".into());
+        assert!(matches!(
+            prep.resolve(&alarm, &mut w),
+            Err(dedisys_types::Error::ObjectUnreachable(_))
+        ));
+    }
+
+    #[test]
+    fn none_preparation_yields_no_context() {
+        let called = ObjectId::new("A", "1");
+        let mut w = MapAccess::new();
+        assert_eq!(
+            ContextPreparation::None.resolve(&called, &mut w).unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,1244 @@
+//! The cluster façade: a simulated DeDiSys deployment.
+//!
+//! A [`Cluster`] assembles every middleware service of Figure 4.1 for
+//! `n` nodes — entity containers, transaction manager + lock table,
+//! constraint repository + CCMgr, replication manager, group
+//! membership (view trackers + partition weights) — over the shared
+//! virtual clock and cost model. Clients drive it synchronously:
+//! operations execute depth-first through the node stacks while the
+//! clock advances per the cost model (see DESIGN.md §1).
+
+use crate::ccm::{CallInfo, Ccm, NegotiationTiming, PendingCheck, ReplicaAccess};
+use crate::negotiation::NegotiationHandler;
+use crate::threat::{HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore};
+use crate::CostModel;
+use dedisys_constraints::{
+    ConstraintKind, ConstraintRepository, LookupKind, LookupMode, RegisteredConstraint,
+    ValidationContext,
+};
+use dedisys_gms::{NodeWeights, ViewTracker};
+use dedisys_net::{SimClock, Topology};
+use dedisys_object::{
+    AppDescriptor, EntityContainer, EntityState, InterceptorChain, Invocation, MethodKind,
+    MethodTable, NamingService,
+};
+use dedisys_replication::{ProtocolKind, ReplicationManager};
+use dedisys_tx::{LockTable, TransactionManager};
+use dedisys_types::{
+    Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimTime, SystemMode, TxId,
+    Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cluster-level counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterMetrics {
+    /// Business invocations attempted.
+    pub invocations: u64,
+    /// Invocations that failed (constraint, threat, availability).
+    pub failed_invocations: u64,
+    /// Entities created.
+    pub creates: u64,
+    /// Entities deleted.
+    pub deletes: u64,
+}
+
+/// Context handed to application/operator interceptors registered via
+/// [`Cluster::add_interceptor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HookInfo {
+    /// Node the client issued the invocation on.
+    pub node: NodeId,
+    /// System mode at invocation time.
+    pub mode: SystemMode,
+    /// Virtual time at invocation start.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TxInfo {
+    involved: BTreeSet<NodeId>,
+    /// Objects created in this tx with their chosen placement.
+    created: BTreeMap<ObjectId, (Vec<NodeId>, NodeId)>,
+}
+
+/// Builder for [`Cluster`] (C-BUILDER).
+pub struct ClusterBuilder {
+    nodes: u32,
+    protocol: ProtocolKind,
+    weights: Option<NodeWeights>,
+    costs: CostModel,
+    lookup_mode: LookupMode,
+    threat_policy: HistoryPolicy,
+    negotiation_timing: NegotiationTiming,
+    reduced_replica_history: bool,
+    ccm_enabled: bool,
+    replication_enabled: bool,
+    app: AppDescriptor,
+    methods: MethodTable,
+    constraints: Vec<RegisteredConstraint>,
+    app_default_min_degree: SatisfactionDegree,
+    default_instructions: ReconcileInstructions,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("nodes", &self.nodes)
+            .field("protocol", &self.protocol)
+            .field("ccm", &self.ccm_enabled)
+            .field("replication", &self.replication_enabled)
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for `nodes` nodes running `app`.
+    pub fn new(nodes: u32, app: AppDescriptor) -> Self {
+        Self {
+            nodes,
+            protocol: ProtocolKind::PrimaryPerPartition,
+            weights: None,
+            costs: CostModel::default(),
+            lookup_mode: LookupMode::Cached,
+            threat_policy: HistoryPolicy::IdenticalOnce,
+            negotiation_timing: NegotiationTiming::Immediate,
+            reduced_replica_history: false,
+            ccm_enabled: true,
+            replication_enabled: true,
+            app,
+            methods: MethodTable::new(),
+            constraints: Vec::new(),
+            app_default_min_degree: SatisfactionDegree::Satisfied,
+            default_instructions: ReconcileInstructions::default(),
+        }
+    }
+
+    /// Selects the replication protocol (default: P4).
+    pub fn protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets explicit node weights (default: uniform).
+    pub fn weights(mut self, weights: NodeWeights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Selects the constraint-repository lookup mode.
+    pub fn lookup_mode(mut self, mode: LookupMode) -> Self {
+        self.lookup_mode = mode;
+        self
+    }
+
+    /// Selects the threat-history policy (§5.5.1).
+    pub fn threat_policy(mut self, policy: HistoryPolicy) -> Self {
+        self.threat_policy = policy;
+        self
+    }
+
+    /// Selects immediate or deferred threat negotiation (§5.4).
+    pub fn negotiation_timing(mut self, timing: NegotiationTiming) -> Self {
+        self.negotiation_timing = timing;
+        self
+    }
+
+    /// Uses the reduced replica state history (latest state only).
+    pub fn reduced_replica_history(mut self, reduced: bool) -> Self {
+        self.reduced_replica_history = reduced;
+        self
+    }
+
+    /// Disables the DeDiSys enhancement entirely — the "No DeDiSys"
+    /// baseline of Chapter 5 (no CCM, no replication).
+    pub fn without_dedisys(mut self) -> Self {
+        self.ccm_enabled = false;
+        self.replication_enabled = false;
+        self
+    }
+
+    /// Enables only explicit constraint consistency management without
+    /// the replication service — the Figure 5.1 configuration.
+    pub fn ccm_only(mut self) -> Self {
+        self.ccm_enabled = true;
+        self.replication_enabled = false;
+        self
+    }
+
+    /// Registers custom method bodies.
+    pub fn methods(mut self, methods: MethodTable) -> Self {
+        self.methods = methods;
+        self
+    }
+
+    /// Adds a constraint.
+    pub fn constraint(mut self, constraint: RegisteredConstraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Adds several constraints.
+    pub fn constraints(
+        mut self,
+        constraints: impl IntoIterator<Item = RegisteredConstraint>,
+    ) -> Self {
+        self.constraints.extend(constraints);
+        self
+    }
+
+    /// Sets the application-wide default minimum satisfaction degree.
+    pub fn app_default_min_degree(mut self, degree: SatisfactionDegree) -> Self {
+        self.app_default_min_degree = degree;
+        self
+    }
+
+    /// Sets the default reconciliation instructions.
+    pub fn default_instructions(mut self, instructions: ReconcileInstructions) -> Self {
+        self.default_instructions = instructions;
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on invalid configuration (zero nodes,
+    /// duplicate constraint names, weight/node-count mismatch).
+    pub fn build(self) -> Result<Cluster> {
+        if self.nodes == 0 {
+            return Err(Error::Config("a cluster needs at least one node".into()));
+        }
+        let weights = self
+            .weights
+            .unwrap_or_else(|| NodeWeights::uniform(self.nodes));
+        if weights.node_count() != self.nodes {
+            return Err(Error::Config(format!(
+                "weights cover {} nodes, cluster has {}",
+                weights.node_count(),
+                self.nodes
+            )));
+        }
+        let clock = SimClock::new();
+        let topology = Topology::fully_connected(self.nodes);
+        let mut repository = ConstraintRepository::new(self.lookup_mode);
+        for c in self.constraints {
+            repository.register(c)?;
+        }
+        let mut ccm = Ccm::new(self.threat_policy);
+        ccm.set_app_default_min_degree(self.app_default_min_degree);
+        ccm.set_default_instructions(self.default_instructions);
+        ccm.set_negotiation_timing(self.negotiation_timing);
+        let mut replication = ReplicationManager::new(self.protocol, weights.clone());
+        replication.set_reduced_history(self.reduced_replica_history);
+        let view_trackers = (0..self.nodes)
+            .map(|n| ViewTracker::new(NodeId(n), &topology))
+            .collect();
+        Ok(Cluster {
+            clock,
+            topology,
+            weights,
+            containers: (0..self.nodes)
+                .map(|_| EntityContainer::new(&self.app))
+                .collect(),
+            app: self.app,
+            methods: self.methods,
+            tx_manager: TransactionManager::new(),
+            tx_infos: BTreeMap::new(),
+            locks: LockTable::new(),
+            replication,
+            repository,
+            ccm,
+            naming: NamingService::new(),
+            costs: self.costs,
+            mode: SystemMode::Healthy,
+            view_trackers,
+            metrics: ClusterMetrics::default(),
+            hooks: InterceptorChain::new(),
+            ccm_enabled: self.ccm_enabled,
+            replication_enabled: self.replication_enabled,
+        })
+    }
+}
+
+/// A simulated DeDiSys cluster.
+pub struct Cluster {
+    clock: SimClock,
+    topology: Topology,
+    weights: NodeWeights,
+    containers: Vec<EntityContainer>,
+    app: AppDescriptor,
+    methods: MethodTable,
+    tx_manager: TransactionManager,
+    tx_infos: BTreeMap<TxId, TxInfo>,
+    locks: LockTable,
+    pub(crate) replication: ReplicationManager,
+    repository: ConstraintRepository,
+    pub(crate) ccm: Ccm,
+    naming: NamingService,
+    costs: CostModel,
+    pub(crate) mode: SystemMode,
+    view_trackers: Vec<ViewTracker>,
+    metrics: ClusterMetrics,
+    hooks: InterceptorChain<HookInfo>,
+    ccm_enabled: bool,
+    replication_enabled: bool,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.topology.node_count())
+            .field("mode", &self.mode)
+            .field("topology", &self.topology.to_string())
+            .field("ccm", &self.ccm_enabled)
+            .field("replication", &self.replication_enabled)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The current system mode (Figure 1.4).
+    pub fn mode(&self) -> SystemMode {
+        self.mode
+    }
+
+    /// The current topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.topology.node_count()
+    }
+
+    /// The deployed application.
+    pub fn app(&self) -> &AppDescriptor {
+        &self.app
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Cluster metrics.
+    pub fn metrics(&self) -> ClusterMetrics {
+        self.metrics
+    }
+
+    /// CCM counters.
+    pub fn ccm_stats(&self) -> crate::ccm::CcmStats {
+        self.ccm.stats()
+    }
+
+    /// Replication counters.
+    pub fn repl_stats(&self) -> dedisys_replication::ReplStats {
+        self.replication.stats()
+    }
+
+    /// Transaction counters.
+    pub fn tx_stats(&self) -> dedisys_tx::TxStats {
+        self.tx_manager.stats()
+    }
+
+    /// The stored consistency threats.
+    pub fn threats(&self) -> &ThreatStore {
+        self.ccm.threat_store()
+    }
+
+    /// Mutable CCM access for crash-recovery scenarios and tests.
+    pub fn ccm_mut_for_tests(&mut self) -> &mut Ccm {
+        &mut self.ccm
+    }
+
+    /// Runtime constraint management (add/remove/enable/disable).
+    pub fn repository_mut(&mut self) -> &mut ConstraintRepository {
+        &mut self.repository
+    }
+
+    /// Adds a new constraint at runtime and — per §3.3 — immediately
+    /// validates it against *every* existing context object. Returns
+    /// the context objects that currently violate it (the application
+    /// decides whether to clean them up or remove the constraint
+    /// again).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for duplicate names.
+    pub fn add_constraint_with_check(
+        &mut self,
+        constraint: RegisteredConstraint,
+    ) -> Result<Vec<ObjectId>> {
+        let name = constraint.name().clone();
+        self.repository.register(constraint)?;
+        self.check_all_context_objects(&name)
+    }
+
+    /// Re-enables a previously disabled constraint and validates it
+    /// against every context object (§3.3: re-enabled constraints have
+    /// to be checked for all context objects). Returns the violating
+    /// context objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for unknown constraint names.
+    pub fn enable_constraint_with_check(
+        &mut self,
+        name: &dedisys_types::ConstraintName,
+    ) -> Result<Vec<ObjectId>> {
+        self.repository.set_enabled(name, true)?;
+        self.check_all_context_objects(name)
+    }
+
+    fn check_all_context_objects(
+        &mut self,
+        name: &dedisys_types::ConstraintName,
+    ) -> Result<Vec<ObjectId>> {
+        let Some(constraint) = self.repository.get(name).cloned() else {
+            return Ok(Vec::new());
+        };
+        if !constraint.meta.kind.is_invariant() {
+            return Ok(Vec::new());
+        }
+        // Collect the context objects: all instances of the context
+        // class, or a single query-based evaluation.
+        let contexts: Vec<Option<ObjectId>> = match (
+            &constraint.context_class,
+            constraint.meta.needs_context_object,
+        ) {
+            (Some(class), true) => {
+                let mut ids: BTreeSet<ObjectId> = BTreeSet::new();
+                for container in &self.containers {
+                    ids.extend(container.entities_of_class(class).map(|e| e.id().clone()));
+                }
+                ids.into_iter().map(Some).collect()
+            }
+            _ => vec![None],
+        };
+        let node = NodeId(0);
+        let check_tx = self.begin(node);
+        let mut violating = Vec::new();
+        for context in contexts {
+            let partition_weight = self.partition_fraction(node);
+            let now = self.clock.now();
+            let verdict = {
+                let mut access = ReplicaAccess::new(
+                    &mut self.containers,
+                    &self.replication,
+                    &self.topology,
+                    node,
+                    check_tx,
+                );
+                self.ccm.validate_constraint(
+                    &constraint,
+                    context.as_ref(),
+                    None,
+                    BTreeMap::new(),
+                    &mut access,
+                    partition_weight,
+                    now,
+                )?
+            };
+            self.clock.advance(self.costs.constraint_check);
+            if verdict.degree == SatisfactionDegree::Violated {
+                if let Some(ctx) = context {
+                    violating.push(ctx);
+                }
+            }
+        }
+        let _ = self.rollback(check_tx);
+        Ok(violating)
+    }
+
+    /// The constraint repository.
+    pub fn repository(&self) -> &ConstraintRepository {
+        &self.repository
+    }
+
+    /// The naming service.
+    pub fn naming_mut(&mut self) -> &mut NamingService {
+        &mut self.naming
+    }
+
+    /// Fraction of total system weight reachable from `node` (§5.5.2).
+    pub fn partition_fraction(&self, node: NodeId) -> f64 {
+        self.weights
+            .partition_fraction(self.topology.partition_of(node))
+    }
+
+    /// The node weights.
+    pub fn weights(&self) -> &NodeWeights {
+        &self.weights
+    }
+
+    /// The committed state of `id` as stored on `node` (inspection).
+    pub fn entity_on(&self, node: NodeId, id: &ObjectId) -> Option<&EntityState> {
+        self.containers[node.index()].committed_entity(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection / repair
+    // ------------------------------------------------------------------
+
+    /// Splits the network into the given groups (unmentioned nodes
+    /// become singletons) and installs the new views.
+    pub fn partition(&mut self, groups: &[&[u32]]) {
+        self.topology.split(groups);
+        self.install_views();
+        self.mode = if self.topology.is_healthy() {
+            SystemMode::Healthy
+        } else {
+            SystemMode::Degraded
+        };
+    }
+
+    /// Isolates one node (models a crash).
+    pub fn isolate(&mut self, node: NodeId) {
+        self.topology.isolate(node);
+        self.install_views();
+        self.mode = SystemMode::Degraded;
+    }
+
+    /// Repairs all failures; the system enters the reconciliation
+    /// phase (run [`Cluster::reconcile`] to return to healthy).
+    pub fn heal(&mut self) {
+        self.topology.heal();
+        self.install_views();
+        self.mode = if self.needs_reconciliation() {
+            SystemMode::Reconciliation
+        } else {
+            SystemMode::Healthy
+        };
+    }
+
+    /// Whether degraded-mode residue (threats, unsynced replicas)
+    /// awaits reconciliation.
+    pub fn needs_reconciliation(&self) -> bool {
+        !self.ccm.threat_store().is_empty() || !self.replication.degraded_write_map().is_empty()
+    }
+
+    fn install_views(&mut self) {
+        for tracker in &mut self.view_trackers {
+            tracker.observe(&self.topology);
+        }
+    }
+
+    /// The installed view of `node`.
+    pub fn view_of(&self, node: NodeId) -> &dedisys_gms::View {
+        self.view_trackers[node.index()].current()
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction on `node`.
+    pub fn begin(&mut self, node: NodeId) -> TxId {
+        let tx = self.tx_manager.begin(node);
+        self.tx_infos.insert(tx, TxInfo::default());
+        tx
+    }
+
+    /// Registers a dynamic negotiation handler for `tx` (§4.2.3).
+    pub fn register_negotiation_handler(&mut self, tx: TxId, handler: Box<dyn NegotiationHandler>) {
+        self.ccm.register_negotiation_handler(tx, handler);
+    }
+
+    /// Rolls back `tx`, discarding all buffered changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchTransaction`] if unknown or terminated.
+    pub fn rollback(&mut self, tx: TxId) -> Result<()> {
+        self.tx_manager.rollback(tx)?;
+        self.abort_cleanup(tx);
+        Ok(())
+    }
+
+    fn abort_cleanup(&mut self, tx: TxId) {
+        if let Some(info) = self.tx_infos.remove(&tx) {
+            for node in info.involved {
+                self.containers[node.index()].rollback(tx);
+            }
+        }
+        self.locks.release_all(tx);
+        self.ccm.clear_tx(tx);
+    }
+
+    /// Commits `tx`: validates pending soft/async constraints (the
+    /// CCMgr's prepare vote), applies buffered writes and propagates
+    /// updates to reachable backups.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::RollbackOnly`] — the transaction was vetoed earlier.
+    /// * [`Error::ConstraintViolated`] / [`Error::ThreatRejected`] — a
+    ///   soft constraint failed at prepare; everything is rolled back.
+    pub fn commit(&mut self, tx: TxId) -> Result<()> {
+        if !self.tx_manager.is_active(tx) {
+            return Err(Error::NoSuchTransaction(tx));
+        }
+        if self.tx_manager.is_rollback_only(tx) {
+            let _ = self.tx_manager.commit(tx); // transitions to rolled back
+            self.abort_cleanup(tx);
+            return Err(Error::RollbackOnly(tx));
+        }
+        // CCM prepare: soft and async invariants (§4.2.3, soft
+        // constraints checked at the end of the transaction).
+        if self.ccm_enabled {
+            if let Err(e) = self.prepare_constraints(tx) {
+                let _ = self.tx_manager.rollback(tx);
+                self.abort_cleanup(tx);
+                return Err(e);
+            }
+        }
+        self.tx_manager.commit(tx)?;
+        let info = self.tx_infos.remove(&tx).unwrap_or_default();
+        // Apply buffers and collect written objects per node.
+        let mut all_written: Vec<(NodeId, ObjectId, bool)> = Vec::new();
+        let mut all_deleted: Vec<(NodeId, ObjectId)> = Vec::new();
+        for node in &info.involved {
+            let (written, deleted) = self.containers[node.index()].commit(tx);
+            for id in written {
+                let created = info.created.contains_key(&id);
+                all_written.push((*node, id, created));
+            }
+            for id in deleted {
+                all_deleted.push((*node, id));
+            }
+        }
+        // Persist + propagate.
+        for (node, id, created) in &all_written {
+            self.clock.advance(self.costs.db_write);
+            if *created {
+                self.clock.advance(self.costs.create_extra);
+                self.metrics.creates += 1;
+                if self.replication_enabled {
+                    // Replica metadata (JNDI name, key, creation
+                    // request) is persisted too (§5.1).
+                    self.clock.advance(self.costs.db_write);
+                    if let Some((replicas, primary)) = info.created.get(id) {
+                        self.replication.register_object(
+                            id.clone(),
+                            replicas.iter().copied(),
+                            *primary,
+                        )?;
+                    }
+                }
+            }
+            if self.replication_enabled {
+                let report = self.replication.propagate_update(
+                    id,
+                    *node,
+                    &self.topology,
+                    &mut self.containers,
+                    self.clock.now(),
+                );
+                self.clock
+                    .advance(self.costs.propagation(report.recipients.len()));
+            }
+        }
+        for (node, id) in &all_deleted {
+            self.clock.advance(self.costs.db_write);
+            self.metrics.deletes += 1;
+            if self.replication_enabled {
+                let report = self.replication.propagate_update(
+                    id,
+                    *node,
+                    &self.topology,
+                    &mut self.containers,
+                    self.clock.now(),
+                );
+                self.clock
+                    .advance(self.costs.propagation(report.recipients.len()));
+                self.replication.unregister_object(id);
+            }
+        }
+        self.locks.release_all(tx);
+        self.ccm.clear_tx(tx);
+        Ok(())
+    }
+
+    fn prepare_constraints(&mut self, tx: TxId) -> Result<()> {
+        let origin = tx.node;
+        let pending = self.ccm.take_pending(tx);
+        for check in pending {
+            let constraint = check.constraint.as_ref();
+            match constraint.meta.kind {
+                ConstraintKind::AsyncInvariant
+                    if self.topology.partition_of(origin).len()
+                        < self.topology.node_count() as usize =>
+                {
+                    // §5.5.3: degraded mode — no validation, no
+                    // negotiation; record the threat directly.
+                    let outcome = self.ccm.record_async_threat(
+                        constraint,
+                        check.context_object.clone(),
+                        tx,
+                        self.clock.now(),
+                    );
+                    self.charge_threat_storage(outcome);
+                }
+                _ => {
+                    self.run_one_validation(
+                        origin,
+                        tx,
+                        constraint,
+                        check.context_object.clone(),
+                        None,
+                        BTreeMap::new(),
+                    )?;
+                }
+            }
+        }
+        // §5.4: the transaction blocks before commit until all deferred
+        // negotiation decisions are available.
+        let deferred_count = self.ccm.deferred_len(tx) as u64;
+        let outcomes = self.ccm.negotiate_deferred(tx)?;
+        self.clock.advance(self.costs.negotiation * deferred_count);
+        for outcome in outcomes {
+            self.charge_threat_storage(outcome);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Entity operations
+    // ------------------------------------------------------------------
+
+    /// Creates `entity` within `tx`, replicated on every node with the
+    /// creating node as primary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container failures (unknown class, duplicate id).
+    pub fn create(&mut self, node: NodeId, tx: TxId, entity: EntityState) -> Result<()> {
+        let replicas: Vec<NodeId> = self.topology.nodes().collect();
+        self.create_bound(node, tx, entity, replicas, node)
+    }
+
+    /// Creates `entity` with an explicit replica set and primary — the
+    /// DTMS "strong ownership" case (§1.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates container failures; [`Error::NoSuchTransaction`] for
+    /// unknown transactions.
+    pub fn create_bound(
+        &mut self,
+        node: NodeId,
+        tx: TxId,
+        entity: EntityState,
+        replicas: Vec<NodeId>,
+        primary: NodeId,
+    ) -> Result<()> {
+        if !self.tx_manager.is_active(tx) {
+            return Err(Error::NoSuchTransaction(tx));
+        }
+        self.clock.advance(self.costs.base_invocation);
+        if self.replication_enabled {
+            self.clock.advance(self.costs.replication_interceptor);
+        }
+        if self.ccm_enabled {
+            self.clock.advance(self.costs.ccm_interceptor);
+        }
+        let id = entity.id().clone();
+        // The create executes on the object's primary — a node outside
+        // the replica set never materializes a copy.
+        let exec = if self.replication_enabled {
+            if !self.topology.reachable(node, primary) {
+                return Err(Error::NodeUnreachable(primary));
+            }
+            primary
+        } else {
+            node
+        };
+        if exec != node {
+            self.clock.advance(self.costs.net_hop * 2);
+        }
+        self.locks.acquire(tx, &id)?;
+        self.containers[exec.index()].create(tx, entity)?;
+        let info = self.tx_infos.entry(tx).or_default();
+        info.involved.insert(exec);
+        info.created.insert(id, (replicas, primary));
+        Ok(())
+    }
+
+    /// Deletes `id` within `tx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock conflicts and container failures.
+    pub fn delete(&mut self, node: NodeId, tx: TxId, id: &ObjectId) -> Result<()> {
+        if !self.tx_manager.is_active(tx) {
+            return Err(Error::NoSuchTransaction(tx));
+        }
+        self.clock.advance(self.costs.base_invocation);
+        if self.replication_enabled {
+            self.clock.advance(self.costs.replication_interceptor);
+        }
+        if self.ccm_enabled {
+            self.clock.advance(self.costs.ccm_interceptor);
+        }
+        let exec = if self.replication_enabled {
+            self.replication.write_target(id, node, &self.topology)?
+        } else {
+            node
+        };
+        if exec != node {
+            self.clock.advance(self.costs.net_hop * 2);
+        }
+        self.locks.acquire(tx, id)?;
+        self.containers[exec.index()].delete(tx, id)?;
+        self.tx_infos.entry(tx).or_default().involved.insert(exec);
+        Ok(())
+    }
+
+    /// Invokes `method` on `target` within `tx` — the central
+    /// client-facing operation, passing through interception,
+    /// constraint consistency management and replication.
+    ///
+    /// # Errors
+    ///
+    /// * Availability errors (unreachable object, blocked writes, no
+    ///   quorum) depending on the protocol and topology.
+    /// * [`Error::ConstraintViolated`] / [`Error::ThreatRejected`] —
+    ///   the transaction is marked rollback-only.
+    pub fn invoke(
+        &mut self,
+        node: NodeId,
+        tx: TxId,
+        target: &ObjectId,
+        method: impl Into<MethodName>,
+        args: Vec<Value>,
+    ) -> Result<Value> {
+        let method = method.into();
+        self.metrics.invocations += 1;
+        // Pass the reified invocation through the deployed interceptor
+        // chain (Figure 4.5) around the middleware pipeline. The chain
+        // is configurable at runtime — the `standardjboss.xml`
+        // extension point the original prototype hooked into.
+        let mut chain = std::mem::take(&mut self.hooks);
+        let mut info = HookInfo {
+            node,
+            mode: self.mode,
+            at: self.clock.now(),
+        };
+        let mut inv = Invocation::new(tx, target.clone(), method, args);
+        let result = chain.invoke(&mut info, &mut inv, |_, inv| {
+            self.invoke_inner(node, tx, &inv.target, inv.method.clone(), inv.args.clone())
+        });
+        self.hooks = chain;
+        if result.is_err() {
+            self.metrics.failed_invocations += 1;
+        }
+        result
+    }
+
+    /// Appends an application/operator interceptor to the invocation
+    /// chain (runs around every [`Cluster::invoke`] — auditing,
+    /// security vetoes, custom payload attachment, …).
+    pub fn add_interceptor(
+        &mut self,
+        interceptor: Box<dyn dedisys_object::Interceptor<HookInfo> + Send>,
+    ) {
+        self.hooks.push(interceptor);
+    }
+
+    fn invoke_inner(
+        &mut self,
+        node: NodeId,
+        tx: TxId,
+        target: &ObjectId,
+        method: MethodName,
+        args: Vec<Value>,
+    ) -> Result<Value> {
+        if !self.tx_manager.is_active(tx) {
+            return Err(Error::NoSuchTransaction(tx));
+        }
+        // Deployment check + method kind.
+        let class = self
+            .app
+            .class(target.class())
+            .ok_or_else(|| Error::ClassNotDeployed(target.class().to_string()))?;
+        let kind = class
+            .method(&method)
+            .map(dedisys_object::MethodDescriptor::kind)
+            .unwrap_or(MethodKind::Write); // safe side (§5.1)
+
+        // Base invocation + interceptor costs.
+        self.clock.advance(self.costs.base_invocation);
+        if self.replication_enabled {
+            self.clock.advance(self.costs.replication_interceptor);
+        }
+        if self.ccm_enabled {
+            self.clock.advance(self.costs.ccm_interceptor);
+        }
+
+        // Choose the executing node.
+        let exec = match kind {
+            MethodKind::Write => {
+                if self.replication_enabled {
+                    self.replication
+                        .write_target(target, node, &self.topology)?
+                } else {
+                    node
+                }
+            }
+            MethodKind::Read => self.read_target(node, tx, target)?,
+        };
+        if exec != node {
+            self.clock.advance(self.costs.net_hop * 2);
+        }
+        if kind == MethodKind::Write {
+            self.locks.acquire(tx, target)?;
+        }
+        self.tx_infos.entry(tx).or_default().involved.insert(exec);
+
+        let inv = Invocation::new(tx, target.clone(), method.clone(), args.clone());
+        let sig = inv.signature();
+
+        // --- CCM before-invocation: preconditions + @pre snapshots ---
+        if self.ccm_enabled {
+            let pres = self.repository.lookup(&sig, LookupKind::Precondition);
+            for constraint in &pres {
+                let call = CallInfo {
+                    target: target.clone(),
+                    method: method.clone(),
+                    args: args.clone(),
+                    result: None,
+                };
+                if let Err(e) = self.run_one_validation(
+                    exec,
+                    tx,
+                    constraint,
+                    Some(target.clone()),
+                    Some(&call),
+                    BTreeMap::new(),
+                ) {
+                    let _ = self.tx_manager.set_rollback_only(tx);
+                    return Err(e);
+                }
+            }
+            // Postconditions snapshot @pre state.
+            let posts = self.repository.lookup(&sig, LookupKind::Postcondition);
+            for constraint in &posts {
+                let mut access = ReplicaAccess::new(
+                    &mut self.containers,
+                    &self.replication,
+                    &self.topology,
+                    exec,
+                    tx,
+                );
+                let mut ctx = ValidationContext::for_method(
+                    target.clone(),
+                    method.clone(),
+                    args.clone(),
+                    &mut access,
+                );
+                constraint.implementation.before_method_invocation(&mut ctx);
+                let pre = ctx.take_pre_state();
+                drop(ctx);
+                self.ccm
+                    .store_pre_state(tx, constraint.name().as_str(), pre);
+            }
+        }
+
+        // --- Dispatch ---
+        let result =
+            self.methods
+                .dispatch(&mut self.containers[exec.index()], &inv, self.clock.now());
+        if kind == MethodKind::Read {
+            self.clock.advance(self.costs.db_read);
+        }
+        let value = match result {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = self.tx_manager.set_rollback_only(tx);
+                return Err(e);
+            }
+        };
+
+        // --- CCM after-invocation: postconditions + invariants ---
+        if self.ccm_enabled {
+            let posts = self.repository.lookup(&sig, LookupKind::Postcondition);
+            for constraint in &posts {
+                let pre = self.ccm.take_pre_state(tx, constraint.name().as_str());
+                let call = CallInfo {
+                    target: target.clone(),
+                    method: method.clone(),
+                    args: args.clone(),
+                    result: Some(value.clone()),
+                };
+                if let Err(e) = self.run_one_validation(
+                    exec,
+                    tx,
+                    constraint,
+                    Some(target.clone()),
+                    Some(&call),
+                    pre,
+                ) {
+                    let _ = self.tx_manager.set_rollback_only(tx);
+                    return Err(e);
+                }
+            }
+            let invariants = self.repository.lookup(&sig, LookupKind::Invariant);
+            for constraint in invariants {
+                // Resolve the context object (§4.2.2).
+                let preparation = constraint
+                    .preparation_for(&sig)
+                    .cloned()
+                    .unwrap_or(dedisys_constraints::ContextPreparation::CalledObject);
+                let context_object = {
+                    let mut access = ReplicaAccess::new(
+                        &mut self.containers,
+                        &self.replication,
+                        &self.topology,
+                        exec,
+                        tx,
+                    );
+                    match preparation.resolve(target, &mut access) {
+                        Ok(ctx_obj) => ctx_obj,
+                        Err(Error::ObjectUnreachable(_)) => {
+                            // Context preparation itself hit an
+                            // unreachable object: treat the constraint
+                            // as uncheckable via a no-context check.
+                            None
+                        }
+                        Err(e) => {
+                            let _ = self.tx_manager.set_rollback_only(tx);
+                            return Err(e);
+                        }
+                    }
+                };
+                match constraint.meta.kind {
+                    ConstraintKind::HardInvariant => {
+                        if let Err(e) = self.run_one_validation(
+                            exec,
+                            tx,
+                            &constraint,
+                            context_object,
+                            None,
+                            BTreeMap::new(),
+                        ) {
+                            let _ = self.tx_manager.set_rollback_only(tx);
+                            return Err(e);
+                        }
+                    }
+                    ConstraintKind::SoftInvariant | ConstraintKind::AsyncInvariant => {
+                        self.ccm.register_pending(
+                            tx,
+                            PendingCheck {
+                                constraint: constraint.clone(),
+                                context_object,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(value)
+    }
+
+    fn read_target(&self, node: NodeId, tx: TxId, target: &ObjectId) -> Result<NodeId> {
+        if self.containers[node.index()].exists(tx, target) {
+            return Ok(node);
+        }
+        let partition = self.topology.partition_of(node);
+        partition
+            .iter()
+            .find(|n| {
+                self.containers[n.index()]
+                    .committed_entity(target)
+                    .is_some()
+            })
+            .copied()
+            .ok_or_else(|| Error::ObjectUnreachable(target.clone()))
+    }
+
+    /// Validates one constraint end to end: validation, staleness
+    /// adjustment, negotiation, threat storage and cost charging.
+    pub(crate) fn run_one_validation(
+        &mut self,
+        exec: NodeId,
+        tx: TxId,
+        constraint: &RegisteredConstraint,
+        context_object: Option<ObjectId>,
+        call: Option<&CallInfo>,
+        pre_state: BTreeMap<String, Value>,
+    ) -> Result<()> {
+        let partition_weight = self.partition_fraction(exec);
+        let mut access = ReplicaAccess::new(
+            &mut self.containers,
+            &self.replication,
+            &self.topology,
+            exec,
+            tx,
+        );
+        let verdict = self.ccm.validate_constraint(
+            constraint,
+            context_object.as_ref(),
+            call,
+            pre_state,
+            &mut access,
+            partition_weight,
+            self.clock.now(),
+        )?;
+        self.clock.advance(self.costs.constraint_check);
+        let was_threat = verdict.degree.is_threat();
+        let outcome =
+            self.ccm
+                .process_verdict(constraint, context_object, verdict, tx, self.clock.now())?;
+        if was_threat {
+            self.clock.advance(self.costs.negotiation);
+        }
+        if let Some(outcome) = outcome {
+            self.charge_threat_storage(outcome);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn charge_threat_storage(&mut self, outcome: StoreOutcome) {
+        let identities = self.ccm.threat_store().identities().len() as u64;
+        match outcome {
+            StoreOutcome::Stored => {
+                self.clock.advance(self.costs.threat_new_fixed);
+                self.clock
+                    .advance(self.costs.threat_scan_per_identity * identities.saturating_sub(1));
+            }
+            StoreOutcome::LinkedOccurrence => {
+                self.clock.advance(self.costs.threat_link_fixed);
+                self.clock
+                    .advance(self.costs.threat_scan_per_identity * identities.saturating_sub(1));
+            }
+            StoreOutcome::Deduplicated => {
+                self.clock.advance(self.costs.threat_dedup_read);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience accessors used by examples and benches
+    // ------------------------------------------------------------------
+
+    /// Invokes the conventional setter for `field`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::invoke`].
+    pub fn set_field(
+        &mut self,
+        node: NodeId,
+        tx: TxId,
+        target: &ObjectId,
+        field: &str,
+        value: Value,
+    ) -> Result<()> {
+        self.invoke(node, tx, target, setter_name(field), vec![value])
+            .map(|_| ())
+    }
+
+    /// Invokes the conventional getter for `field`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::invoke`].
+    pub fn get_field(
+        &mut self,
+        node: NodeId,
+        tx: TxId,
+        target: &ObjectId,
+        field: &str,
+    ) -> Result<Value> {
+        self.invoke(node, tx, target, getter_name(field), vec![])
+    }
+
+    pub(crate) fn replication_and_containers(
+        &mut self,
+    ) -> (&mut ReplicationManager, &mut [EntityContainer]) {
+        (&mut self.replication, &mut self.containers)
+    }
+
+    pub(crate) fn recon_env(&mut self) -> (&SimClock, &CostModel, &mut [EntityContainer]) {
+        (&self.clock, &self.costs, &mut self.containers)
+    }
+
+    pub(crate) fn validation_env(
+        &mut self,
+    ) -> (
+        &ReplicationManager,
+        &mut [EntityContainer],
+        &Topology,
+        &mut Ccm,
+    ) {
+        (
+            &self.replication,
+            &mut self.containers,
+            &self.topology,
+            &mut self.ccm,
+        )
+    }
+
+    /// Runs `f` inside a fresh transaction on `node`, committing on
+    /// success and rolling back on failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the closure's error (after rollback) or the commit
+    /// failure.
+    pub fn run_tx<T>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Cluster, TxId) -> Result<T>,
+    ) -> Result<T> {
+        let tx = self.begin(node);
+        match f(self, tx) {
+            Ok(value) => {
+                self.commit(tx)?;
+                Ok(value)
+            }
+            Err(e) => {
+                let _ = self.rollback(tx);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The conventional setter name for a field (`sold` → `setSold`).
+pub fn setter_name(field: &str) -> String {
+    format!("set{}", capitalize(field))
+}
+
+/// The conventional getter name for a field (`sold` → `getSold`).
+pub fn getter_name(field: &str) -> String {
+    format!("get{}", capitalize(field))
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}

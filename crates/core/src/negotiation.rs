@@ -1,0 +1,238 @@
+//! Consistency-threat negotiation (§3.2.1, Figure 3.3).
+
+use crate::threat::ConsistencyThreat;
+use dedisys_constraints::RegisteredConstraint;
+use dedisys_types::{SatisfactionDegree, VersionInfo};
+use std::collections::BTreeMap;
+
+/// Outcome of negotiating one threat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreatDecision {
+    /// Continue the operation; the threat is persisted for
+    /// reconciliation.
+    Accept,
+    /// Abort the current operation/transaction.
+    Reject,
+}
+
+/// Dynamic (algorithmic) negotiation callback, registered per
+/// transaction (§4.2.3) — with or without user intervention.
+pub trait NegotiationHandler: Send {
+    /// Decides whether to accept the threat. The handler may enrich
+    /// the threat with application data and reconciliation
+    /// instructions before it is persisted (§3.2.2).
+    fn negotiate(&mut self, threat: &mut ConsistencyThreat) -> ThreatDecision;
+}
+
+impl<F> NegotiationHandler for F
+where
+    F: FnMut(&mut ConsistencyThreat) -> ThreatDecision + Send,
+{
+    fn negotiate(&mut self, threat: &mut ConsistencyThreat) -> ThreatDecision {
+        self(threat)
+    }
+}
+
+/// Which mechanism produced a decision (for diagnostics/metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegotiationPath {
+    /// Non-tradeable constraint: rejected automatically.
+    NonTradeable,
+    /// Dynamic handler bound to the transaction.
+    Dynamic,
+    /// Static (descriptive) per-constraint declaration.
+    Static,
+    /// Application-wide default minimum satisfaction degree.
+    Default,
+}
+
+/// Performs the prioritized negotiation of Figure 3.3:
+/// dynamic handler ≻ static declaration ≻ application default.
+///
+/// `version_infos` supplies the freshness information of the threat's
+/// possibly stale objects (keyed by object display name) for the static
+/// path's freshness criteria.
+pub fn negotiate(
+    constraint: &RegisteredConstraint,
+    threat: &mut ConsistencyThreat,
+    dynamic: Option<&mut dyn NegotiationHandler>,
+    version_infos: &BTreeMap<String, (dedisys_types::ClassName, VersionInfo)>,
+    app_default_min_degree: SatisfactionDegree,
+) -> (ThreatDecision, NegotiationPath) {
+    // Non-tradeable constraints reject automatically (§3.2).
+    if !constraint.is_tradeable() {
+        return (ThreatDecision::Reject, NegotiationPath::NonTradeable);
+    }
+    // Dynamic negotiation has priority.
+    if let Some(handler) = dynamic {
+        return (handler.negotiate(threat), NegotiationPath::Dynamic);
+    }
+    // Static (descriptive): satisfaction degree + freshness criteria.
+    let meta = &constraint.meta;
+    let statically_declared =
+        meta.min_satisfaction_degree != SatisfactionDegree::Satisfied || !meta.freshness.is_empty();
+    if statically_declared {
+        let degree_ok = threat.degree >= meta.min_satisfaction_degree;
+        let freshness_ok = meta.freshness.iter().all(|criterion| {
+            version_infos
+                .values()
+                .filter(|(class, _)| class == &criterion.class)
+                .all(|(_, info)| criterion.accepts(*info))
+        });
+        let decision = if degree_ok && freshness_ok {
+            ThreatDecision::Accept
+        } else {
+            ThreatDecision::Reject
+        };
+        return (decision, NegotiationPath::Static);
+    }
+    // Application-wide default.
+    let decision = if threat.degree >= app_default_min_degree {
+        ThreatDecision::Accept
+    } else {
+        ThreatDecision::Reject
+    };
+    (decision, NegotiationPath::Default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_constraints::{ConstraintMeta, FreshnessCriterion, ValidationContext};
+    use dedisys_types::{ClassName, ConstraintName, NodeId, ObjectId, SimTime, TxId, Version};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn threat(degree: SatisfactionDegree) -> ConsistencyThreat {
+        ConsistencyThreat {
+            constraint: ConstraintName::from("C"),
+            context_object: Some(ObjectId::new("Flight", "F1")),
+            degree,
+            affected_objects: BTreeSet::new(),
+            app_data: None,
+            instructions: Default::default(),
+            occurred_at: SimTime::ZERO,
+            tx: TxId::new(NodeId(0), 1),
+        }
+    }
+
+    fn constraint(meta: ConstraintMeta) -> RegisteredConstraint {
+        RegisteredConstraint::new(meta, Arc::new(|_: &mut ValidationContext<'_>| Ok(true)))
+    }
+
+    fn no_infos() -> BTreeMap<String, (ClassName, VersionInfo)> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn non_tradeable_rejects_automatically() {
+        let c = constraint(ConstraintMeta::new("C"));
+        let (d, path) = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::PossiblySatisfied),
+            None,
+            &no_infos(),
+            SatisfactionDegree::Uncheckable,
+        );
+        assert_eq!(d, ThreatDecision::Reject);
+        assert_eq!(path, NegotiationPath::NonTradeable);
+    }
+
+    #[test]
+    fn dynamic_handler_takes_priority() {
+        let c = constraint(
+            ConstraintMeta::new("C").tradeable(SatisfactionDegree::Satisfied), // static would reject
+        );
+        let mut handler = |_: &mut ConsistencyThreat| ThreatDecision::Accept;
+        let (d, path) = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::Uncheckable),
+            Some(&mut handler),
+            &no_infos(),
+            SatisfactionDegree::Satisfied,
+        );
+        assert_eq!(d, ThreatDecision::Accept);
+        assert_eq!(path, NegotiationPath::Dynamic);
+    }
+
+    #[test]
+    fn static_declaration_compares_degrees() {
+        let c =
+            constraint(ConstraintMeta::new("C").tradeable(SatisfactionDegree::PossiblySatisfied));
+        let accept = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::PossiblySatisfied),
+            None,
+            &no_infos(),
+            SatisfactionDegree::Satisfied,
+        );
+        assert_eq!(accept.0, ThreatDecision::Accept);
+        assert_eq!(accept.1, NegotiationPath::Static);
+        let reject = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::PossiblyViolated),
+            None,
+            &no_infos(),
+            SatisfactionDegree::Satisfied,
+        );
+        assert_eq!(reject.0, ThreatDecision::Reject);
+    }
+
+    #[test]
+    fn static_freshness_criteria_bound_acceptance() {
+        let c = constraint(
+            ConstraintMeta::new("C")
+                .tradeable(SatisfactionDegree::Uncheckable)
+                .with_freshness(FreshnessCriterion::new("Flight", 2)),
+        );
+        let mut infos = no_infos();
+        infos.insert(
+            "Flight#F1".into(),
+            (
+                ClassName::from("Flight"),
+                VersionInfo::new(Version(3), Version(5)),
+            ),
+        );
+        let (d, _) = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::PossiblySatisfied),
+            None,
+            &infos,
+            SatisfactionDegree::Satisfied,
+        );
+        assert_eq!(d, ThreatDecision::Accept, "2 missed updates ≤ 2");
+        infos.insert(
+            "Flight#F1".into(),
+            (
+                ClassName::from("Flight"),
+                VersionInfo::new(Version(3), Version(8)),
+            ),
+        );
+        let (d, _) = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::PossiblySatisfied),
+            None,
+            &infos,
+            SatisfactionDegree::Satisfied,
+        );
+        assert_eq!(d, ThreatDecision::Reject, "5 missed updates > 2");
+    }
+
+    #[test]
+    fn app_default_applies_without_declarations() {
+        let mut meta = ConstraintMeta::new("C");
+        meta.priority = dedisys_constraints::ConstraintPriority::Tradeable;
+        // min degree stays Satisfied and no freshness: not "statically
+        // declared", falls through to the app default.
+        let c = constraint(meta);
+        let (d, path) = negotiate(
+            &c,
+            &mut threat(SatisfactionDegree::Uncheckable),
+            None,
+            &no_infos(),
+            SatisfactionDegree::Uncheckable,
+        );
+        assert_eq!(d, ThreatDecision::Accept);
+        assert_eq!(path, NegotiationPath::Default);
+    }
+}

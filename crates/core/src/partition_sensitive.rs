@@ -1,0 +1,131 @@
+//! Partition-sensitive integrity constraints (§5.5.2).
+//!
+//! With Gifford-style node weights, the GMS exposes the weight of the
+//! current partition relative to the whole system (the middleware sets
+//! the `"partitionWeight"` environment value on every validation
+//! context). Data can then be partitioned at runtime: the ticket
+//! constraint saves the number of tickets sold in healthy mode and, in
+//! degraded mode, grants each partition a share `tₓ` of the remaining
+//! tickets proportional to its weight (`t = Σ tₓ`) — so overbooking is
+//! (almost) never introduced even though every partition keeps
+//! selling.
+
+use dedisys_constraints::{Constraint, ValidationContext};
+use dedisys_types::{Result, Value};
+use parking_lot::Mutex;
+
+/// Share of a quantity granted to a partition with the given weight
+/// fraction (rounded down — conservative).
+pub fn partition_share(remaining: i64, fraction: f64) -> i64 {
+    if remaining <= 0 {
+        return 0;
+    }
+    ((remaining as f64) * fraction).floor() as i64
+}
+
+/// The partition-sensitive variant of the ticket constraint.
+///
+/// * Healthy mode: plain `sold ≤ seats`, additionally snapshotting the
+///   healthy sales level.
+/// * Degraded mode: `sold − sold_healthy ≤ ⌊(seats − sold_healthy) ·
+///   w⌋` where `w` is the partition's weight fraction — each partition
+///   sells only its share.
+#[derive(Debug)]
+pub struct PartitionSensitiveTicketConstraint {
+    seats_field: String,
+    sold_field: String,
+    healthy_sold: Mutex<i64>,
+}
+
+impl PartitionSensitiveTicketConstraint {
+    /// Creates the constraint over the given fields.
+    pub fn new(seats_field: impl Into<String>, sold_field: impl Into<String>) -> Self {
+        Self {
+            seats_field: seats_field.into(),
+            sold_field: sold_field.into(),
+            healthy_sold: Mutex::new(0),
+        }
+    }
+
+    /// The last healthy-mode sales snapshot.
+    pub fn healthy_sold(&self) -> i64 {
+        *self.healthy_sold.lock()
+    }
+}
+
+impl Constraint for PartitionSensitiveTicketConstraint {
+    fn validate(&self, ctx: &mut ValidationContext<'_>) -> Result<bool> {
+        let seats = ctx.self_field(&self.seats_field)?.as_int().unwrap_or(0);
+        let sold = ctx.self_field(&self.sold_field)?.as_int().unwrap_or(0);
+        let healthy = ctx.env("healthy").and_then(Value::as_bool).unwrap_or(true);
+        if healthy {
+            *self.healthy_sold.lock() = sold;
+            return Ok(sold <= seats);
+        }
+        let fraction = ctx
+            .env("partitionWeight")
+            .and_then(Value::as_float)
+            .unwrap_or(1.0);
+        let baseline = *self.healthy_sold.lock();
+        let remaining = seats - baseline;
+        let share = partition_share(remaining, fraction);
+        Ok(sold - baseline <= share)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_constraints::MapAccess;
+    use dedisys_types::ObjectId;
+
+    fn world(sold: i64, seats: i64) -> (MapAccess, ObjectId) {
+        let id = ObjectId::new("Flight", "F1");
+        let mut w = MapAccess::new();
+        w.put_field(&id, "seats", Value::Int(seats));
+        w.put_field(&id, "sold", Value::Int(sold));
+        (w, id)
+    }
+
+    #[test]
+    fn shares_round_down() {
+        assert_eq!(partition_share(10, 1.0 / 3.0), 3);
+        assert_eq!(partition_share(10, 2.0 / 3.0), 6);
+        assert_eq!(partition_share(0, 0.5), 0);
+        assert_eq!(partition_share(-5, 0.5), 0);
+    }
+
+    #[test]
+    fn healthy_mode_checks_plain_capacity_and_snapshots() {
+        let c = PartitionSensitiveTicketConstraint::new("seats", "sold");
+        let (mut w, id) = world(70, 80);
+        let mut ctx = ValidationContext::for_invariant(id, &mut w);
+        ctx.set_env("healthy", Value::Bool(true));
+        assert_eq!(c.validate(&mut ctx), Ok(true));
+        assert_eq!(c.healthy_sold(), 70);
+    }
+
+    #[test]
+    fn degraded_partition_limited_to_its_share() {
+        let c = PartitionSensitiveTicketConstraint::new("seats", "sold");
+        // Healthy snapshot at 70 of 80 → 10 remaining.
+        {
+            let (mut w, id) = world(70, 80);
+            let mut ctx = ValidationContext::for_invariant(id, &mut w);
+            ctx.set_env("healthy", Value::Bool(true));
+            c.validate(&mut ctx).unwrap();
+        }
+        // Partition with 1/2 weight may sell 5 more.
+        let (mut w, id) = world(75, 80);
+        let mut ctx = ValidationContext::for_invariant(id.clone(), &mut w);
+        ctx.set_env("healthy", Value::Bool(false));
+        ctx.set_env("partitionWeight", Value::Float(0.5));
+        assert_eq!(c.validate(&mut ctx), Ok(true), "75 ≤ 70 + 5");
+
+        let (mut w, id) = world(76, 80);
+        let mut ctx = ValidationContext::for_invariant(id, &mut w);
+        ctx.set_env("healthy", Value::Bool(false));
+        ctx.set_env("partitionWeight", Value::Float(0.5));
+        assert_eq!(c.validate(&mut ctx), Ok(false), "76 > 70 + 5");
+    }
+}

@@ -1,0 +1,431 @@
+//! The reconciliation phase (§3.3, §4.4, Figure 4.6).
+//!
+//! Two steps: the replication service first re-establishes replica
+//! consistency (missed-update propagation, write-write conflict
+//! resolution via the replica-consistency handler), then the CCMgr
+//! re-evaluates accepted consistency threats and — for actual
+//! violations — runs the rollback search and/or the application's
+//! constraint-reconciliation handler, which may resolve immediately or
+//! defer (§4.4).
+
+use crate::ccm::ReplicaAccess;
+use crate::cluster::Cluster;
+use crate::threat::{ConsistencyThreat, ThreatIdentity};
+use dedisys_object::EntityState;
+use dedisys_replication::{ReconcileReport, ReplicaConflict, ReplicaConsistencyHandler};
+use dedisys_types::{
+    Error, NodeId, ObjectId, Result, SatisfactionDegree, SimDuration, SystemMode, TxId, Value,
+};
+use std::collections::BTreeMap;
+
+/// A constraint violation detected during reconciliation.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// The violated constraint + context object.
+    pub identity: ThreatIdentity,
+    /// The first stored threat record (carries app data and
+    /// instructions).
+    pub threat: ConsistencyThreat,
+}
+
+/// Direct repair operations offered to the reconciliation handler.
+///
+/// Writes bypass transactions and apply cluster-wide (the system is
+/// re-unified at this point); they model the compensating actions of
+/// the roll-forward approach (§5.2).
+pub struct ReconOps<'a> {
+    containers: &'a mut [dedisys_object::EntityContainer],
+    clock: &'a dedisys_net::SimClock,
+    costs: &'a crate::CostModel,
+    node_count: u32,
+}
+
+impl ReconOps<'_> {
+    /// Reads a field of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ObjectNotFound`] if no node holds the object.
+    pub fn read(&mut self, id: &ObjectId, field: &str) -> Result<Value> {
+        self.clock.advance(self.costs.db_read);
+        self.containers
+            .iter()
+            .find_map(|c| c.committed_entity(id))
+            .map(|e| e.field(field).clone())
+            .ok_or_else(|| Error::ObjectNotFound(id.clone()))
+    }
+
+    /// Writes a field of `id` on every node holding it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ObjectNotFound`] if no node holds the object.
+    pub fn write(&mut self, id: &ObjectId, field: &str, value: Value) -> Result<()> {
+        self.clock.advance(self.costs.db_write);
+        self.clock.advance(
+            self.costs
+                .propagation(self.node_count.saturating_sub(1) as usize),
+        );
+        let mut state = self
+            .containers
+            .iter()
+            .find_map(|c| c.committed_entity(id))
+            .cloned()
+            .ok_or_else(|| Error::ObjectNotFound(id.clone()))?;
+        state.set_field(field, value, self.clock.now());
+        for c in self.containers.iter_mut() {
+            if c.committed_entity(id).is_some() {
+                c.install_committed(state.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes `id` on every node (a compensating cancellation).
+    pub fn delete(&mut self, id: &ObjectId) {
+        self.clock.advance(self.costs.db_write);
+        for c in self.containers.iter_mut() {
+            c.remove_committed(id);
+        }
+    }
+}
+
+/// The application's constraint-reconciliation callback (Figure 4.6).
+pub trait ConstraintReconciliationHandler {
+    /// Called for each violated constraint. Return `true` when the
+    /// violation has been cleaned up immediately (the CCMgr re-validates
+    /// and removes the threat); return `false` to defer — the
+    /// middleware keeps the threat and later business operations that
+    /// satisfy the constraint clean it up (§4.4).
+    fn reconcile(&mut self, violation: &ViolationReport, ops: &mut ReconOps<'_>) -> bool;
+
+    /// Notification that a replica conflict touched the objects of a
+    /// threat whose constraint turned out *satisfied* (§3.3), requested
+    /// via [`crate::ReconcileInstructions::notify_on_replica_conflict`].
+    fn on_replica_conflict(&mut self, identity: &ThreatIdentity, conflict: &ReplicaConflict) {
+        let _ = (identity, conflict);
+    }
+}
+
+/// A handler that defers every violation (pure asynchronous
+/// reconciliation — the usual case per §5.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeferAll;
+
+impl ConstraintReconciliationHandler for DeferAll {
+    fn reconcile(&mut self, _violation: &ViolationReport, _ops: &mut ReconOps<'_>) -> bool {
+        false
+    }
+}
+
+impl<F> ConstraintReconciliationHandler for F
+where
+    F: FnMut(&ViolationReport, &mut ReconOps<'_>) -> bool,
+{
+    fn reconcile(&mut self, violation: &ViolationReport, ops: &mut ReconOps<'_>) -> bool {
+        self(violation, ops)
+    }
+}
+
+/// Outcome counters of the constraint-reconciliation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstraintReconcileReport {
+    /// Distinct threat identities re-evaluated.
+    pub re_evaluated: usize,
+    /// Threats whose constraints were satisfied (removed).
+    pub satisfied_removed: usize,
+    /// Actual violations detected.
+    pub violations: usize,
+    /// Violations resolved by rollback to a historical state.
+    pub resolved_by_rollback: usize,
+    /// Violations resolved immediately by the handler.
+    pub resolved_by_handler: usize,
+    /// Violations deferred to later application-driven cleanup.
+    pub deferred: usize,
+    /// Threats still threatened (postponed — partitions remain).
+    pub postponed: usize,
+    /// Replica-conflict notifications delivered for satisfied
+    /// constraints.
+    pub conflict_notifications: usize,
+}
+
+/// Summary of one full reconciliation run.
+#[derive(Debug, Clone, Default)]
+pub struct ReconciliationSummary {
+    /// Replica-reconciliation outcome.
+    pub replica: ReconcileReport,
+    /// Constraint-reconciliation outcome.
+    pub constraints: ConstraintReconcileReport,
+    /// Virtual time the replica step took.
+    pub replica_duration: SimDuration,
+    /// Virtual time the constraint step took.
+    pub constraint_duration: SimDuration,
+}
+
+impl Cluster {
+    /// Runs the two-step reconciliation phase. Call after
+    /// [`Cluster::heal`].
+    ///
+    /// Replica consistency is re-established *before* constraint
+    /// consistency (§5.2 justifies the ordering); conflict details are
+    /// forwarded to the constraint step.
+    pub fn reconcile(
+        &mut self,
+        replica_handler: &mut dyn ReplicaConsistencyHandler,
+        constraint_handler: &mut dyn ConstraintReconciliationHandler,
+    ) -> ReconciliationSummary {
+        assert!(
+            self.topology().is_healthy(),
+            "reconcile after heal — for partial re-unifications use reconcile_partial (§3.3)"
+        );
+        self.reconcile_scoped(NodeId(0), replica_handler, constraint_handler)
+    }
+
+    /// Reconciliation after a *partial* re-unification (§3.3): some
+    /// partitions merged while others remain. Only objects whose
+    /// degraded-mode writer partitions are all reachable from
+    /// `observer` are replica-reconciled; threats whose constraints
+    /// are still threatened (objects stale or unreachable) are
+    /// postponed until further partitions re-unify. The system returns
+    /// to degraded mode afterwards unless everything was resolved.
+    pub fn reconcile_partial(
+        &mut self,
+        observer: NodeId,
+        replica_handler: &mut dyn ReplicaConsistencyHandler,
+        constraint_handler: &mut dyn ConstraintReconciliationHandler,
+    ) -> ReconciliationSummary {
+        self.reconcile_scoped(observer, replica_handler, constraint_handler)
+    }
+
+    fn reconcile_scoped(
+        &mut self,
+        observer: NodeId,
+        replica_handler: &mut dyn ReplicaConsistencyHandler,
+        constraint_handler: &mut dyn ConstraintReconciliationHandler,
+    ) -> ReconciliationSummary {
+        self.mode = SystemMode::Reconciliation;
+        let mut summary = ReconciliationSummary::default();
+
+        // Step 1: replica reconciliation.
+        let t0 = self.clock().now();
+        let topology = self.topology().clone();
+        let replica_report = {
+            let (replication, containers) = self.replication_and_containers();
+            replication.reconcile_replicas_scoped(&topology, observer, containers, replica_handler)
+        };
+        // Charge: every missed update/conflict resolution is one
+        // propagation round; conflict resolution additionally reads the
+        // divergent states.
+        let per_install = self
+            .costs()
+            .propagation(self.node_count().saturating_sub(1) as usize);
+        let installs = replica_report.missed_updates + replica_report.conflicts.len() as u64;
+        self.clock().advance(per_install * installs);
+        let conflict_reads: u64 = replica_report
+            .conflicts
+            .iter()
+            .map(|(c, _)| c.candidates.len() as u64)
+            .sum();
+        self.clock().advance(self.costs().db_read * conflict_reads);
+        // Missed updates *include the consistency threats* gathered in
+        // the other partitions (§4.4): every stored threat record is
+        // synchronized, which is why replica reconciliation scales
+        // worse under the full-history policy (Figure 5.6).
+        let threat_records = self.ccm.threat_store().len() as u64;
+        self.clock()
+            .advance((self.costs().db_write + self.costs().net_hop * 2) * threat_records);
+        summary.replica_duration = self.clock().now().since(t0);
+
+        // Step 2: constraint reconciliation.
+        let t1 = self.clock().now();
+        summary.constraints =
+            self.reconcile_constraints(observer, &replica_report, constraint_handler);
+        summary.constraint_duration = self.clock().now().since(t1);
+        summary.replica = replica_report;
+
+        // Fully healed: drop the degraded bookkeeping and return to
+        // healthy. After a partial re-unification the system stays
+        // degraded and keeps its histories for the remaining objects.
+        if self.topology().is_healthy() {
+            self.replication.clear_degraded_state();
+            self.mode = SystemMode::Healthy;
+        } else {
+            self.mode = SystemMode::Degraded;
+        }
+        summary
+    }
+
+    fn reconcile_constraints(
+        &mut self,
+        observer: NodeId,
+        replica_report: &ReconcileReport,
+        handler: &mut dyn ConstraintReconciliationHandler,
+    ) -> ConstraintReconcileReport {
+        let mut report = ConstraintReconcileReport::default();
+        let recon_tx = self.begin(observer);
+        let identities = self.ccm.threat_store().identities();
+        for identity in identities {
+            report.re_evaluated += 1;
+            // Load the threat record (database read).
+            self.clock().advance(self.costs().db_read);
+            let Some(first) = self.ccm.threat_store().first_of(&identity).cloned() else {
+                continue;
+            };
+            let Some(constraint) = self.repository().get(&identity.constraint).cloned() else {
+                // Constraint was removed at runtime: threat is moot.
+                self.ccm.threat_store_mut().remove_identity(&identity);
+                continue;
+            };
+            let degree = self.revalidate(observer, recon_tx, &constraint, &identity);
+            match degree {
+                SatisfactionDegree::Satisfied => {
+                    report.satisfied_removed += 1;
+                    let removed = self.ccm.threat_store_mut().remove_identity(&identity);
+                    // One database delete per stored record.
+                    self.clock()
+                        .advance(self.costs().db_write * removed.max(1) as u64);
+                    // Notify about replica conflicts if requested.
+                    if self
+                        .ccm
+                        .threat_store()
+                        .any_wants_conflict_notification(&identity)
+                        || first.instructions.notify_on_replica_conflict
+                    {
+                        for (conflict, _) in &replica_report.conflicts {
+                            if first.affected_objects.contains(&conflict.object) {
+                                report.conflict_notifications += 1;
+                                handler.on_replica_conflict(&identity, conflict);
+                            }
+                        }
+                    }
+                }
+                SatisfactionDegree::Violated => {
+                    report.violations += 1;
+                    let mut resolved = false;
+                    // Rollback search if permitted (§3.3).
+                    if self.ccm.threat_store().any_allows_rollback(&identity)
+                        && self.try_rollback(observer, recon_tx, &constraint, &identity, &first)
+                    {
+                        report.resolved_by_rollback += 1;
+                        resolved = true;
+                    }
+                    if !resolved {
+                        // Handler callback, bounded retries (§4.4: the
+                        // CCMgr re-validates and contacts the handler
+                        // again until resolved or deferred).
+                        let violation = ViolationReport {
+                            identity: identity.clone(),
+                            threat: first.clone(),
+                        };
+                        for _attempt in 0..3 {
+                            let immediate = {
+                                let node_count = self.node_count();
+                                let (clock, costs, containers) = self.recon_env();
+                                let mut ops = ReconOps {
+                                    containers,
+                                    clock,
+                                    costs,
+                                    node_count,
+                                };
+                                handler.reconcile(&violation, &mut ops)
+                            };
+                            if !immediate {
+                                report.deferred += 1;
+                                break;
+                            }
+                            if self.revalidate(observer, recon_tx, &constraint, &identity)
+                                == SatisfactionDegree::Satisfied
+                            {
+                                report.resolved_by_handler += 1;
+                                resolved = true;
+                                break;
+                            }
+                        }
+                    }
+                    if resolved {
+                        self.ccm.threat_store_mut().remove_identity(&identity);
+                        self.clock().advance(self.costs().db_write);
+                    }
+                }
+                _ => {
+                    // Still threatened: affected objects remain
+                    // unreachable (bound placement on crashed nodes) —
+                    // postpone (§3.3).
+                    report.postponed += 1;
+                }
+            }
+        }
+        let _ = self.rollback(recon_tx);
+        report
+    }
+
+    fn revalidate(
+        &mut self,
+        observer: NodeId,
+        recon_tx: TxId,
+        constraint: &dedisys_constraints::RegisteredConstraint,
+        identity: &ThreatIdentity,
+    ) -> SatisfactionDegree {
+        let partition_weight = self.partition_fraction(observer);
+        let now = self.clock().now();
+        let (replication, containers, topology, ccm) = self.validation_env();
+        let mut access = ReplicaAccess::new(containers, replication, topology, observer, recon_tx);
+        match ccm.validate_constraint(
+            constraint,
+            identity.context_object.as_ref(),
+            None,
+            BTreeMap::new(),
+            &mut access,
+            partition_weight,
+            now,
+        ) {
+            Ok(verdict) => verdict.degree,
+            Err(_) => SatisfactionDegree::Uncheckable,
+        }
+    }
+
+    /// Attempts rollback to a historical degraded-mode state of the
+    /// threat's affected objects (latest first). Returns `true` when a
+    /// consistent state was found and installed.
+    fn try_rollback(
+        &mut self,
+        observer: NodeId,
+        recon_tx: TxId,
+        constraint: &dedisys_constraints::RegisteredConstraint,
+        identity: &ThreatIdentity,
+        threat: &ConsistencyThreat,
+    ) -> bool {
+        let node_count = self.node_count();
+        for object in &threat.affected_objects {
+            // Current (post-replica-reconciliation) state, to restore
+            // on failure.
+            let original = self.entity_on(NodeId(0), object).cloned();
+            for pkey in 0..node_count {
+                let states: Vec<EntityState> = { self.replication.partition_history(object, pkey) };
+                for candidate in states.iter().rev() {
+                    self.clock().advance(self.costs().db_read);
+                    self.install_everywhere(candidate.clone());
+                    if self.revalidate(observer, recon_tx, constraint, identity)
+                        == SatisfactionDegree::Satisfied
+                    {
+                        return true;
+                    }
+                }
+            }
+            if let Some(original) = original {
+                self.install_everywhere(original);
+            }
+        }
+        false
+    }
+
+    fn install_everywhere(&mut self, state: EntityState) {
+        self.clock().advance(self.costs().db_write);
+        let (_, containers) = self.replication_and_containers();
+        for c in containers.iter_mut() {
+            if c.committed_entity(state.id()).is_some() {
+                c.install_committed(state.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Consistency threats and the persistent threat store (§3.2.2).
+
+use dedisys_types::{ConstraintName, ObjectId, SatisfactionDegree, SimTime, TxId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Reconciliation instructions attached to an accepted threat
+/// (§3.2.2): whether rollback may be used, and whether the application
+/// wants to hear about replica conflicts even when the constraint turns
+/// out satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ReconcileInstructions {
+    /// Allow rollback to historical states during reconciliation.
+    pub allow_rollback: bool,
+    /// Notify the application if a replica conflict touched the
+    /// threat's objects even though the constraint is satisfied (§3.3).
+    pub notify_on_replica_conflict: bool,
+}
+
+/// An accepted consistency threat, persisted for re-evaluation during
+/// the reconciliation phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyThreat {
+    /// The threatened constraint.
+    pub constraint: ConstraintName,
+    /// The context object validation starts from (`None` for
+    /// query-based constraints — §3.2.2 case 2).
+    pub context_object: Option<ObjectId>,
+    /// The satisfaction degree observed when the threat arose.
+    pub degree: SatisfactionDegree,
+    /// Objects accessed by the threatened validation.
+    pub affected_objects: BTreeSet<ObjectId>,
+    /// Application-specific data associated with the threat.
+    pub app_data: Option<Value>,
+    /// Reconciliation instructions.
+    pub instructions: ReconcileInstructions,
+    /// Virtual time the threat occurred.
+    pub occurred_at: SimTime,
+    /// The transaction that produced the threat.
+    pub tx: TxId,
+}
+
+impl ConsistencyThreat {
+    /// The identity of a threat (§3.2.2): two threats are identical if
+    /// they refer to the same constraint and — if applicable — the same
+    /// context object.
+    pub fn identity(&self) -> ThreatIdentity {
+        ThreatIdentity {
+            constraint: self.constraint.clone(),
+            context_object: self.context_object.clone(),
+        }
+    }
+}
+
+/// Threat identity: `(constraint, context object)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreatIdentity {
+    /// Constraint name.
+    pub constraint: ConstraintName,
+    /// Optional context object.
+    pub context_object: Option<ObjectId>,
+}
+
+/// Threat-history policy (§3.2.2 / §5.5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistoryPolicy {
+    /// Store identical threats only once (sufficient when rollback to
+    /// intermediate states is not required) — the fig5-8 improvement.
+    #[default]
+    IdenticalOnce,
+    /// Store every occurrence (needed for rollback/undo to
+    /// intermediate states).
+    FullHistory,
+}
+
+/// Outcome of storing a threat — drives the persistence cost charged
+/// by the cluster (§5.1: a threat initially needs ≥3 database objects,
+/// plus 2 per additional identical threat under full history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// First occurrence: full record persisted.
+    Stored,
+    /// Identical threat under [`HistoryPolicy::FullHistory`]:
+    /// additional occurrence persisted and linked.
+    LinkedOccurrence,
+    /// Identical threat under [`HistoryPolicy::IdenticalOnce`]: only a
+    /// read was needed to detect the duplicate.
+    Deduplicated,
+}
+
+/// The persistent store of accepted consistency threats (§3.2.2:
+/// accepted threats are *persistently* stored by the middleware and
+/// processed again during the reconciliation phase).
+///
+/// Records are durably written through a write-ahead-logged table
+/// store (`dedisys-store`); [`ThreatStore::recover`] rebuilds the
+/// in-memory index after a simulated crash.
+#[derive(Debug, Clone, Default)]
+pub struct ThreatStore {
+    policy: HistoryPolicy,
+    threats: Vec<ConsistencyThreat>,
+    table: dedisys_store::TableStore,
+    wal: dedisys_store::WriteAheadLog,
+    next_record: u64,
+}
+
+/// Table name of the persisted threat records.
+const THREAT_TABLE: &str = "consistency_threats";
+
+impl ThreatStore {
+    /// Creates a store with the given policy.
+    pub fn new(policy: HistoryPolicy) -> Self {
+        Self {
+            policy,
+            threats: Vec::new(),
+            table: dedisys_store::TableStore::new(),
+            wal: dedisys_store::WriteAheadLog::new(),
+            next_record: 0,
+        }
+    }
+
+    /// The history policy.
+    pub fn policy(&self) -> HistoryPolicy {
+        self.policy
+    }
+
+    /// Stores an accepted threat per the policy.
+    pub fn store(&mut self, threat: ConsistencyThreat) -> StoreOutcome {
+        let identity = threat.identity();
+        let exists = self.threats.iter().any(|t| t.identity() == identity);
+        match (exists, self.policy) {
+            (false, _) => {
+                self.persist(&threat);
+                self.threats.push(threat);
+                StoreOutcome::Stored
+            }
+            (true, HistoryPolicy::FullHistory) => {
+                self.persist(&threat);
+                self.threats.push(threat);
+                StoreOutcome::LinkedOccurrence
+            }
+            (true, HistoryPolicy::IdenticalOnce) => StoreOutcome::Deduplicated,
+        }
+    }
+
+    fn persist(&mut self, threat: &ConsistencyThreat) {
+        if let Ok(json) = serde_json::to_string(threat) {
+            let key = format!(
+                "{:08}|{}",
+                self.next_record,
+                storage_key(&threat.identity())
+            );
+            self.next_record += 1;
+            self.wal.append_put(THREAT_TABLE, &key, json.clone());
+            self.table.put(THREAT_TABLE, key, json);
+        }
+    }
+
+    /// Number of durably persisted records (should equal
+    /// [`ThreatStore::len`]).
+    pub fn persisted_records(&self) -> usize {
+        self.table.table_len(THREAT_TABLE)
+    }
+
+    /// Simulates a middleware crash: drops the in-memory index and the
+    /// table, replays the write-ahead log and deserializes the
+    /// surviving records. Returns how many threats were recovered.
+    pub fn recover(&mut self) -> usize {
+        self.threats.clear();
+        self.table = dedisys_store::TableStore::new();
+        self.wal.replay_into(&mut self.table);
+        let mut rows: Vec<(String, String)> = self
+            .table
+            .scan(THREAT_TABLE)
+            .map(|(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        rows.sort();
+        for (_, json) in rows {
+            if let Ok(threat) = serde_json::from_str::<ConsistencyThreat>(&json) {
+                self.threats.push(threat);
+            }
+        }
+        self.threats.len()
+    }
+
+    /// All stored threats, in occurrence order.
+    pub fn threats(&self) -> &[ConsistencyThreat] {
+        &self.threats
+    }
+
+    /// Distinct threat identities, in first-occurrence order
+    /// (identical threats re-evaluate identically, §5.2, so
+    /// reconciliation iterates identities).
+    pub fn identities(&self) -> Vec<ThreatIdentity> {
+        let mut seen = Vec::new();
+        for t in &self.threats {
+            let id = t.identity();
+            if !seen.contains(&id) {
+                seen.push(id);
+            }
+        }
+        seen
+    }
+
+    /// The first stored threat with `identity`.
+    pub fn first_of(&self, identity: &ThreatIdentity) -> Option<&ConsistencyThreat> {
+        self.threats.iter().find(|t| &t.identity() == identity)
+    }
+
+    /// Whether any stored threat of `identity` allows rollback.
+    pub fn any_allows_rollback(&self, identity: &ThreatIdentity) -> bool {
+        self.threats
+            .iter()
+            .filter(|t| &t.identity() == identity)
+            .any(|t| t.instructions.allow_rollback)
+    }
+
+    /// Whether any stored threat of `identity` requests conflict
+    /// notification.
+    pub fn any_wants_conflict_notification(&self, identity: &ThreatIdentity) -> bool {
+        self.threats
+            .iter()
+            .filter(|t| &t.identity() == identity)
+            .any(|t| t.instructions.notify_on_replica_conflict)
+    }
+
+    /// Removes the threat *and all identical threats* (§3.3), returning
+    /// how many records were dropped. The persisted records are
+    /// deleted through the write-ahead log as well.
+    pub fn remove_identity(&mut self, identity: &ThreatIdentity) -> usize {
+        let before = self.threats.len();
+        self.threats.retain(|t| &t.identity() != identity);
+        let suffix = format!("|{}", storage_key(identity));
+        let keys: Vec<String> = self
+            .table
+            .scan(THREAT_TABLE)
+            .filter(|(k, _)| k.ends_with(&suffix))
+            .map(|(k, _)| k.to_owned())
+            .collect();
+        for key in keys {
+            self.wal.append_delete(THREAT_TABLE, &key);
+            self.table.delete(THREAT_TABLE, &key);
+        }
+        before - self.threats.len()
+    }
+
+    /// Number of stored threat records.
+    pub fn len(&self) -> usize {
+        self.threats.len()
+    }
+
+    /// Whether no threats are stored.
+    pub fn is_empty(&self) -> bool {
+        self.threats.is_empty()
+    }
+
+    /// Drops everything (test support).
+    pub fn clear(&mut self) {
+        self.threats.clear();
+        self.table.clear_table(THREAT_TABLE);
+    }
+}
+
+/// Stable storage key of a threat identity.
+fn storage_key(identity: &ThreatIdentity) -> String {
+    match &identity.context_object {
+        Some(ctx) => format!("{}@{ctx}", identity.constraint),
+        None => identity.constraint.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::NodeId;
+
+    fn threat(constraint: &str, key: &str) -> ConsistencyThreat {
+        ConsistencyThreat {
+            constraint: ConstraintName::from(constraint),
+            context_object: Some(ObjectId::new("Flight", key)),
+            degree: SatisfactionDegree::PossiblySatisfied,
+            affected_objects: BTreeSet::new(),
+            app_data: None,
+            instructions: ReconcileInstructions::default(),
+            occurred_at: SimTime::ZERO,
+            tx: TxId::new(NodeId(0), 1),
+        }
+    }
+
+    #[test]
+    fn identical_once_deduplicates() {
+        let mut store = ThreatStore::new(HistoryPolicy::IdenticalOnce);
+        assert_eq!(store.store(threat("C", "F1")), StoreOutcome::Stored);
+        assert_eq!(store.store(threat("C", "F1")), StoreOutcome::Deduplicated);
+        assert_eq!(store.store(threat("C", "F2")), StoreOutcome::Stored);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.identities().len(), 2);
+    }
+
+    #[test]
+    fn full_history_links_occurrences() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        assert_eq!(store.store(threat("C", "F1")), StoreOutcome::Stored);
+        assert_eq!(
+            store.store(threat("C", "F1")),
+            StoreOutcome::LinkedOccurrence
+        );
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.identities().len(), 1);
+    }
+
+    #[test]
+    fn remove_identity_drops_all_identical() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        store.store(threat("C", "F1"));
+        store.store(threat("C", "F1"));
+        store.store(threat("C", "F2"));
+        let removed = store.remove_identity(&threat("C", "F1").identity());
+        assert_eq!(removed, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn instruction_aggregation_across_identical_threats() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        store.store(threat("C", "F1"));
+        let mut t = threat("C", "F1");
+        t.instructions.allow_rollback = true;
+        store.store(t);
+        assert!(store.any_allows_rollback(&threat("C", "F1").identity()));
+        assert!(!store.any_wants_conflict_notification(&threat("C", "F1").identity()));
+    }
+
+    #[test]
+    fn query_based_threats_share_identity_by_constraint() {
+        let mut store = ThreatStore::new(HistoryPolicy::IdenticalOnce);
+        let mut a = threat("Q", "x");
+        a.context_object = None;
+        let mut b = threat("Q", "y");
+        b.context_object = None;
+        store.store(a);
+        assert_eq!(store.store(b), StoreOutcome::Deduplicated);
+    }
+
+    #[test]
+    fn threats_serialize() {
+        let t = threat("C", "F1");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ConsistencyThreat = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn threats_survive_a_crash_via_the_wal() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        store.store(threat("C", "F1"));
+        store.store(threat("C", "F1"));
+        store.store(threat("D", "F2"));
+        assert_eq!(store.persisted_records(), 3);
+        let recovered = store.recover();
+        assert_eq!(recovered, 3);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.identities().len(), 2);
+        assert_eq!(
+            store
+                .first_of(&threat("C", "F1").identity())
+                .unwrap()
+                .constraint,
+            ConstraintName::from("C")
+        );
+    }
+
+    #[test]
+    fn removal_is_durable() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        store.store(threat("C", "F1"));
+        store.store(threat("C", "F1"));
+        store.store(threat("D", "F2"));
+        store.remove_identity(&threat("C", "F1").identity());
+        assert_eq!(store.persisted_records(), 1);
+        store.recover();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.threats()[0].constraint, ConstraintName::from("D"));
+    }
+
+    #[test]
+    fn dedup_does_not_write_additional_records() {
+        let mut store = ThreatStore::new(HistoryPolicy::IdenticalOnce);
+        store.store(threat("C", "F1"));
+        store.store(threat("C", "F1"));
+        assert_eq!(store.persisted_records(), 1);
+    }
+}

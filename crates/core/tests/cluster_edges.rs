@@ -1,0 +1,177 @@
+//! Edge-case behaviour of the cluster façade: locking, deployment
+//! checks, remote reads of bound objects, metrics and naming.
+
+use dedisys_core::ClusterBuilder;
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{Error, NodeId, ObjectId, SystemMode, Value};
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("edges")
+        .with_class(ClassDescriptor::new("Item").with_field("v", Value::Int(0)))
+}
+
+fn cluster(nodes: u32) -> dedisys_core::Cluster {
+    ClusterBuilder::new(nodes, app()).build().unwrap()
+}
+
+fn seed(c: &mut dedisys_core::Cluster, key: &str) -> ObjectId {
+    let id = ObjectId::new("Item", key);
+    let e = id.clone();
+    c.run_tx(NodeId(0), move |c, tx| {
+        c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+    })
+    .unwrap();
+    id
+}
+
+#[test]
+fn concurrent_transactions_conflict_on_the_same_object() {
+    let mut c = cluster(2);
+    let id = seed(&mut c, "a");
+    let tx1 = c.begin(NodeId(0));
+    let tx2 = c.begin(NodeId(1));
+    c.set_field(NodeId(0), tx1, &id, "v", Value::Int(1))
+        .unwrap();
+    // Entity-bean locking: the second transaction cannot write.
+    let conflict = c.set_field(NodeId(1), tx2, &id, "v", Value::Int(2));
+    assert!(matches!(conflict, Err(Error::LockConflict { .. })));
+    // After commit the lock is released.
+    c.commit(tx1).unwrap();
+    c.set_field(NodeId(1), tx2, &id, "v", Value::Int(2))
+        .unwrap();
+    c.commit(tx2).unwrap();
+    assert_eq!(
+        c.entity_on(NodeId(0), &id).unwrap().field("v"),
+        &Value::Int(2)
+    );
+}
+
+#[test]
+fn unknown_classes_and_objects_are_rejected() {
+    let mut c = cluster(1);
+    let tx = c.begin(NodeId(0));
+    let ghost_class = ObjectId::new("Ghost", "g");
+    assert!(matches!(
+        c.invoke(NodeId(0), tx, &ghost_class, "setV", vec![Value::Int(1)]),
+        Err(Error::ClassNotDeployed(_))
+    ));
+    let missing = ObjectId::new("Item", "missing");
+    assert!(matches!(
+        c.invoke(NodeId(0), tx, &missing, "setV", vec![Value::Int(1)]),
+        Err(Error::ObjectNotFound(_))
+    ));
+}
+
+#[test]
+fn terminated_transactions_cannot_be_reused() {
+    let mut c = cluster(1);
+    let id = seed(&mut c, "a");
+    let tx = c.begin(NodeId(0));
+    c.commit(tx).unwrap();
+    assert!(matches!(c.commit(tx), Err(Error::NoSuchTransaction(_))));
+    assert!(matches!(c.rollback(tx), Err(Error::NoSuchTransaction(_))));
+    assert!(matches!(
+        c.set_field(NodeId(0), tx, &id, "v", Value::Int(1)),
+        Err(Error::NoSuchTransaction(_))
+    ));
+}
+
+#[test]
+fn bound_objects_are_read_remotely_within_the_partition() {
+    let mut c = cluster(3);
+    // An object living only on node 2.
+    let id = ObjectId::new("Item", "bound");
+    let e = id.clone();
+    c.run_tx(NodeId(0), move |c, tx| {
+        let mut state = EntityState::for_class(c.app(), &e)?;
+        state.set_field("v", Value::Int(42), c.now());
+        c.create_bound(NodeId(0), tx, state, vec![NodeId(2)], NodeId(2))
+    })
+    .unwrap();
+    // Node 0 holds no replica but can read through the partition.
+    let got = c
+        .run_tx(NodeId(0), |c, tx| c.get_field(NodeId(0), tx, &id, "v"))
+        .unwrap();
+    assert_eq!(got, Value::Int(42));
+    // After isolating node 2, the object is unreachable from node 0.
+    c.partition(&[&[0, 1], &[2]]);
+    let gone = c.run_tx(NodeId(0), |c, tx| c.get_field(NodeId(0), tx, &id, "v"));
+    assert!(matches!(gone, Err(Error::ObjectUnreachable(_))));
+}
+
+#[test]
+fn empty_methods_do_not_propagate() {
+    let app = AppDescriptor::new("edges").with_class(
+        ClassDescriptor::new("Item")
+            .with_field("v", Value::Int(0))
+            .with_method(dedisys_object::MethodDescriptor::with_kind(
+                "poke",
+                dedisys_object::MethodKind::Write,
+            )),
+    );
+    let mut c = ClusterBuilder::new(2, app).build().unwrap();
+    let id = seed(&mut c, "a");
+    let before = c.repl_stats().propagations;
+    c.run_tx(NodeId(0), |c, tx| {
+        c.invoke(NodeId(0), tx, &id, "poke", vec![])
+    })
+    .unwrap();
+    assert_eq!(
+        c.repl_stats().propagations,
+        before,
+        "no state change, nothing propagated (§5.1)"
+    );
+}
+
+#[test]
+fn metrics_count_attempts_and_failures() {
+    let mut c = cluster(1);
+    let id = seed(&mut c, "a");
+    let _ = c.run_tx(NodeId(0), |c, tx| {
+        c.set_field(NodeId(0), tx, &id, "v", Value::Int(1))
+    });
+    let missing = ObjectId::new("Item", "missing");
+    let _ = c.run_tx(NodeId(0), |c, tx| c.get_field(NodeId(0), tx, &missing, "v"));
+    let m = c.metrics();
+    assert_eq!(m.invocations, 2);
+    assert_eq!(m.failed_invocations, 1);
+    assert_eq!(m.creates, 1);
+}
+
+#[test]
+fn naming_service_binds_and_resolves_targets() {
+    let mut c = cluster(1);
+    let id = seed(&mut c, "a");
+    c.naming_mut().bind("items/primary", id.clone()).unwrap();
+    let resolved = c.naming_mut().lookup("items/primary").unwrap().clone();
+    let got = c
+        .run_tx(NodeId(0), move |c, tx| {
+            c.get_field(NodeId(0), tx, &resolved, "v")
+        })
+        .unwrap();
+    assert_eq!(got, Value::Int(0));
+}
+
+#[test]
+fn views_track_partition_membership_per_node() {
+    let mut c = cluster(4);
+    assert_eq!(c.view_of(NodeId(0)).size(), 4);
+    c.partition(&[&[0, 1], &[2, 3]]);
+    assert_eq!(c.view_of(NodeId(0)).size(), 2);
+    assert_eq!(c.view_of(NodeId(3)).size(), 2);
+    assert!(!c.view_of(NodeId(0)).contains(NodeId(2)));
+    assert_eq!(c.mode(), SystemMode::Degraded);
+    c.heal();
+    assert_eq!(c.view_of(NodeId(2)).size(), 4);
+}
+
+#[test]
+fn partition_fraction_reflects_weights() {
+    let mut c = ClusterBuilder::new(4, app())
+        .weights(dedisys_gms::NodeWeights::explicit(vec![3, 1, 1, 1]))
+        .build()
+        .unwrap();
+    c.partition(&[&[0], &[1, 2, 3]]);
+    assert!((c.partition_fraction(NodeId(0)) - 0.5).abs() < 1e-9);
+    assert!((c.partition_fraction(NodeId(1)) - 0.5).abs() < 1e-9);
+}

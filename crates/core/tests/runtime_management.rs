@@ -1,0 +1,202 @@
+//! Runtime constraint management at the cluster level: adding and
+//! re-enabling constraints triggers a full check over all context
+//! objects (§3.3), and threat persistence survives middleware crashes.
+
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::ClusterBuilder;
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{ConstraintName, NodeId, ObjectId, SatisfactionDegree, Value};
+use std::sync::Arc;
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("stocks").with_class(
+        ClassDescriptor::new("Warehouse")
+            .with_field("stock", Value::Int(0))
+            .with_field("capacity", Value::Int(100)),
+    )
+}
+
+fn capacity_constraint() -> RegisteredConstraint {
+    RegisteredConstraint::new(
+        ConstraintMeta::new("Capacity"),
+        Arc::new(ExprConstraint::parse("self.stock <= self.capacity").unwrap()),
+    )
+    .context_class("Warehouse")
+    .affects("Warehouse", "setStock", ContextPreparation::CalledObject)
+}
+
+#[test]
+fn adding_a_constraint_checks_all_existing_context_objects() {
+    let mut cluster = ClusterBuilder::new(2, app()).build().unwrap();
+    let node = NodeId(0);
+    // Three warehouses created *before* the constraint exists — one of
+    // them already over capacity.
+    for (key, stock) in [("W1", 50), ("W2", 150), ("W3", 99)] {
+        let id = ObjectId::new("Warehouse", key);
+        cluster
+            .run_tx(node, move |c, tx| {
+                c.create(node, tx, EntityState::for_class(c.app(), &id)?)?;
+                c.set_field(node, tx, &id, "stock", Value::Int(stock))
+            })
+            .unwrap();
+    }
+    let violating = cluster
+        .add_constraint_with_check(capacity_constraint())
+        .unwrap();
+    assert_eq!(violating, vec![ObjectId::new("Warehouse", "W2")]);
+    // The constraint is live from now on.
+    let w3 = ObjectId::new("Warehouse", "W3");
+    let result = cluster.run_tx(node, |c, tx| {
+        c.set_field(node, tx, &w3, "stock", Value::Int(101))
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn re_enabling_checks_context_objects_again() {
+    let mut cluster = ClusterBuilder::new(2, app())
+        .constraint(capacity_constraint())
+        .build()
+        .unwrap();
+    let node = NodeId(0);
+    let id = ObjectId::new("Warehouse", "W1");
+    cluster
+        .run_tx(node, move |c, tx| {
+            c.create(
+                node,
+                tx,
+                EntityState::for_class(c.app(), &ObjectId::new("Warehouse", "W1"))?,
+            )
+        })
+        .unwrap();
+    // Disable for a bulk import that exceeds capacity.
+    let name = ConstraintName::from("Capacity");
+    cluster.repository_mut().set_enabled(&name, false).unwrap();
+    cluster
+        .run_tx(node, |c, tx| {
+            c.set_field(node, tx, &id, "stock", Value::Int(500))
+        })
+        .unwrap();
+    // Re-enable: the full check surfaces the violation introduced
+    // while the constraint was off.
+    let violating = cluster.enable_constraint_with_check(&name).unwrap();
+    assert_eq!(violating, vec![id.clone()]);
+    // Duplicate registration is still rejected.
+    assert!(cluster
+        .add_constraint_with_check(capacity_constraint())
+        .is_err());
+}
+
+#[test]
+fn accepted_threats_survive_a_middleware_crash() {
+    let mut constraint = capacity_constraint();
+    constraint.meta = constraint
+        .meta
+        .tradeable(SatisfactionDegree::PossiblySatisfied);
+    let mut cluster = ClusterBuilder::new(2, app())
+        .constraint(constraint)
+        .build()
+        .unwrap();
+    let node = NodeId(0);
+    let id = ObjectId::new("Warehouse", "W1");
+    cluster
+        .run_tx(node, move |c, tx| {
+            c.create(
+                node,
+                tx,
+                EntityState::for_class(c.app(), &ObjectId::new("Warehouse", "W1"))?,
+            )
+        })
+        .unwrap();
+    cluster.partition(&[&[0], &[1]]);
+    cluster
+        .run_tx(node, |c, tx| {
+            c.set_field(node, tx, &id, "stock", Value::Int(10))
+        })
+        .unwrap();
+    assert_eq!(cluster.threats().len(), 1);
+    assert_eq!(cluster.threats().persisted_records(), 1);
+    // Crash-recover the threat store from its write-ahead log.
+    let recovered = cluster.ccm_mut_for_tests().threat_store_mut().recover();
+    assert_eq!(recovered, 1);
+    assert_eq!(cluster.threats().len(), 1);
+    assert_eq!(
+        cluster.threats().threats()[0].constraint,
+        ConstraintName::from("Capacity")
+    );
+}
+
+#[test]
+fn deployed_interceptors_wrap_every_invocation() {
+    use dedisys_core::HookInfo;
+    use dedisys_object::{Interceptor, Invocation};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static CALLS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Auditor;
+    impl Interceptor<HookInfo> for Auditor {
+        fn name(&self) -> &str {
+            "auditor"
+        }
+        fn before(
+            &mut self,
+            _cx: &mut HookInfo,
+            _inv: &mut Invocation,
+        ) -> dedisys_types::Result<()> {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    struct Security;
+    impl Interceptor<HookInfo> for Security {
+        fn name(&self) -> &str {
+            "security"
+        }
+        fn before(
+            &mut self,
+            _cx: &mut HookInfo,
+            inv: &mut Invocation,
+        ) -> dedisys_types::Result<()> {
+            if inv.method.as_str() == "setCapacity" {
+                return Err(dedisys_types::Error::ModeRestriction(
+                    "capacity changes require the admin role".into(),
+                ));
+            }
+            Ok(())
+        }
+    }
+
+    let mut cluster = ClusterBuilder::new(1, app()).build().unwrap();
+    cluster.add_interceptor(Box::new(Auditor));
+    cluster.add_interceptor(Box::new(Security));
+    let node = NodeId(0);
+    let id = ObjectId::new("Warehouse", "W1");
+    let e = id.clone();
+    cluster
+        .run_tx(node, move |c, tx| {
+            c.create(node, tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+    cluster
+        .run_tx(node, |c, tx| {
+            c.set_field(node, tx, &id, "stock", Value::Int(5))
+        })
+        .unwrap();
+    assert!(CALLS.load(Ordering::SeqCst) >= 1);
+    // The security interceptor vetoes before the container is touched.
+    let denied = cluster.run_tx(node, |c, tx| {
+        c.set_field(node, tx, &id, "capacity", Value::Int(1))
+    });
+    assert!(matches!(
+        denied,
+        Err(dedisys_types::Error::ModeRestriction(_))
+    ));
+    assert_eq!(
+        cluster.entity_on(node, &id).unwrap().field("capacity"),
+        &Value::Int(100)
+    );
+}

@@ -1,0 +1,139 @@
+//! Per-sender FIFO ordering.
+
+use dedisys_types::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// A message stamped with its sender and per-sender sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoMessage<M> {
+    /// Originating node.
+    pub sender: NodeId,
+    /// Per-sender sequence number (0-based, gap-free).
+    pub seq: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Stamps outgoing messages with consecutive sequence numbers.
+#[derive(Debug, Clone)]
+pub struct FifoSender {
+    node: NodeId,
+    next_seq: u64,
+}
+
+impl FifoSender {
+    /// Creates a sender for `node`.
+    pub fn new(node: NodeId) -> Self {
+        Self { node, next_seq: 0 }
+    }
+
+    /// Stamps `payload` with the next sequence number.
+    pub fn stamp<M>(&mut self, payload: M) -> FifoMessage<M> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        FifoMessage {
+            sender: self.node,
+            seq,
+            payload,
+        }
+    }
+}
+
+/// Delivers messages of each sender in sequence order, holding back
+/// messages that arrive early.
+///
+/// Duplicates (same sender and sequence already delivered or held) are
+/// discarded — together with [`crate::ReliableSender`] retransmissions
+/// this yields exactly-once delivery.
+#[derive(Debug, Clone, Default)]
+pub struct FifoReceiver<M> {
+    next_expected: HashMap<NodeId, u64>,
+    holdback: HashMap<NodeId, BTreeMap<u64, FifoMessage<M>>>,
+}
+
+impl<M> FifoReceiver<M> {
+    /// Creates an empty receiver.
+    pub fn new() -> Self {
+        Self {
+            next_expected: HashMap::new(),
+            holdback: HashMap::new(),
+        }
+    }
+
+    /// Accepts an arriving message; returns every message that became
+    /// deliverable (in FIFO order).
+    pub fn receive(&mut self, msg: FifoMessage<M>) -> Vec<FifoMessage<M>> {
+        let expected = self.next_expected.entry(msg.sender).or_insert(0);
+        if msg.seq < *expected {
+            return Vec::new(); // duplicate of an already delivered message
+        }
+        let queue = self.holdback.entry(msg.sender).or_default();
+        queue.entry(msg.seq).or_insert(msg);
+        let mut out = Vec::new();
+        while let Some(next) = queue.remove(expected) {
+            *expected += 1;
+            out.push(next);
+        }
+        out
+    }
+
+    /// Number of messages held back (received but not yet deliverable).
+    pub fn held_back(&self) -> usize {
+        self.holdback.values().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_messages_deliver_immediately() {
+        let mut s = FifoSender::new(NodeId(0));
+        let mut r = FifoReceiver::new();
+        for i in 0..3 {
+            let out = r.receive(s.stamp(i));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].payload, i);
+        }
+    }
+
+    #[test]
+    fn out_of_order_messages_are_held_back() {
+        let mut s = FifoSender::new(NodeId(0));
+        let m0 = s.stamp("a");
+        let m1 = s.stamp("b");
+        let m2 = s.stamp("c");
+        let mut r = FifoReceiver::new();
+        assert!(r.receive(m2).is_empty());
+        assert!(r.receive(m1).is_empty());
+        assert_eq!(r.held_back(), 2);
+        let out = r.receive(m0);
+        assert_eq!(
+            out.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(r.held_back(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        let mut s = FifoSender::new(NodeId(0));
+        let m0 = s.stamp(0);
+        let mut r = FifoReceiver::new();
+        assert_eq!(r.receive(m0.clone()).len(), 1);
+        assert!(r.receive(m0).is_empty());
+    }
+
+    #[test]
+    fn senders_are_independent() {
+        let mut s0 = FifoSender::new(NodeId(0));
+        let mut s1 = FifoSender::new(NodeId(1));
+        let mut r = FifoReceiver::new();
+        let a0 = s0.stamp("a0");
+        let b0 = s1.stamp("b0");
+        // Each sender's seq 0 delivers independently of the other.
+        assert_eq!(r.receive(b0).len(), 1);
+        assert_eq!(r.receive(a0).len(), 1);
+    }
+}

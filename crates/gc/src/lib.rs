@@ -1,0 +1,49 @@
+//! # dedisys-gc
+//!
+//! Group communication substrate — the Spread-toolkit replacement.
+//!
+//! The replication service (§4.3) propagates updates from primary to
+//! backup replicas via group multicast. This crate provides the
+//! ordering and reliability building blocks:
+//!
+//! * [`FifoSender`] / [`FifoReceiver`] — per-sender FIFO ordering with a
+//!   hold-back queue.
+//! * [`Sequencer`] / [`TotalOrderReceiver`] — sequencer-based total
+//!   order (the view coordinator assigns global sequence numbers).
+//! * [`ReliableSender`] — positive-ack tracking with timeout-driven
+//!   retransmission.
+//! * [`ViewSyncBuffer`] — view-synchronous delivery: messages are
+//!   delivered only to members of the view they were sent in.
+//! * [`GroupSim`] — an end-to-end simulation wiring the pieces over a
+//!   lossy [`dedisys_net::Router`], proving reliable FIFO delivery.
+//!
+//! ## Example
+//!
+//! ```
+//! use dedisys_gc::{FifoReceiver, FifoSender};
+//! use dedisys_types::NodeId;
+//!
+//! let mut sender = FifoSender::new(NodeId(0));
+//! let m1 = sender.stamp("a");
+//! let m2 = sender.stamp("b");
+//!
+//! let mut receiver = FifoReceiver::default();
+//! // Arrival out of order — delivery still in FIFO order.
+//! assert!(receiver.receive(m2.clone()).is_empty());
+//! let delivered = receiver.receive(m1);
+//! assert_eq!(delivered.len(), 2);
+//! assert_eq!(delivered[0].payload, "a");
+//! assert_eq!(delivered[1].payload, "b");
+//! ```
+
+mod fifo;
+mod group;
+mod reliable;
+mod total;
+mod view_sync;
+
+pub use fifo::{FifoMessage, FifoReceiver, FifoSender};
+pub use group::GroupSim;
+pub use reliable::{Outstanding, ReliableSender};
+pub use total::{SeqMessage, Sequencer, TotalOrderReceiver};
+pub use view_sync::ViewSyncBuffer;

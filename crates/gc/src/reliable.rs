@@ -1,0 +1,191 @@
+//! Positive-acknowledgement reliability with retransmission.
+
+use dedisys_types::{NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A message awaiting acknowledgement from one destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outstanding<M> {
+    /// Destination that has not acknowledged yet.
+    pub to: NodeId,
+    /// Message id (sender-local).
+    pub msg_id: u64,
+    /// Last (re)transmission time.
+    pub last_sent: SimTime,
+    /// Number of transmissions so far.
+    pub attempts: u32,
+    /// The payload (kept for retransmission).
+    pub payload: M,
+}
+
+/// Tracks unacknowledged messages and decides when to retransmit.
+///
+/// ```
+/// use dedisys_gc::ReliableSender;
+/// use dedisys_types::{NodeId, SimDuration, SimTime};
+///
+/// let mut sender: ReliableSender<&str> = ReliableSender::new(SimDuration::from_millis(5));
+/// let id = sender.track(NodeId(1), "update", SimTime::ZERO);
+/// assert_eq!(sender.unacked(), 1);
+///
+/// // Timeout passes without an ack: the message is due for retransmission.
+/// let due = sender.due_for_retransmit(SimTime::from_nanos(6_000_000));
+/// assert_eq!(due, vec![(NodeId(1), id)]);
+///
+/// sender.ack(NodeId(1), id);
+/// assert_eq!(sender.unacked(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliableSender<M> {
+    timeout: SimDuration,
+    next_id: u64,
+    outstanding: HashMap<(NodeId, u64), Outstanding<M>>,
+}
+
+impl<M: Clone> ReliableSender<M> {
+    /// Creates a sender with the given retransmission timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        Self {
+            timeout,
+            next_id: 0,
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// Starts tracking a transmission to `to`; returns the message id.
+    pub fn track(&mut self, to: NodeId, payload: M, now: SimTime) -> u64 {
+        let msg_id = self.next_id;
+        self.next_id += 1;
+        self.outstanding.insert(
+            (to, msg_id),
+            Outstanding {
+                to,
+                msg_id,
+                last_sent: now,
+                attempts: 1,
+                payload,
+            },
+        );
+        msg_id
+    }
+
+    /// Tracks the same logical message to several destinations
+    /// (multicast); all copies share one message id.
+    pub fn track_multicast<'a>(
+        &mut self,
+        to: impl IntoIterator<Item = &'a NodeId>,
+        payload: M,
+        now: SimTime,
+    ) -> u64 {
+        let msg_id = self.next_id;
+        self.next_id += 1;
+        for &dest in to {
+            self.outstanding.insert(
+                (dest, msg_id),
+                Outstanding {
+                    to: dest,
+                    msg_id,
+                    last_sent: now,
+                    attempts: 1,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        msg_id
+    }
+
+    /// Records an acknowledgement. Unknown acks (duplicates) are
+    /// ignored.
+    pub fn ack(&mut self, from: NodeId, msg_id: u64) {
+        self.outstanding.remove(&(from, msg_id));
+    }
+
+    /// Drops every outstanding copy addressed to `node` — used when the
+    /// GMS reports the node as unreachable (it will be brought up to
+    /// date by reconciliation instead, §4.4).
+    pub fn abandon_destination(&mut self, node: NodeId) {
+        self.outstanding.retain(|(to, _), _| *to != node);
+    }
+
+    /// `(destination, msg_id)` pairs whose timeout expired, ordered
+    /// deterministically. Callers retransmit via
+    /// [`ReliableSender::payload_of`] and then
+    /// [`ReliableSender::mark_retransmitted`].
+    pub fn due_for_retransmit(&self, now: SimTime) -> Vec<(NodeId, u64)> {
+        let mut due: Vec<(NodeId, u64)> = self
+            .outstanding
+            .values()
+            .filter(|o| now >= o.last_sent + self.timeout)
+            .map(|o| (o.to, o.msg_id))
+            .collect();
+        due.sort();
+        due
+    }
+
+    /// The payload of an outstanding message, if still tracked.
+    pub fn payload_of(&self, to: NodeId, msg_id: u64) -> Option<&M> {
+        self.outstanding.get(&(to, msg_id)).map(|o| &o.payload)
+    }
+
+    /// Records a retransmission at `now`.
+    pub fn mark_retransmitted(&mut self, to: NodeId, msg_id: u64, now: SimTime) {
+        if let Some(o) = self.outstanding.get_mut(&(to, msg_id)) {
+            o.last_sent = now;
+            o.attempts += 1;
+        }
+    }
+
+    /// Number of unacknowledged (destination, message) copies.
+    pub fn unacked(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000_000)
+    }
+
+    #[test]
+    fn ack_clears_outstanding() {
+        let mut s: ReliableSender<u8> = ReliableSender::new(SimDuration::from_millis(10));
+        let id = s.track(NodeId(1), 7, ms(0));
+        s.ack(NodeId(1), id);
+        assert_eq!(s.unacked(), 0);
+        s.ack(NodeId(1), id); // duplicate ack ignored
+    }
+
+    #[test]
+    fn multicast_tracks_each_destination() {
+        let mut s: ReliableSender<u8> = ReliableSender::new(SimDuration::from_millis(10));
+        let dests = [NodeId(1), NodeId(2)];
+        let id = s.track_multicast(&dests, 9, ms(0));
+        assert_eq!(s.unacked(), 2);
+        s.ack(NodeId(1), id);
+        assert_eq!(s.unacked(), 1);
+        assert_eq!(s.payload_of(NodeId(2), id), Some(&9));
+    }
+
+    #[test]
+    fn retransmission_cycle() {
+        let mut s: ReliableSender<&str> = ReliableSender::new(SimDuration::from_millis(10));
+        let id = s.track(NodeId(1), "m", ms(0));
+        assert!(s.due_for_retransmit(ms(5)).is_empty());
+        assert_eq!(s.due_for_retransmit(ms(10)), vec![(NodeId(1), id)]);
+        s.mark_retransmitted(NodeId(1), id, ms(10));
+        assert!(s.due_for_retransmit(ms(15)).is_empty());
+        assert_eq!(s.due_for_retransmit(ms(20)), vec![(NodeId(1), id)]);
+    }
+
+    #[test]
+    fn abandon_destination_drops_copies() {
+        let mut s: ReliableSender<u8> = ReliableSender::new(SimDuration::from_millis(10));
+        s.track(NodeId(1), 1, ms(0));
+        s.track(NodeId(2), 2, ms(0));
+        s.abandon_destination(NodeId(1));
+        assert_eq!(s.unacked(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Sequencer-based total-order multicast.
+//!
+//! The view coordinator (lowest member id, see
+//! `dedisys_gms::View::coordinator`) acts as the sequencer: senders
+//! submit messages to it, it assigns a gap-free global sequence number
+//! and multicasts; receivers deliver strictly in global order.
+
+use dedisys_types::NodeId;
+use std::collections::BTreeMap;
+
+/// A message carrying a global sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqMessage<M> {
+    /// Global order position (0-based, gap-free).
+    pub global_seq: u64,
+    /// The original sender (not the sequencer).
+    pub sender: NodeId,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Assigns global sequence numbers.
+#[derive(Debug, Clone, Default)]
+pub struct Sequencer {
+    next_seq: u64,
+}
+
+impl Sequencer {
+    /// Creates a sequencer starting at sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Orders a submitted message.
+    pub fn order<M>(&mut self, sender: NodeId, payload: M) -> SeqMessage<M> {
+        let global_seq = self.next_seq;
+        self.next_seq += 1;
+        SeqMessage {
+            global_seq,
+            sender,
+            payload,
+        }
+    }
+
+    /// Number of messages ordered so far.
+    pub fn ordered(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Delivers sequenced messages strictly in global order.
+#[derive(Debug, Clone, Default)]
+pub struct TotalOrderReceiver<M> {
+    next_expected: u64,
+    holdback: BTreeMap<u64, SeqMessage<M>>,
+}
+
+impl<M> TotalOrderReceiver<M> {
+    /// Creates an empty receiver.
+    pub fn new() -> Self {
+        Self {
+            next_expected: 0,
+            holdback: BTreeMap::new(),
+        }
+    }
+
+    /// Accepts an arriving sequenced message; returns messages that
+    /// became deliverable, in global order. Duplicates are discarded.
+    pub fn receive(&mut self, msg: SeqMessage<M>) -> Vec<SeqMessage<M>> {
+        if msg.global_seq < self.next_expected {
+            return Vec::new();
+        }
+        self.holdback.entry(msg.global_seq).or_insert(msg);
+        let mut out = Vec::new();
+        while let Some(next) = self.holdback.remove(&self.next_expected) {
+            self.next_expected += 1;
+            out.push(next);
+        }
+        out
+    }
+
+    /// The next global sequence number this receiver expects.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequencer_assigns_gap_free_order() {
+        let mut seq = Sequencer::new();
+        let a = seq.order(NodeId(1), "a");
+        let b = seq.order(NodeId(2), "b");
+        assert_eq!((a.global_seq, b.global_seq), (0, 1));
+        assert_eq!(seq.ordered(), 2);
+    }
+
+    #[test]
+    fn receivers_deliver_in_identical_order() {
+        let mut seq = Sequencer::new();
+        let msgs: Vec<_> = (0..4).map(|i| seq.order(NodeId(i % 2), i)).collect();
+
+        // Two receivers see different arrival orders.
+        let mut r1 = TotalOrderReceiver::new();
+        let mut r2 = TotalOrderReceiver::new();
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        for m in [&msgs[0], &msgs[2], &msgs[1], &msgs[3]] {
+            d1.extend(r1.receive((*m).clone()).into_iter().map(|m| m.payload));
+        }
+        for m in [&msgs[3], &msgs[2], &msgs[1], &msgs[0]] {
+            d2.extend(r2.receive((*m).clone()).into_iter().map(|m| m.payload));
+        }
+        assert_eq!(d1, d2);
+        assert_eq!(d1, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_sequenced_messages_discarded() {
+        let mut seq = Sequencer::new();
+        let m = seq.order(NodeId(0), 1);
+        let mut r = TotalOrderReceiver::new();
+        assert_eq!(r.receive(m.clone()).len(), 1);
+        assert!(r.receive(m).is_empty());
+        assert_eq!(r.next_expected(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! View-synchronous delivery.
+//!
+//! Messages are tagged with the view they were sent in; a receiver only
+//! delivers messages belonging to its current view. When a new view is
+//! installed, messages from older views are flushed (reported
+//! separately so the replication layer can hand them to reconciliation
+//! rather than applying them out of view).
+
+use dedisys_types::ViewId;
+
+/// Buffers messages per view and enforces same-view delivery.
+#[derive(Debug, Clone)]
+pub struct ViewSyncBuffer<M> {
+    current_view: ViewId,
+    flushed: Vec<(ViewId, M)>,
+}
+
+impl<M> ViewSyncBuffer<M> {
+    /// Creates a buffer for a node currently in `view`.
+    pub fn new(view: ViewId) -> Self {
+        Self {
+            current_view: view,
+            flushed: Vec::new(),
+        }
+    }
+
+    /// The view this buffer currently delivers for.
+    pub fn current_view(&self) -> ViewId {
+        self.current_view
+    }
+
+    /// Offers a message tagged with its send view. Returns `Some` if the
+    /// message is deliverable in the current view; stale messages are
+    /// retained in the flush list, messages from future views are also
+    /// deferred to the flush list (they become relevant after the next
+    /// installation).
+    pub fn offer(&mut self, view: ViewId, msg: M) -> Option<M> {
+        if view == self.current_view {
+            Some(msg)
+        } else {
+            self.flushed.push((view, msg));
+            None
+        }
+    }
+
+    /// Installs a new view, returning the messages that were set aside
+    /// (for the reconciliation machinery to inspect).
+    pub fn install_view(&mut self, view: ViewId) -> Vec<(ViewId, M)> {
+        self.current_view = view;
+        std::mem::take(&mut self.flushed)
+    }
+
+    /// Number of set-aside messages.
+    pub fn flushed_len(&self) -> usize {
+        self.flushed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_view_messages_deliver() {
+        let mut buf = ViewSyncBuffer::new(ViewId(1));
+        assert_eq!(buf.offer(ViewId(1), "m"), Some("m"));
+    }
+
+    #[test]
+    fn cross_view_messages_are_set_aside() {
+        let mut buf = ViewSyncBuffer::new(ViewId(1));
+        assert_eq!(buf.offer(ViewId(0), "old"), None);
+        assert_eq!(buf.offer(ViewId(2), "future"), None);
+        assert_eq!(buf.flushed_len(), 2);
+        let flushed = buf.install_view(ViewId(2));
+        assert_eq!(flushed, vec![(ViewId(0), "old"), (ViewId(2), "future")]);
+        assert_eq!(buf.flushed_len(), 0);
+        assert_eq!(buf.current_view(), ViewId(2));
+    }
+}

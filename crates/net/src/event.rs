@@ -1,0 +1,160 @@
+//! A small discrete-event kernel.
+//!
+//! Used by the heartbeat failure detector in `dedisys-gms` and the
+//! ordered-multicast algorithms in `dedisys-gc` to simulate genuinely
+//! asynchronous behaviour (timers firing, messages racing) under the
+//! shared virtual clock.
+
+use crate::SimClock;
+use dedisys_types::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point in virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-break sequence (schedule order).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E: Eq> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: Eq> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap inversion: earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event scheduler bound to a [`SimClock`].
+///
+/// Popping an event advances the clock to the event's time, so handlers
+/// always observe a consistent "now".
+///
+/// ```
+/// use dedisys_net::{Scheduler, SimClock};
+/// use dedisys_types::SimDuration;
+///
+/// let clock = SimClock::new();
+/// let mut sched: Scheduler<&str> = Scheduler::new(clock.clone());
+/// sched.schedule_in(SimDuration::from_millis(10), "b");
+/// sched.schedule_in(SimDuration::from_millis(5), "a");
+///
+/// assert_eq!(sched.pop().unwrap().event, "a");
+/// assert_eq!(clock.now().as_nanos(), 5_000_000);
+/// assert_eq!(sched.pop().unwrap().event, "b");
+/// assert!(sched.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    clock: SimClock,
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> Scheduler<E> {
+    /// Creates a scheduler using the shared `clock`.
+    pub fn new(clock: SimClock) -> Self {
+        Self {
+            clock,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.clock.now(), "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.clock.now() + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.clock.advance_to(ev.at);
+        Some(ev)
+    }
+
+    /// Pops the earliest event only if it fires no later than `until`.
+    pub fn pop_until(&mut self, until: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.heap.peek().is_some_and(|ev| ev.at <= until) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the scheduler has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order_with_fifo_ties() {
+        let mut sched: Scheduler<u32> = Scheduler::new(SimClock::new());
+        sched.schedule_in(SimDuration::from_millis(5), 1);
+        sched.schedule_in(SimDuration::from_millis(5), 2);
+        sched.schedule_in(SimDuration::from_millis(1), 0);
+        let order: Vec<u32> = std::iter::from_fn(|| sched.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let clock = SimClock::new();
+        let mut sched: Scheduler<()> = Scheduler::new(clock.clone());
+        sched.schedule_in(SimDuration::from_millis(3), ());
+        sched.pop();
+        assert_eq!(clock.now(), SimTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut sched: Scheduler<u8> = Scheduler::new(SimClock::new());
+        sched.schedule_in(SimDuration::from_millis(10), 1);
+        assert!(sched.pop_until(SimTime::from_nanos(1_000_000)).is_none());
+        assert!(sched.pop_until(SimTime::from_nanos(10_000_000)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let clock = SimClock::new();
+        clock.advance(SimDuration::from_millis(5));
+        let mut sched: Scheduler<()> = Scheduler::new(clock);
+        sched.schedule_at(SimTime::from_nanos(1), ());
+    }
+}

@@ -1,0 +1,169 @@
+//! Link latency and loss modelling.
+
+use dedisys_types::{NodeId, SimDuration};
+use std::collections::HashMap;
+
+/// Latency (and optional deterministic loss) model for node-to-node
+/// links.
+///
+/// The default link latency applies to every pair unless overridden.
+/// Loss is expressed per mille and injected deterministically from an
+/// internal xorshift sequence, keeping simulations reproducible without
+/// an external RNG dependency.
+///
+/// ```
+/// use dedisys_net::LatencyModel;
+/// use dedisys_types::{NodeId, SimDuration};
+///
+/// let mut model = LatencyModel::uniform_micros(500);
+/// model.set_link(NodeId(0), NodeId(1), SimDuration::from_millis(5));
+/// assert_eq!(model.latency(NodeId(0), NodeId(1)), SimDuration::from_millis(5));
+/// assert_eq!(model.latency(NodeId(1), NodeId(0)), SimDuration::from_millis(5));
+/// assert_eq!(model.latency(NodeId(0), NodeId(2)), SimDuration::from_micros(500));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    default: SimDuration,
+    overrides: HashMap<(NodeId, NodeId), SimDuration>,
+    loss_per_mille: u16,
+    rng_state: u64,
+}
+
+impl LatencyModel {
+    /// A model where every link has the same latency.
+    pub fn uniform(latency: SimDuration) -> Self {
+        Self {
+            default: latency,
+            overrides: HashMap::new(),
+            loss_per_mille: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// A uniform model with latency in microseconds.
+    pub fn uniform_micros(micros: u64) -> Self {
+        Self::uniform(SimDuration::from_micros(micros))
+    }
+
+    /// A uniform model with latency in milliseconds.
+    pub fn uniform_millis(millis: u64) -> Self {
+        Self::uniform(SimDuration::from_millis(millis))
+    }
+
+    /// A zero-latency model (useful in logic-only tests).
+    pub fn instant() -> Self {
+        Self::uniform(SimDuration::ZERO)
+    }
+
+    /// Overrides the latency of an (undirected) link.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, latency: SimDuration) -> &mut Self {
+        self.overrides.insert(Self::key(a, b), latency);
+        self
+    }
+
+    /// Sets a deterministic message-loss rate in per mille (0–1000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    pub fn set_loss_per_mille(&mut self, per_mille: u16) -> &mut Self {
+        assert!(per_mille <= 1000, "loss rate must be at most 1000‰");
+        self.loss_per_mille = per_mille;
+        self
+    }
+
+    /// The configured loss rate in per mille.
+    pub fn loss_per_mille(&self) -> u16 {
+        self.loss_per_mille
+    }
+
+    /// Latency of the link between `a` and `b` (zero for `a == b`).
+    pub fn latency(&self, a: NodeId, b: NodeId) -> SimDuration {
+        if a == b {
+            return SimDuration::ZERO;
+        }
+        self.overrides
+            .get(&Self::key(a, b))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Draws the next loss decision from the deterministic sequence.
+    /// Returns `true` if the message should be dropped.
+    pub fn next_loss(&mut self) -> bool {
+        if self.loss_per_mille == 0 {
+            return false;
+        }
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let sample = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 54) % 1000;
+        (sample as u16) < self.loss_per_mille
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// 500 µs per hop — the order of magnitude of the paper's 100 Mbit
+    /// LAN round trips.
+    fn default() -> Self {
+        Self::uniform_micros(500)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_latency_is_zero() {
+        let model = LatencyModel::uniform_millis(3);
+        assert_eq!(model.latency(NodeId(1), NodeId(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overrides_are_undirected() {
+        let mut model = LatencyModel::instant();
+        model.set_link(NodeId(2), NodeId(0), SimDuration::from_millis(7));
+        assert_eq!(
+            model.latency(NodeId(0), NodeId(2)),
+            SimDuration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn loss_sequence_is_deterministic_and_roughly_calibrated() {
+        let mut a = LatencyModel::instant();
+        a.set_loss_per_mille(100);
+        let mut b = LatencyModel::instant();
+        b.set_loss_per_mille(100);
+        let seq_a: Vec<bool> = (0..1000).map(|_| a.next_loss()).collect();
+        let seq_b: Vec<bool> = (0..1000).map(|_| b.next_loss()).collect();
+        assert_eq!(seq_a, seq_b);
+        let drops = seq_a.iter().filter(|&&d| d).count();
+        // ~10% with generous tolerance
+        assert!((50..200).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut model = LatencyModel::instant();
+        assert!((0..100).all(|_| !model.next_loss()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1000")]
+    fn loss_rate_validated() {
+        LatencyModel::instant().set_loss_per_mille(1001);
+    }
+}

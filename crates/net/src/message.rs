@@ -1,0 +1,46 @@
+//! Message envelopes.
+
+use dedisys_types::{NodeId, SimTime};
+
+/// A message in flight (or delivered) between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender node.
+    pub from: NodeId,
+    /// Receiver node.
+    pub to: NodeId,
+    /// Virtual time at which the message was sent.
+    pub sent_at: SimTime,
+    /// Virtual time at which the message is (to be) delivered.
+    pub deliver_at: SimTime,
+    /// Router-assigned sequence number (global send order).
+    pub seq: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// One-way latency experienced by this message.
+    pub fn latency(&self) -> dedisys_types::SimDuration {
+        self.deliver_at.since(self.sent_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::SimDuration;
+
+    #[test]
+    fn latency_is_delivery_minus_send() {
+        let env = Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            sent_at: SimTime::from_nanos(100),
+            deliver_at: SimTime::from_nanos(1_100),
+            seq: 0,
+            payload: (),
+        };
+        assert_eq!(env.latency(), SimDuration::from_nanos(1_000));
+    }
+}

@@ -1,0 +1,279 @@
+//! Point-to-point and multicast message routing with delivery
+//! scheduling, partition enforcement, loss injection and statistics.
+
+use crate::{Envelope, LatencyModel, NetStats, SimClock, Topology};
+use dedisys_types::{Error, NodeId, Result, SimTime};
+use std::collections::BinaryHeap;
+
+/// A message whose delivery is pending, ordered by delivery time.
+#[derive(Debug)]
+struct Pending<M> {
+    deliver_at: SimTime,
+    seq: u64,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Pending<M> {}
+
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest first.
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// Routes typed messages between simulated nodes.
+///
+/// Sending checks reachability against the [`Topology`]; unreachable
+/// destinations fail with [`Error::NodeUnreachable`]. Delivery is
+/// scheduled after the link latency; [`Router::deliver_due`] releases
+/// messages whose delivery time has come, [`Router::deliver_all`]
+/// fast-forwards the clock to drain everything.
+#[derive(Debug)]
+pub struct Router<M> {
+    topology: Topology,
+    latency: LatencyModel,
+    clock: SimClock,
+    queue: BinaryHeap<Pending<M>>,
+    next_seq: u64,
+    stats: NetStats,
+}
+
+impl<M: Clone> Router<M> {
+    /// Creates a router over `topology` with the given latency model and
+    /// shared clock.
+    pub fn new(topology: Topology, latency: LatencyModel, clock: SimClock) -> Self {
+        Self {
+            topology,
+            latency,
+            clock,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The current topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the topology (partition/heal during tests).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Replaces the topology (on partition/heal the owning cluster
+    /// pushes the updated topology down to the router).
+    pub fn set_topology(&mut self, topology: Topology) {
+        self.topology = topology;
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeUnreachable`] if the destination is in
+    /// another partition. A lossy link may silently drop the message
+    /// (counted in [`NetStats::dropped`]); this mirrors real message
+    /// loss, which the sender does not observe either.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) -> Result<()> {
+        if !self.topology.reachable(from, to) {
+            self.stats.unreachable += 1;
+            return Err(Error::NodeUnreachable(to));
+        }
+        self.stats.sent += 1;
+        if self.latency.next_loss() {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let now = self.clock.now();
+        let deliver_at = now + self.latency.latency(from, to);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Pending {
+            deliver_at,
+            seq,
+            envelope: Envelope {
+                from,
+                to,
+                sent_at: now,
+                deliver_at,
+                seq,
+                payload,
+            },
+        });
+        Ok(())
+    }
+
+    /// Multicasts `payload` from `from` to every *reachable* member of
+    /// `group` other than the sender; returns the recipients actually
+    /// addressed.
+    pub fn multicast<'a>(
+        &mut self,
+        from: NodeId,
+        group: impl IntoIterator<Item = &'a NodeId>,
+        payload: M,
+    ) -> Vec<NodeId> {
+        let mut reached = Vec::new();
+        for &to in group {
+            if to == from {
+                continue;
+            }
+            if self.send(from, to, payload.clone()).is_ok() {
+                reached.push(to);
+            }
+        }
+        reached
+    }
+
+    /// Delivers every message whose delivery time is `<= now`, in
+    /// delivery-time order.
+    pub fn deliver_due(&mut self) -> Vec<Envelope<M>> {
+        let now = self.clock.now();
+        let mut out = Vec::new();
+        while let Some(head) = self.queue.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let pending = self.queue.pop().expect("peeked");
+            // Messages in flight when a partition occurs are lost if the
+            // destination became unreachable (link failed mid-flight).
+            if self
+                .topology
+                .reachable(pending.envelope.from, pending.envelope.to)
+            {
+                self.stats.delivered += 1;
+                out.push(pending.envelope);
+            } else {
+                self.stats.dropped += 1;
+            }
+        }
+        out
+    }
+
+    /// Fast-forwards the clock to drain and deliver every pending
+    /// message, in delivery order.
+    pub fn deliver_all(&mut self) -> Vec<Envelope<M>> {
+        if let Some(latest) = self.queue.iter().map(|p| p.deliver_at).max() {
+            self.clock.advance_to(latest);
+        }
+        self.deliver_due()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::SimDuration;
+
+    fn router(n: u32, micros: u64) -> Router<u32> {
+        Router::new(
+            Topology::fully_connected(n),
+            LatencyModel::uniform_micros(micros),
+            SimClock::new(),
+        )
+    }
+
+    #[test]
+    fn send_schedules_delivery_after_latency() {
+        let mut r = router(2, 500);
+        r.send(NodeId(0), NodeId(1), 42).unwrap();
+        assert!(r.deliver_due().is_empty(), "not yet due");
+        r.clock().advance(SimDuration::from_micros(500));
+        let delivered = r.deliver_due();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 42);
+        assert_eq!(delivered[0].latency(), SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn unreachable_destination_errors() {
+        let mut r = router(3, 1);
+        r.topology_mut().split(&[&[0], &[1, 2]]);
+        assert_eq!(
+            r.send(NodeId(0), NodeId(1), 1),
+            Err(Error::NodeUnreachable(NodeId(1)))
+        );
+        assert_eq!(r.stats().unreachable, 1);
+    }
+
+    #[test]
+    fn multicast_skips_sender_and_unreachable() {
+        let mut r = router(4, 1);
+        r.topology_mut().split(&[&[0, 1, 2], &[3]]);
+        let group: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let reached = r.multicast(NodeId(0), &group, 7);
+        assert_eq!(reached, vec![NodeId(1), NodeId(2)]);
+        let delivered = r.deliver_all();
+        assert_eq!(delivered.len(), 2);
+    }
+
+    #[test]
+    fn deliveries_come_out_in_delivery_time_order() {
+        let mut r = Router::new(
+            Topology::fully_connected(3),
+            LatencyModel::instant(),
+            SimClock::new(),
+        );
+        let mut model = LatencyModel::instant();
+        model.set_link(NodeId(0), NodeId(1), SimDuration::from_millis(10));
+        model.set_link(NodeId(0), NodeId(2), SimDuration::from_millis(1));
+        r.latency = model;
+        r.send(NodeId(0), NodeId(1), 1).unwrap();
+        r.send(NodeId(0), NodeId(2), 2).unwrap();
+        let delivered = r.deliver_all();
+        assert_eq!(
+            delivered.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+    }
+
+    #[test]
+    fn partition_drops_in_flight_messages() {
+        let mut r = router(2, 500);
+        r.send(NodeId(0), NodeId(1), 9).unwrap();
+        r.topology_mut().split(&[&[0], &[1]]);
+        let delivered = r.deliver_all();
+        assert!(delivered.is_empty());
+        assert_eq!(r.stats().dropped, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_silently() {
+        let mut model = LatencyModel::instant();
+        model.set_loss_per_mille(1000); // drop everything
+        let mut r = Router::new(Topology::fully_connected(2), model, SimClock::new());
+        r.send(NodeId(0), NodeId(1), 5).unwrap();
+        assert_eq!(r.in_flight(), 0);
+        assert_eq!(r.stats().dropped, 1);
+        assert_eq!(r.stats().sent, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Network statistics.
+
+use std::fmt;
+
+/// Counters accumulated by a [`crate::Router`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Messages accepted for sending.
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages dropped (lossy link or partition while in flight).
+    pub dropped: u64,
+    /// Send attempts rejected because the destination was unreachable.
+    pub unreachable: u64,
+}
+
+impl NetStats {
+    /// Messages still unaccounted for (in flight).
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.delivered - self.dropped
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} unreachable={}",
+            self.sent, self.delivered, self.dropped, self.unreachable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_accounting() {
+        let stats = NetStats {
+            sent: 10,
+            delivered: 6,
+            dropped: 1,
+            unreachable: 2,
+        };
+        assert_eq!(stats.in_flight(), 3);
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Node topology and network partitions.
+
+use dedisys_types::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The set of nodes in the system and their current partitioning.
+///
+/// A healthy topology has a single partition containing every node.
+/// [`Topology::split`] installs an arbitrary partitioning (link
+/// failures); [`Topology::heal`] re-unifies everything. A crashed node
+/// is initially indistinguishable from a partition containing only that
+/// node (§1.1), so node failures are modelled as singleton partitions
+/// via [`Topology::isolate`].
+///
+/// ```
+/// use dedisys_net::Topology;
+/// use dedisys_types::NodeId;
+///
+/// let mut topo = Topology::fully_connected(4);
+/// assert!(topo.reachable(NodeId(0), NodeId(3)));
+///
+/// topo.split(&[&[0, 1], &[2, 3]]);
+/// assert!(!topo.reachable(NodeId(0), NodeId(3)));
+/// assert!(topo.reachable(NodeId(2), NodeId(3)));
+///
+/// topo.heal();
+/// assert!(topo.reachable(NodeId(0), NodeId(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    node_count: u32,
+    partitions: Vec<BTreeSet<NodeId>>,
+    /// Incremented on every split/heal; observers use it to detect
+    /// membership changes cheaply.
+    epoch: u64,
+}
+
+impl Topology {
+    /// Creates a healthy topology of `n` nodes (ids `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn fully_connected(n: u32) -> Self {
+        assert!(n > 0, "a topology needs at least one node");
+        let all: BTreeSet<NodeId> = (0..n).map(NodeId).collect();
+        Self {
+            node_count: n,
+            partitions: vec![all],
+            epoch: 0,
+        }
+    }
+
+    /// Number of nodes in the system (reachable or not).
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// All node ids in the system.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId)
+    }
+
+    /// Current partitions (each a set of mutually reachable nodes).
+    pub fn partitions(&self) -> &[BTreeSet<NodeId>] {
+        &self.partitions
+    }
+
+    /// The epoch, incremented on every topology change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the system currently has a single partition.
+    pub fn is_healthy(&self) -> bool {
+        self.partitions.len() == 1
+    }
+
+    /// Whether `a` can communicate with `b` in the current partitioning.
+    ///
+    /// A node can always reach itself.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        self.partitions
+            .iter()
+            .any(|p| p.contains(&a) && p.contains(&b))
+    }
+
+    /// The partition containing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of the topology.
+    pub fn partition_of(&self, node: NodeId) -> &BTreeSet<NodeId> {
+        self.partitions
+            .iter()
+            .find(|p| p.contains(&node))
+            .unwrap_or_else(|| panic!("node {node} is not part of the topology"))
+    }
+
+    /// Nodes reachable from `node` (including itself).
+    pub fn reachable_from(&self, node: NodeId) -> BTreeSet<NodeId> {
+        self.partition_of(node).clone()
+    }
+
+    /// Installs a partitioning given as groups of raw node indices.
+    /// Nodes not mentioned in any group each form a singleton partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node appears in more than one group or a group names
+    /// a node outside the topology.
+    pub fn split(&mut self, groups: &[&[u32]]) {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut partitions: Vec<BTreeSet<NodeId>> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut set = BTreeSet::new();
+            for &raw in *group {
+                let node = NodeId(raw);
+                assert!(raw < self.node_count, "node {node} outside topology");
+                assert!(seen.insert(node), "node {node} appears in two groups");
+                set.insert(node);
+            }
+            if !set.is_empty() {
+                partitions.push(set);
+            }
+        }
+        for node in (0..self.node_count).map(NodeId) {
+            if !seen.contains(&node) {
+                partitions.push(BTreeSet::from([node]));
+            }
+        }
+        self.partitions = partitions;
+        self.epoch += 1;
+    }
+
+    /// Isolates a single node into its own partition, leaving the other
+    /// groups intact — models a node crash (pause-crash, §1.1).
+    pub fn isolate(&mut self, node: NodeId) {
+        let mut partitions = Vec::new();
+        for p in &self.partitions {
+            if p.contains(&node) {
+                let mut rest = p.clone();
+                rest.remove(&node);
+                if !rest.is_empty() {
+                    partitions.push(rest);
+                }
+                partitions.push(BTreeSet::from([node]));
+            } else {
+                partitions.push(p.clone());
+            }
+        }
+        self.partitions = partitions;
+        self.epoch += 1;
+    }
+
+    /// Merges two partitions (a repaired link between any member pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are already in the same partition.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            !self.reachable(a, b),
+            "{a} and {b} are already in the same partition"
+        );
+        let pa = self.partition_of(a).clone();
+        let pb = self.partition_of(b).clone();
+        self.partitions.retain(|p| *p != pa && *p != pb);
+        self.partitions.push(pa.union(&pb).cloned().collect());
+        self.epoch += 1;
+    }
+
+    /// Re-unifies the whole system into a single healthy partition.
+    pub fn heal(&mut self) {
+        self.partitions = vec![(0..self.node_count).map(NodeId).collect()];
+        self.epoch += 1;
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology[")?;
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            for (j, n) in p.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{n}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_topology_is_one_partition() {
+        let topo = Topology::fully_connected(3);
+        assert!(topo.is_healthy());
+        assert_eq!(topo.partitions().len(), 1);
+        assert!(topo.reachable(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn split_and_reachability() {
+        let mut topo = Topology::fully_connected(5);
+        topo.split(&[&[0, 1], &[2, 3]]);
+        // node 4 unmentioned -> singleton
+        assert_eq!(topo.partitions().len(), 3);
+        assert!(topo.reachable(NodeId(0), NodeId(1)));
+        assert!(!topo.reachable(NodeId(1), NodeId(2)));
+        assert!(!topo.reachable(NodeId(4), NodeId(0)));
+        assert!(topo.reachable(NodeId(4), NodeId(4)));
+    }
+
+    #[test]
+    fn isolate_models_node_crash() {
+        let mut topo = Topology::fully_connected(3);
+        topo.isolate(NodeId(1));
+        assert_eq!(topo.partitions().len(), 2);
+        assert!(!topo.reachable(NodeId(0), NodeId(1)));
+        assert!(topo.reachable(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn merge_reunifies_two_partitions() {
+        let mut topo = Topology::fully_connected(4);
+        topo.split(&[&[0], &[1], &[2, 3]]);
+        topo.merge(NodeId(0), NodeId(1));
+        assert!(topo.reachable(NodeId(0), NodeId(1)));
+        assert!(!topo.reachable(NodeId(0), NodeId(2)));
+        topo.merge(NodeId(1), NodeId(3));
+        assert!(topo.is_healthy());
+    }
+
+    #[test]
+    fn heal_restores_full_connectivity() {
+        let mut topo = Topology::fully_connected(4);
+        topo.split(&[&[0, 1], &[2, 3]]);
+        let epoch_before = topo.epoch();
+        topo.heal();
+        assert!(topo.is_healthy());
+        assert!(topo.epoch() > epoch_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two groups")]
+    fn split_rejects_duplicate_membership() {
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0, 1], &[1, 2]]);
+    }
+
+    #[test]
+    fn display_shows_partitions() {
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0, 1], &[2]]);
+        assert_eq!(topo.to_string(), "topology[n0,n1 | n2]");
+    }
+}

@@ -1,0 +1,215 @@
+//! Class and method descriptors — the deployment metadata.
+
+use dedisys_types::{ClassName, MethodName, Value};
+use std::collections::BTreeMap;
+
+/// Whether a method reads or writes entity state.
+///
+/// The replication service must know (§4.3): writes trigger update
+/// propagation, reads execute locally. Detection follows the EJB
+/// naming convention (`set` + upper-case letter) unless declared
+/// explicitly; undeclared non-setter methods are conservatively treated
+/// as writes ("to be on the safe side", §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Local read; never propagated.
+    Read,
+    /// State-changing; executed on the primary and propagated.
+    Write,
+}
+
+/// A deployed method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDescriptor {
+    name: MethodName,
+    kind: MethodKind,
+}
+
+impl MethodDescriptor {
+    /// Declares a method, inferring its kind from the naming
+    /// convention: `set*` ⇒ write, `get*` ⇒ read, anything else ⇒
+    /// write (safe side).
+    pub fn by_convention(name: impl Into<MethodName>) -> Self {
+        let name = name.into();
+        let kind = if name.is_setter_convention() {
+            MethodKind::Write
+        } else if name.as_str().starts_with("get") {
+            MethodKind::Read
+        } else {
+            MethodKind::Write
+        };
+        Self { name, kind }
+    }
+
+    /// Declares a method with an explicit kind.
+    pub fn with_kind(name: impl Into<MethodName>, kind: MethodKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The method name.
+    pub fn name(&self) -> &MethodName {
+        &self.name
+    }
+
+    /// The read/write kind.
+    pub fn kind(&self) -> MethodKind {
+        self.kind
+    }
+}
+
+/// A deployed class: field defaults plus declared methods.
+///
+/// Declaring a field `f` implicitly declares the conventional accessor
+/// pair `setF`/`getF`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDescriptor {
+    name: ClassName,
+    fields: BTreeMap<String, Value>,
+    methods: Vec<MethodDescriptor>,
+}
+
+impl ClassDescriptor {
+    /// Creates an empty class descriptor.
+    pub fn new(name: impl Into<ClassName>) -> Self {
+        Self {
+            name: name.into(),
+            fields: BTreeMap::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds a field with its default value, generating `set`/`get`
+    /// accessors.
+    pub fn with_field(mut self, field: impl Into<String>, default: Value) -> Self {
+        let field = field.into();
+        let cap = capitalize(&field);
+        self.methods.push(MethodDescriptor::with_kind(
+            format!("set{cap}"),
+            MethodKind::Write,
+        ));
+        self.methods.push(MethodDescriptor::with_kind(
+            format!("get{cap}"),
+            MethodKind::Read,
+        ));
+        self.fields.insert(field, default);
+        self
+    }
+
+    /// Adds an explicitly described method.
+    pub fn with_method(mut self, method: MethodDescriptor) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &ClassName {
+        &self.name
+    }
+
+    /// Default field values for new instances.
+    pub fn default_fields(&self) -> BTreeMap<String, Value> {
+        self.fields.clone()
+    }
+
+    /// Declared field names in order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.keys().map(String::as_str)
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &MethodName) -> Option<&MethodDescriptor> {
+        self.methods.iter().find(|m| m.name() == name)
+    }
+
+    /// All declared methods.
+    pub fn methods(&self) -> &[MethodDescriptor] {
+        &self.methods
+    }
+}
+
+/// A deployed application: a set of classes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AppDescriptor {
+    name: String,
+    classes: Vec<ClassDescriptor>,
+}
+
+impl AppDescriptor {
+    /// Creates an empty application descriptor.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Adds a class.
+    pub fn with_class(mut self, class: ClassDescriptor) -> Self {
+        self.classes.push(class);
+        self
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a class by name.
+    pub fn class(&self, name: &ClassName) -> Option<&ClassDescriptor> {
+        self.classes.iter().find(|c| c.name() == name)
+    }
+
+    /// All deployed classes.
+    pub fn classes(&self) -> &[ClassDescriptor] {
+        &self.classes
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convention_based_kinds() {
+        assert_eq!(
+            MethodDescriptor::by_convention("setSeats").kind(),
+            MethodKind::Write
+        );
+        assert_eq!(
+            MethodDescriptor::by_convention("getSeats").kind(),
+            MethodKind::Read
+        );
+        // Safe side: unknown naming is a write.
+        assert_eq!(
+            MethodDescriptor::by_convention("recompute").kind(),
+            MethodKind::Write
+        );
+    }
+
+    #[test]
+    fn fields_generate_accessors() {
+        let class = ClassDescriptor::new("Flight").with_field("seats", Value::Int(0));
+        assert!(class.method(&MethodName::from("setSeats")).is_some());
+        assert!(class.method(&MethodName::from("getSeats")).is_some());
+        assert_eq!(class.default_fields()["seats"], Value::Int(0));
+    }
+
+    #[test]
+    fn app_lookup() {
+        let app = AppDescriptor::new("a").with_class(ClassDescriptor::new("Alarm"));
+        assert!(app.class(&ClassName::from("Alarm")).is_some());
+        assert!(app.class(&ClassName::from("Nope")).is_none());
+        assert_eq!(app.name(), "a");
+    }
+}

@@ -1,0 +1,380 @@
+//! Per-node entity storage with transactional write buffering.
+
+use crate::{AppDescriptor, EntityState};
+use dedisys_types::{ClassName, Error, ObjectId, Result, SimTime, TxId, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Operation counters of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContainerStats {
+    /// Entities created (committed).
+    pub creates: u64,
+    /// Field writes (buffered).
+    pub writes: u64,
+    /// Field reads.
+    pub reads: u64,
+    /// Entities deleted (committed).
+    pub deletes: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions rolled back.
+    pub rollbacks: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TxBuffer {
+    entities: BTreeMap<ObjectId, EntityState>,
+    created: HashSet<ObjectId>,
+    deleted: HashSet<ObjectId>,
+}
+
+/// Entity storage of one node (one replica set member).
+///
+/// Writes are buffered per transaction (read-your-writes) and applied
+/// on [`EntityContainer::commit`]; [`EntityContainer::rollback`]
+/// discards them — giving the "A" and "I" of the AID transactions the
+/// balancing approach builds upon (Figure 1.2).
+#[derive(Debug, Clone)]
+pub struct EntityContainer {
+    app: AppDescriptor,
+    committed: BTreeMap<ObjectId, EntityState>,
+    buffers: HashMap<TxId, TxBuffer>,
+    stats: ContainerStats,
+}
+
+impl EntityContainer {
+    /// Creates an empty container for `app`.
+    pub fn new(app: &AppDescriptor) -> Self {
+        Self {
+            app: app.clone(),
+            committed: BTreeMap::new(),
+            buffers: HashMap::new(),
+            stats: ContainerStats::default(),
+        }
+    }
+
+    /// The deployed application.
+    pub fn app(&self) -> &AppDescriptor {
+        &self.app
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> ContainerStats {
+        self.stats
+    }
+
+    /// Creates `entity` within `tx`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ClassNotDeployed`] — unknown class.
+    /// * [`Error::ObjectExists`] — id already taken (visible to `tx`).
+    pub fn create(&mut self, tx: TxId, entity: EntityState) -> Result<()> {
+        if self.app.class(entity.id().class()).is_none() {
+            return Err(Error::ClassNotDeployed(entity.id().class().to_string()));
+        }
+        if self.exists(tx, entity.id()) {
+            return Err(Error::ObjectExists(entity.id().clone()));
+        }
+        let id = entity.id().clone();
+        let buffer = self.buffers.entry(tx).or_default();
+        buffer.deleted.remove(&id);
+        buffer.created.insert(id.clone());
+        buffer.entities.insert(id, entity);
+        Ok(())
+    }
+
+    /// Deletes the entity within `tx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ObjectNotFound`] if not visible to `tx`.
+    pub fn delete(&mut self, tx: TxId, id: &ObjectId) -> Result<()> {
+        if !self.exists(tx, id) {
+            return Err(Error::ObjectNotFound(id.clone()));
+        }
+        let buffer = self.buffers.entry(tx).or_default();
+        buffer.entities.remove(id);
+        buffer.created.remove(id);
+        buffer.deleted.insert(id.clone());
+        Ok(())
+    }
+
+    /// Whether `id` is visible to `tx` (committed or created in `tx`,
+    /// and not deleted in `tx`).
+    pub fn exists(&self, tx: TxId, id: &ObjectId) -> bool {
+        if let Some(buffer) = self.buffers.get(&tx) {
+            if buffer.deleted.contains(id) {
+                return false;
+            }
+            if buffer.entities.contains_key(id) {
+                return true;
+            }
+        }
+        self.committed.contains_key(id)
+    }
+
+    /// Reads `field` of `id` as visible to `tx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ObjectNotFound`] if not visible to `tx`.
+    pub fn read_field(&mut self, tx: TxId, id: &ObjectId, field: &str) -> Result<Value> {
+        self.stats.reads += 1;
+        self.view(tx, id).map(|e| e.field(field).clone())
+    }
+
+    /// Writes `field` of `id` within `tx` (copy-on-write buffering).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ObjectNotFound`] if not visible to `tx`.
+    pub fn write_field(
+        &mut self,
+        tx: TxId,
+        id: &ObjectId,
+        field: &str,
+        value: Value,
+        at: SimTime,
+    ) -> Result<()> {
+        self.stats.writes += 1;
+        let base = self.view(tx, id)?.clone();
+        let buffer = self.buffers.entry(tx).or_default();
+        let entity = buffer.entities.entry(id.clone()).or_insert(base);
+        entity.set_field(field, value, at);
+        Ok(())
+    }
+
+    /// The entity state of `id` as visible to `tx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ObjectNotFound`] if not visible to `tx`.
+    pub fn view(&self, tx: TxId, id: &ObjectId) -> Result<&EntityState> {
+        if let Some(buffer) = self.buffers.get(&tx) {
+            if buffer.deleted.contains(id) {
+                return Err(Error::ObjectNotFound(id.clone()));
+            }
+            if let Some(e) = buffer.entities.get(id) {
+                return Ok(e);
+            }
+        }
+        self.committed
+            .get(id)
+            .ok_or_else(|| Error::ObjectNotFound(id.clone()))
+    }
+
+    /// The state of `id` as buffered by `tx` on this node, if `tx`
+    /// created or modified it here (`None` if untouched or deleted).
+    /// Used by cross-node validation: a distributed transaction's
+    /// buffered writes live on the nodes that executed them.
+    pub fn buffered_view(&self, tx: TxId, id: &ObjectId) -> Option<&EntityState> {
+        let buffer = self.buffers.get(&tx)?;
+        if buffer.deleted.contains(id) {
+            return None;
+        }
+        buffer.entities.get(id)
+    }
+
+    /// Applies `tx`'s buffer to the committed state. Returns the ids
+    /// that were written/created and those deleted, in deterministic
+    /// order (input for update propagation).
+    pub fn commit(&mut self, tx: TxId) -> (Vec<ObjectId>, Vec<ObjectId>) {
+        self.stats.commits += 1;
+        let Some(buffer) = self.buffers.remove(&tx) else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut written = Vec::new();
+        for (id, entity) in buffer.entities {
+            if buffer.created.contains(&id) {
+                self.stats.creates += 1;
+            }
+            written.push(id.clone());
+            self.committed.insert(id, entity);
+        }
+        let mut deleted: Vec<ObjectId> = buffer.deleted.into_iter().collect();
+        deleted.sort();
+        for id in &deleted {
+            self.stats.deletes += 1;
+            self.committed.remove(id);
+        }
+        (written, deleted)
+    }
+
+    /// Discards `tx`'s buffer.
+    pub fn rollback(&mut self, tx: TxId) {
+        self.stats.rollbacks += 1;
+        self.buffers.remove(&tx);
+    }
+
+    /// Whether `tx` has buffered any changes.
+    pub fn has_pending(&self, tx: TxId) -> bool {
+        self.buffers
+            .get(&tx)
+            .is_some_and(|b| !b.entities.is_empty() || !b.deleted.is_empty())
+    }
+
+    /// The committed state of `id` (no transaction view).
+    pub fn committed_entity(&self, id: &ObjectId) -> Option<&EntityState> {
+        self.committed.get(id)
+    }
+
+    /// Directly installs a committed state, bypassing transactions —
+    /// used by the replication service when applying propagated updates
+    /// to backup replicas.
+    pub fn install_committed(&mut self, entity: EntityState) {
+        self.committed.insert(entity.id().clone(), entity);
+    }
+
+    /// Directly removes a committed entity (propagated delete).
+    pub fn remove_committed(&mut self, id: &ObjectId) -> Option<EntityState> {
+        self.committed.remove(id)
+    }
+
+    /// All committed entities of `class`, in id order (query
+    /// operations used by invariant constraints without context object).
+    pub fn entities_of_class<'a>(
+        &'a self,
+        class: &'a ClassName,
+    ) -> impl Iterator<Item = &'a EntityState> + 'a {
+        self.committed
+            .values()
+            .filter(move |e| e.id().class() == class)
+    }
+
+    /// Number of committed entities.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether no entities are committed.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClassDescriptor;
+    use dedisys_types::NodeId;
+
+    fn app() -> AppDescriptor {
+        AppDescriptor::new("test").with_class(
+            ClassDescriptor::new("Flight")
+                .with_field("seats", Value::Int(0))
+                .with_field("soldTickets", Value::Int(0)),
+        )
+    }
+
+    fn tx(n: u64) -> TxId {
+        TxId::new(NodeId(0), n)
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn flight(c: &mut EntityContainer, tx_: TxId, key: &str) -> ObjectId {
+        let id = ObjectId::new("Flight", key);
+        c.create(tx_, EntityState::for_class(c.app(), &id).unwrap().clone())
+            .unwrap();
+        id
+    }
+
+    #[test]
+    fn create_read_write_commit() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.write_field(tx(1), &id, "seats", Value::Int(80), t0())
+            .unwrap();
+        // Read-your-writes before commit.
+        assert_eq!(c.read_field(tx(1), &id, "seats").unwrap(), Value::Int(80));
+        // Not visible to another transaction yet.
+        assert!(c.read_field(tx(2), &id, "seats").is_err());
+        let (written, deleted) = c.commit(tx(1));
+        assert_eq!(written, vec![id.clone()]);
+        assert!(deleted.is_empty());
+        assert_eq!(c.read_field(tx(2), &id, "seats").unwrap(), Value::Int(80));
+    }
+
+    #[test]
+    fn rollback_discards_buffer() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.commit(tx(1));
+        c.write_field(tx(2), &id, "seats", Value::Int(99), t0())
+            .unwrap();
+        assert!(c.has_pending(tx(2)));
+        c.rollback(tx(2));
+        assert_eq!(c.read_field(tx(3), &id, "seats").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn delete_in_tx_hides_object() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.commit(tx(1));
+        c.delete(tx(2), &id).unwrap();
+        assert!(!c.exists(tx(2), &id));
+        assert!(c.exists(tx(3), &id), "still visible to others");
+        let (_, deleted) = c.commit(tx(2));
+        assert_eq!(deleted, vec![id.clone()]);
+        assert!(!c.exists(tx(3), &id));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        let dup = EntityState::for_class(&app(), &id).unwrap();
+        assert_eq!(c.create(tx(1), dup), Err(Error::ObjectExists(id)));
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let mut c = EntityContainer::new(&app());
+        let e = EntityState::new(ObjectId::new("Nope", "1"), BTreeMap::new());
+        assert!(matches!(
+            c.create(tx(1), e),
+            Err(Error::ClassNotDeployed(_))
+        ));
+    }
+
+    #[test]
+    fn entities_of_class_query() {
+        let mut c = EntityContainer::new(&app());
+        flight(&mut c, tx(1), "F1");
+        flight(&mut c, tx(1), "F2");
+        c.commit(tx(1));
+        let class = ClassName::from("Flight");
+        assert_eq!(c.entities_of_class(&class).count(), 2);
+    }
+
+    #[test]
+    fn install_and_remove_committed_bypass_tx() {
+        let mut c = EntityContainer::new(&app());
+        let id = ObjectId::new("Flight", "F1");
+        let mut e = EntityState::for_class(&app(), &id).unwrap();
+        e.set_field("seats", Value::Int(10), t0());
+        c.install_committed(e);
+        assert_eq!(
+            c.committed_entity(&id).unwrap().field("seats"),
+            &Value::Int(10)
+        );
+        assert!(c.remove_committed(&id).is_some());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.write_field(tx(1), &id, "seats", Value::Int(1), t0())
+            .unwrap();
+        c.read_field(tx(1), &id, "seats").unwrap();
+        c.commit(tx(1));
+        let s = c.stats();
+        assert_eq!((s.creates, s.writes, s.reads, s.commits), (1, 1, 1, 1));
+    }
+}

@@ -1,0 +1,180 @@
+//! Entity state records.
+
+use crate::AppDescriptor;
+use dedisys_types::{Error, ObjectId, Result, SimDuration, SimTime, Value, Version, VersionInfo};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The attribute record of one entity replica.
+///
+/// Implements the `VersionedEntity` contract of Figure 4.3: besides the
+/// held [`Version`], the entity can estimate the latest version of the
+/// logical object from its usual update interval, feeding the freshness
+/// criteria used in threat negotiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityState {
+    id: ObjectId,
+    fields: BTreeMap<String, Value>,
+    version: Version,
+    /// Virtual time of the last applied update.
+    last_update_at: SimTime,
+    /// If the entity is usually updated every `interval`, the estimated
+    /// latest version grows accordingly while the copy is stale.
+    expected_update_interval: Option<SimDuration>,
+}
+
+impl EntityState {
+    /// Creates an entity with explicit initial fields.
+    pub fn new(id: ObjectId, fields: BTreeMap<String, Value>) -> Self {
+        Self {
+            id,
+            fields,
+            version: Version::INITIAL,
+            last_update_at: SimTime::ZERO,
+            expected_update_interval: None,
+        }
+    }
+
+    /// Creates an entity with the default field values of its class in
+    /// `app`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ClassNotDeployed`] if the class is unknown.
+    pub fn for_class(app: &AppDescriptor, id: &ObjectId) -> Result<Self> {
+        let class = app
+            .class(id.class())
+            .ok_or_else(|| Error::ClassNotDeployed(id.class().to_string()))?;
+        Ok(Self::new(id.clone(), class.default_fields()))
+    }
+
+    /// The entity id.
+    pub fn id(&self) -> &ObjectId {
+        &self.id
+    }
+
+    /// The value of `field` ([`Value::Null`] if never set).
+    pub fn field(&self, field: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.fields.get(field).unwrap_or(&NULL)
+    }
+
+    /// All fields in name order.
+    pub fn fields(&self) -> &BTreeMap<String, Value> {
+        &self.fields
+    }
+
+    /// Sets `field`, bumping the version and recording the update time.
+    pub fn set_field(&mut self, field: impl Into<String>, value: Value, at: SimTime) {
+        self.fields.insert(field.into(), value);
+        self.version = self.version.next();
+        self.last_update_at = at;
+    }
+
+    /// Overwrites the full state from another replica (update
+    /// propagation), adopting its version.
+    pub fn apply_replica_state(&mut self, other: &EntityState, at: SimTime) {
+        debug_assert_eq!(self.id, other.id, "replica state for a different object");
+        self.fields = other.fields.clone();
+        self.version = other.version;
+        self.last_update_at = at;
+    }
+
+    /// The held version (`getVersion()`).
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Declares the expected update interval used for freshness
+    /// estimation.
+    pub fn set_expected_update_interval(&mut self, interval: SimDuration) {
+        self.expected_update_interval = Some(interval);
+    }
+
+    /// The `VersionedEntity` info at virtual time `now`
+    /// (`getVersion()` / `getEstimatedLatestVersion()`).
+    pub fn version_info(&self, now: SimTime) -> VersionInfo {
+        let estimated = match self.expected_update_interval {
+            Some(interval) if interval > SimDuration::ZERO && now > self.last_update_at => {
+                let missed = now.since(self.last_update_at).as_nanos() / interval.as_nanos();
+                Version(self.version.0 + missed)
+            }
+            _ => self.version,
+        };
+        VersionInfo::new(self.version, estimated)
+    }
+
+    /// Serializes the state for persistence/propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persistence`] on serialization failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::Persistence(e.to_string()))
+    }
+
+    /// Restores a state serialized by [`EntityState::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persistence`] on deserialization failure.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| Error::Persistence(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity() -> EntityState {
+        EntityState::new(ObjectId::new("Flight", "F1"), BTreeMap::new())
+    }
+
+    #[test]
+    fn set_field_bumps_version() {
+        let mut e = entity();
+        assert_eq!(e.version(), Version(0));
+        e.set_field("seats", Value::Int(80), SimTime::from_nanos(5));
+        assert_eq!(e.version(), Version(1));
+        assert_eq!(e.field("seats"), &Value::Int(80));
+        assert_eq!(e.field("unknown"), &Value::Null);
+    }
+
+    #[test]
+    fn version_info_estimates_missed_updates() {
+        let mut e = entity();
+        e.set_field("x", Value::Int(1), SimTime::from_nanos(0));
+        e.set_expected_update_interval(SimDuration::from_millis(10));
+        let info = e.version_info(SimTime::from_nanos(35_000_000));
+        assert_eq!(info.version, Version(1));
+        assert_eq!(info.missed_updates(), 3);
+    }
+
+    #[test]
+    fn version_info_without_interval_is_fresh() {
+        let e = entity();
+        let info = e.version_info(SimTime::from_nanos(1_000_000));
+        assert_eq!(info.missed_updates(), 0);
+    }
+
+    #[test]
+    fn apply_replica_state_adopts_fields_and_version() {
+        let mut a = entity();
+        let mut b = entity();
+        b.set_field("seats", Value::Int(80), SimTime::from_nanos(1));
+        b.set_field("seats", Value::Int(90), SimTime::from_nanos(2));
+        a.apply_replica_state(&b, SimTime::from_nanos(3));
+        assert_eq!(a.version(), Version(2));
+        assert_eq!(a.field("seats"), &Value::Int(90));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut e = entity();
+        e.set_field("seats", Value::Int(80), SimTime::from_nanos(1));
+        let json = e.to_json().unwrap();
+        let back = EntityState::from_json(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,227 @@
+//! Invocation interception (Figure 4.5).
+//!
+//! JBoss passes an invocation object through a chain of interceptors,
+//! each providing a middleware service (security, transactions, …)
+//! before the final interceptor invokes the bean. Here the chain is
+//! generic over a context type `C` — the middleware node — so
+//! interceptors can reach every service they need.
+
+use crate::Invocation;
+use dedisys_types::{Result, Value};
+
+/// A link of the interceptor chain.
+///
+/// `before` runs on the way in (outermost first); returning an error
+/// aborts the invocation — `after` still runs (with the error result)
+/// for every interceptor whose `before` completed, in reverse order, so
+/// services can release per-invocation state.
+pub trait Interceptor<C> {
+    /// Name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Called before the target method executes.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the invocation (e.g. a violated precondition).
+    fn before(&mut self, cx: &mut C, inv: &mut Invocation) -> Result<()> {
+        let _ = (cx, inv);
+        Ok(())
+    }
+
+    /// Called after the target method executed (or failed); may inspect
+    /// and replace the result — e.g. the CCMgr turns a successful result
+    /// into an error when a postcondition fails.
+    fn after(&mut self, cx: &mut C, inv: &Invocation, result: &mut Result<Value>) {
+        let _ = (cx, inv, result);
+    }
+}
+
+/// An ordered chain of interceptors around a terminal dispatcher.
+pub struct InterceptorChain<C> {
+    interceptors: Vec<Box<dyn Interceptor<C> + Send>>,
+}
+
+impl<C> Default for InterceptorChain<C> {
+    fn default() -> Self {
+        Self {
+            interceptors: Vec::new(),
+        }
+    }
+}
+
+impl<C> std::fmt::Debug for InterceptorChain<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.interceptors.iter().map(|i| i.name()).collect();
+        write!(f, "InterceptorChain{names:?}")
+    }
+}
+
+impl<C> InterceptorChain<C> {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an interceptor (runs after the already-registered ones
+    /// on the way in) — the `standardjboss.xml` configuration step.
+    pub fn push(&mut self, interceptor: Box<dyn Interceptor<C> + Send>) {
+        self.interceptors.push(interceptor);
+    }
+
+    /// Number of registered interceptors.
+    pub fn len(&self) -> usize {
+        self.interceptors.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interceptors.is_empty()
+    }
+
+    /// Passes `inv` through the chain around `terminal` (the container
+    /// dispatch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `before` failure or the (possibly
+    /// interceptor-rewritten) terminal outcome.
+    pub fn invoke(
+        &mut self,
+        cx: &mut C,
+        inv: &mut Invocation,
+        terminal: impl FnOnce(&mut C, &Invocation) -> Result<Value>,
+    ) -> Result<Value> {
+        let mut entered = 0;
+        let mut result: Result<Value> = Ok(Value::Null);
+        let mut aborted = false;
+        for interceptor in &mut self.interceptors {
+            match interceptor.before(cx, inv) {
+                Ok(()) => entered += 1,
+                Err(e) => {
+                    result = Err(e);
+                    aborted = true;
+                    break;
+                }
+            }
+        }
+        if !aborted {
+            result = terminal(cx, inv);
+        }
+        for interceptor in self.interceptors[..entered].iter_mut().rev() {
+            interceptor.after(cx, inv, &mut result);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::{Error, NodeId, ObjectId, TxId};
+
+    #[derive(Default)]
+    struct TraceCtx {
+        log: Vec<String>,
+    }
+
+    struct Tracer {
+        name: String,
+        fail_before: bool,
+    }
+
+    impl Interceptor<TraceCtx> for Tracer {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn before(&mut self, cx: &mut TraceCtx, _inv: &mut Invocation) -> Result<()> {
+            cx.log.push(format!("before:{}", self.name));
+            if self.fail_before {
+                Err(Error::Config("veto".into()))
+            } else {
+                Ok(())
+            }
+        }
+
+        fn after(&mut self, cx: &mut TraceCtx, _inv: &Invocation, _result: &mut Result<Value>) {
+            cx.log.push(format!("after:{}", self.name));
+        }
+    }
+
+    fn tracer(name: &str) -> Box<Tracer> {
+        Box::new(Tracer {
+            name: name.into(),
+            fail_before: false,
+        })
+    }
+
+    fn inv() -> Invocation {
+        Invocation::new(
+            TxId::new(NodeId(0), 1),
+            ObjectId::new("A", "1"),
+            "m",
+            vec![],
+        )
+    }
+
+    #[test]
+    fn chain_wraps_terminal_in_order() {
+        let mut chain: InterceptorChain<TraceCtx> = InterceptorChain::new();
+        chain.push(tracer("tx"));
+        chain.push(tracer("ccm"));
+        let mut cx = TraceCtx::default();
+        let result = chain
+            .invoke(&mut cx, &mut inv(), |cx, _| {
+                cx.log.push("terminal".into());
+                Ok(Value::Int(1))
+            })
+            .unwrap();
+        assert_eq!(result, Value::Int(1));
+        assert_eq!(
+            cx.log,
+            vec![
+                "before:tx",
+                "before:ccm",
+                "terminal",
+                "after:ccm",
+                "after:tx"
+            ]
+        );
+    }
+
+    #[test]
+    fn before_failure_skips_terminal_but_unwinds() {
+        let mut chain: InterceptorChain<TraceCtx> = InterceptorChain::new();
+        chain.push(tracer("outer"));
+        chain.push(Box::new(Tracer {
+            name: "veto".into(),
+            fail_before: true,
+        }));
+        chain.push(tracer("inner"));
+        let mut cx = TraceCtx::default();
+        let result = chain.invoke(&mut cx, &mut inv(), |cx, _| {
+            cx.log.push("terminal".into());
+            Ok(Value::Null)
+        });
+        assert!(result.is_err());
+        assert_eq!(cx.log, vec!["before:outer", "before:veto", "after:outer"]);
+    }
+
+    #[test]
+    fn after_may_rewrite_the_result() {
+        struct Rewriter;
+        impl Interceptor<()> for Rewriter {
+            fn name(&self) -> &str {
+                "rewriter"
+            }
+            fn after(&mut self, _cx: &mut (), _inv: &Invocation, result: &mut Result<Value>) {
+                *result = Err(Error::Config("postcondition failed".into()));
+            }
+        }
+        let mut chain: InterceptorChain<()> = InterceptorChain::new();
+        chain.push(Box::new(Rewriter));
+        let result = chain.invoke(&mut (), &mut inv(), |_, _| Ok(Value::Int(1)));
+        assert!(result.is_err());
+    }
+}

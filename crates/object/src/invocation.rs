@@ -1,0 +1,136 @@
+//! Command-pattern invocation objects.
+
+use dedisys_types::{MethodName, MethodSignature, ObjectId, TxId, Value};
+use std::collections::BTreeMap;
+
+/// A method invocation reified as an object (the command pattern the
+/// paper identifies as *the* enabling factor for middleware
+/// integration, §5.3).
+///
+/// Interceptors may attach arbitrary payload to the invocation — this is
+/// how JBoss associates security contexts or transactions with a call,
+/// and how the CCMgr carries validation bookkeeping here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Transaction the invocation runs in.
+    pub tx: TxId,
+    /// Target object.
+    pub target: ObjectId,
+    /// Invoked method.
+    pub method: MethodName,
+    /// Arguments.
+    pub args: Vec<Value>,
+    /// Attached payload (interceptor-private data).
+    attachments: BTreeMap<String, Value>,
+    /// Nesting depth (0 = top-level client call; >0 = nested call made
+    /// from within a method body — the "internal invocation" case of
+    /// Figure 4.5 that requires AOP-style interception).
+    pub depth: u32,
+}
+
+impl Invocation {
+    /// Creates a top-level invocation.
+    pub fn new(
+        tx: TxId,
+        target: ObjectId,
+        method: impl Into<MethodName>,
+        args: Vec<Value>,
+    ) -> Self {
+        Self {
+            tx,
+            target,
+            method: method.into(),
+            args,
+            attachments: BTreeMap::new(),
+            depth: 0,
+        }
+    }
+
+    /// Derives a nested invocation (one level deeper) within the same
+    /// transaction.
+    pub fn nested(
+        &self,
+        target: ObjectId,
+        method: impl Into<MethodName>,
+        args: Vec<Value>,
+    ) -> Self {
+        Self {
+            tx: self.tx,
+            target,
+            method: method.into(),
+            args,
+            attachments: BTreeMap::new(),
+            depth: self.depth + 1,
+        }
+    }
+
+    /// The `(class, method)` signature for constraint-repository
+    /// lookups.
+    pub fn signature(&self) -> MethodSignature {
+        MethodSignature::new(self.target.class().clone(), self.method.clone())
+    }
+
+    /// Attaches payload under `key` (overwriting).
+    pub fn attach(&mut self, key: impl Into<String>, value: Value) {
+        self.attachments.insert(key.into(), value);
+    }
+
+    /// Reads attached payload.
+    pub fn attachment(&self, key: &str) -> Option<&Value> {
+        self.attachments.get(key)
+    }
+
+    /// The first argument, if present.
+    pub fn arg0(&self) -> Option<&Value> {
+        self.args.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::NodeId;
+
+    fn inv() -> Invocation {
+        Invocation::new(
+            TxId::new(NodeId(0), 1),
+            ObjectId::new("Flight", "F1"),
+            "setSeats",
+            vec![Value::Int(80)],
+        )
+    }
+
+    #[test]
+    fn signature_combines_class_and_method() {
+        assert_eq!(inv().signature().to_string(), "Flight::setSeats");
+    }
+
+    #[test]
+    fn nested_inherits_tx_and_increments_depth() {
+        let outer = inv();
+        let inner = outer.nested(ObjectId::new("Person", "P1"), "getName", vec![]);
+        assert_eq!(inner.tx, outer.tx);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.nested(ObjectId::new("A", "1"), "m", vec![]).depth, 2);
+    }
+
+    #[test]
+    fn attachments_roundtrip() {
+        let mut i = inv();
+        assert!(i.attachment("security").is_none());
+        i.attach("security", Value::from("alice"));
+        assert_eq!(i.attachment("security"), Some(&Value::from("alice")));
+    }
+
+    #[test]
+    fn arg0_access() {
+        assert_eq!(inv().arg0(), Some(&Value::Int(80)));
+        let no_args = Invocation::new(
+            TxId::new(NodeId(0), 1),
+            ObjectId::new("A", "1"),
+            "m",
+            vec![],
+        );
+        assert_eq!(no_args.arg0(), None);
+    }
+}

@@ -1,0 +1,313 @@
+//! Method bodies and dispatch.
+
+use crate::{EntityContainer, Invocation};
+use dedisys_types::{Error, MethodSignature, ObjectId, Result, SimTime, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Execution context handed to method bodies.
+///
+/// Gives the business logic transactional access to the entity
+/// container — including *other* objects, enabling nested/cross-object
+/// business operations like `Flight.sellTickets`.
+pub struct MethodContext<'a> {
+    /// The container of the executing node.
+    pub container: &'a mut EntityContainer,
+    /// The invocation being executed.
+    pub invocation: &'a Invocation,
+    /// Current virtual time.
+    pub now: SimTime,
+}
+
+impl<'a> MethodContext<'a> {
+    /// Reads a field of the invocation target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container lookup failures.
+    pub fn read_own(&mut self, field: &str) -> Result<Value> {
+        let target = self.invocation.target.clone();
+        self.read(&target, field)
+    }
+
+    /// Writes a field of the invocation target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container lookup failures.
+    pub fn write_own(&mut self, field: &str, value: Value) -> Result<()> {
+        let target = self.invocation.target.clone();
+        self.write(&target, field, value)
+    }
+
+    /// Reads a field of any object visible to the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container lookup failures.
+    pub fn read(&mut self, id: &ObjectId, field: &str) -> Result<Value> {
+        self.container.read_field(self.invocation.tx, id, field)
+    }
+
+    /// Writes a field of any object visible to the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container lookup failures.
+    pub fn write(&mut self, id: &ObjectId, field: &str, value: Value) -> Result<()> {
+        self.container
+            .write_field(self.invocation.tx, id, field, value, self.now)
+    }
+}
+
+/// Boxed business-logic function of a custom method body.
+pub type CustomBody = Arc<dyn Fn(&mut MethodContext<'_>) -> Result<Value> + Send + Sync>;
+
+/// The implementation of a deployed method.
+#[derive(Clone)]
+pub enum MethodBody {
+    /// Writes the first argument into the named field.
+    SetField(String),
+    /// Returns the named field.
+    GetField(String),
+    /// Does nothing and returns [`Value::Null`] — the "empty method"
+    /// of the Chapter 5 measurements.
+    Empty,
+    /// Arbitrary business logic.
+    Custom(CustomBody),
+}
+
+impl fmt::Debug for MethodBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodBody::SetField(field) => write!(f, "SetField({field})"),
+            MethodBody::GetField(field) => write!(f, "GetField({field})"),
+            MethodBody::Empty => f.write_str("Empty"),
+            MethodBody::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl MethodBody {
+    /// Wraps a closure as a custom body.
+    pub fn custom(
+        f: impl Fn(&mut MethodContext<'_>) -> Result<Value> + Send + Sync + 'static,
+    ) -> Self {
+        MethodBody::Custom(Arc::new(f))
+    }
+
+    /// Executes the body.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Config`] — a `SetField` body invoked without an
+    ///   argument.
+    /// * Anything the body itself produces.
+    pub fn execute(&self, cx: &mut MethodContext<'_>) -> Result<Value> {
+        match self {
+            MethodBody::SetField(field) => {
+                let value = cx
+                    .invocation
+                    .arg0()
+                    .cloned()
+                    .ok_or_else(|| Error::Config(format!("set{field}: missing argument")))?;
+                cx.write_own(field, value)?;
+                Ok(Value::Null)
+            }
+            MethodBody::GetField(field) => cx.read_own(field),
+            MethodBody::Empty => Ok(Value::Null),
+            MethodBody::Custom(f) => f(cx),
+        }
+    }
+}
+
+/// Registered method implementations, keyed by `(class, method)`.
+///
+/// Methods following the `set<Field>`/`get<Field>` convention for a
+/// deployed field need no registration — dispatch derives the accessor
+/// body automatically.
+#[derive(Debug, Clone, Default)]
+pub struct MethodTable {
+    bodies: HashMap<MethodSignature, MethodBody>,
+}
+
+impl MethodTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the body for `(class, method)`.
+    pub fn register(
+        &mut self,
+        class: impl Into<dedisys_types::ClassName>,
+        method: impl Into<dedisys_types::MethodName>,
+        body: MethodBody,
+    ) {
+        self.bodies
+            .insert(MethodSignature::new(class.into(), method.into()), body);
+    }
+
+    /// Resolves the body for an invocation: registered body first, then
+    /// the accessor convention against the class's deployed fields.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ClassNotDeployed`] / [`Error::MethodNotDeployed`] for
+    ///   unknown targets.
+    pub fn resolve(&self, container: &EntityContainer, inv: &Invocation) -> Result<MethodBody> {
+        let sig = inv.signature();
+        if let Some(body) = self.bodies.get(&sig) {
+            return Ok(body.clone());
+        }
+        let class = container
+            .app()
+            .class(inv.target.class())
+            .ok_or_else(|| Error::ClassNotDeployed(inv.target.class().to_string()))?;
+        let name = inv.method.as_str();
+        for (prefix, setter) in [("set", true), ("get", false)] {
+            if let Some(rest) = name.strip_prefix(prefix) {
+                let field = decapitalize(rest);
+                if class.field_names().any(|f| f == field) {
+                    return Ok(if setter {
+                        MethodBody::SetField(field)
+                    } else {
+                        MethodBody::GetField(field)
+                    });
+                }
+            }
+        }
+        if class.method(&inv.method).is_some() {
+            // Declared but no body and no accessor convention: empty.
+            return Ok(MethodBody::Empty);
+        }
+        Err(Error::MethodNotDeployed(sig))
+    }
+
+    /// Resolves and executes the invocation's method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and execution failures.
+    pub fn dispatch(
+        &self,
+        container: &mut EntityContainer,
+        inv: &Invocation,
+        now: SimTime,
+    ) -> Result<Value> {
+        let body = self.resolve(container, inv)?;
+        let mut cx = MethodContext {
+            container,
+            invocation: inv,
+            now,
+        };
+        body.execute(&mut cx)
+    }
+}
+
+fn decapitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppDescriptor, ClassDescriptor, EntityState, MethodDescriptor, MethodKind};
+    use dedisys_types::{NodeId, TxId};
+
+    fn setup() -> (EntityContainer, MethodTable, ObjectId, TxId) {
+        let app = AppDescriptor::new("test").with_class(
+            ClassDescriptor::new("Flight")
+                .with_field("seats", Value::Int(0))
+                .with_field("soldTickets", Value::Int(0))
+                .with_method(MethodDescriptor::with_kind(
+                    "sellTickets",
+                    MethodKind::Write,
+                ))
+                .with_method(MethodDescriptor::with_kind("noop", MethodKind::Read)),
+        );
+        let mut container = EntityContainer::new(&app);
+        let tx = TxId::new(NodeId(0), 1);
+        let id = ObjectId::new("Flight", "F1");
+        container
+            .create(tx, EntityState::for_class(&app, &id).unwrap())
+            .unwrap();
+        (container, MethodTable::new(), id, tx)
+    }
+
+    fn inv(tx: TxId, id: &ObjectId, method: &str, args: Vec<Value>) -> Invocation {
+        Invocation::new(tx, id.clone(), method, args)
+    }
+
+    #[test]
+    fn conventional_accessors_need_no_registration() {
+        let (mut c, table, id, tx) = setup();
+        table
+            .dispatch(
+                &mut c,
+                &inv(tx, &id, "setSeats", vec![Value::Int(80)]),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let got = table
+            .dispatch(&mut c, &inv(tx, &id, "getSeats", vec![]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(got, Value::Int(80));
+    }
+
+    #[test]
+    fn declared_method_without_body_is_empty() {
+        let (mut c, table, id, tx) = setup();
+        let got = table
+            .dispatch(&mut c, &inv(tx, &id, "noop", vec![]), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(got, Value::Null);
+    }
+
+    #[test]
+    fn custom_body_sells_tickets() {
+        let (mut c, mut table, id, tx) = setup();
+        table.register(
+            "Flight",
+            "sellTickets",
+            MethodBody::custom(|cx| {
+                let count = cx.invocation.arg0().and_then(Value::as_int).unwrap_or(1);
+                let sold = cx.read_own("soldTickets")?.as_int().unwrap_or(0);
+                cx.write_own("soldTickets", Value::Int(sold + count))?;
+                Ok(Value::Int(sold + count))
+            }),
+        );
+        let got = table
+            .dispatch(
+                &mut c,
+                &inv(tx, &id, "sellTickets", vec![Value::Int(3)]),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(got, Value::Int(3));
+        assert_eq!(c.read_field(tx, &id, "soldTickets").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let (mut c, table, id, tx) = setup();
+        let err = table
+            .dispatch(&mut c, &inv(tx, &id, "fly", vec![]), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, Error::MethodNotDeployed(_)));
+    }
+
+    #[test]
+    fn setter_without_argument_rejected() {
+        let (mut c, table, id, tx) = setup();
+        let err = table
+            .dispatch(&mut c, &inv(tx, &id, "setSeats", vec![]), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+}

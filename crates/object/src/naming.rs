@@ -1,0 +1,103 @@
+//! Name-to-object bindings (the JNDI stand-in, Figure 4.1 "NS").
+
+use dedisys_types::{Error, ObjectId, Result};
+use std::collections::BTreeMap;
+
+/// A naming service binding string names to object ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NamingService {
+    bindings: BTreeMap<String, ObjectId>,
+}
+
+impl NamingService {
+    /// Creates an empty naming service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the name is already bound (use
+    /// [`NamingService::rebind`] to replace).
+    pub fn bind(&mut self, name: impl Into<String>, id: ObjectId) -> Result<()> {
+        let name = name.into();
+        if self.bindings.contains_key(&name) {
+            return Err(Error::Config(format!("name '{name}' already bound")));
+        }
+        self.bindings.insert(name, id);
+        Ok(())
+    }
+
+    /// Binds `name` to `id`, replacing any previous binding (returned).
+    pub fn rebind(&mut self, name: impl Into<String>, id: ObjectId) -> Option<ObjectId> {
+        self.bindings.insert(name.into(), id)
+    }
+
+    /// Looks up `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if unbound.
+    pub fn lookup(&self, name: &str) -> Result<&ObjectId> {
+        self.bindings
+            .get(name)
+            .ok_or_else(|| Error::Config(format!("name '{name}' not bound")))
+    }
+
+    /// Removes a binding, returning it.
+    pub fn unbind(&mut self, name: &str) -> Option<ObjectId> {
+        self.bindings.remove(name)
+    }
+
+    /// All bindings in name order.
+    pub fn list(&self) -> impl Iterator<Item = (&str, &ObjectId)> {
+        self.bindings.iter().map(|(n, id)| (n.as_str(), id))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let mut ns = NamingService::new();
+        let id = ObjectId::new("Flight", "F1");
+        ns.bind("flights/lh441", id.clone()).unwrap();
+        assert_eq!(ns.lookup("flights/lh441").unwrap(), &id);
+        assert!(ns.bind("flights/lh441", id.clone()).is_err());
+        assert_eq!(ns.unbind("flights/lh441"), Some(id));
+        assert!(ns.lookup("flights/lh441").is_err());
+    }
+
+    #[test]
+    fn rebind_replaces() {
+        let mut ns = NamingService::new();
+        let a = ObjectId::new("A", "1");
+        let b = ObjectId::new("B", "2");
+        assert!(ns.rebind("x", a.clone()).is_none());
+        assert_eq!(ns.rebind("x", b.clone()), Some(a));
+        assert_eq!(ns.lookup("x").unwrap(), &b);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut ns = NamingService::new();
+        ns.bind("b", ObjectId::new("B", "1")).unwrap();
+        ns.bind("a", ObjectId::new("A", "1")).unwrap();
+        let names: Vec<&str> = ns.list().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

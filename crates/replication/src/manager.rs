@@ -1,0 +1,438 @@
+//! The replication manager: placement, propagation, staleness and
+//! degraded-mode tracking.
+
+use crate::ProtocolKind;
+use dedisys_gms::NodeWeights;
+use dedisys_net::Topology;
+use dedisys_object::EntityContainer;
+use dedisys_store::VersionHistory;
+use dedisys_types::{Error, NodeId, ObjectId, Result, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Placement of one logical object.
+#[derive(Debug, Clone)]
+struct Placement {
+    replicas: BTreeSet<NodeId>,
+    primary: NodeId,
+}
+
+/// Result of one synchronous update propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagationReport {
+    /// Backups the update reached (excluding the executing node).
+    pub recipients: Vec<NodeId>,
+    /// Point-to-point messages exchanged (update + confirmation per
+    /// recipient — the protocol propagates synchronously, §4.3).
+    pub messages: u64,
+}
+
+/// Counters kept by the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Updates propagated (create/write/delete commits).
+    pub propagations: u64,
+    /// Point-to-point messages sent for propagation.
+    pub messages: u64,
+    /// Writes executed while the system was degraded.
+    pub degraded_writes: u64,
+    /// Write-write conflicts detected during reconciliation.
+    pub conflicts: u64,
+    /// Missed updates pushed during reconciliation.
+    pub missed_updates: u64,
+}
+
+/// The replication service of a cluster.
+///
+/// Owns placement metadata and degraded-mode bookkeeping; entity state
+/// itself lives in the per-node [`EntityContainer`]s, which the manager
+/// writes through during propagation.
+#[derive(Debug)]
+pub struct ReplicationManager {
+    protocol: ProtocolKind,
+    weights: NodeWeights,
+    placements: HashMap<ObjectId, Placement>,
+    /// Objects written during degraded mode: object → (partition key →
+    /// representative node of that partition).
+    degraded_writes: BTreeMap<ObjectId, BTreeMap<u32, NodeId>>,
+    /// Intermediate states applied during degraded mode, keyed
+    /// `object|partition`, enabling rollback during reconciliation.
+    history: VersionHistory,
+    stats: ReplStats,
+}
+
+impl ReplicationManager {
+    /// Creates a manager for `protocol` with per-node `weights`.
+    pub fn new(protocol: ProtocolKind, weights: NodeWeights) -> Self {
+        Self {
+            protocol,
+            weights,
+            placements: HashMap::new(),
+            degraded_writes: BTreeMap::new(),
+            history: VersionHistory::new(),
+            stats: ReplStats::default(),
+        }
+    }
+
+    /// The protocol in force.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// The node weights.
+    pub fn weights(&self) -> &NodeWeights {
+        &self.weights
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> ReplStats {
+        self.stats
+    }
+
+    /// Switches between full and reduced degraded-mode history
+    /// (the fig5-8 ablation).
+    pub fn set_reduced_history(&mut self, reduced: bool) {
+        self.history = if reduced {
+            VersionHistory::reduced()
+        } else {
+            VersionHistory::new()
+        };
+    }
+
+    /// The degraded-mode state history.
+    pub fn history(&self) -> &VersionHistory {
+        &self.history
+    }
+
+    /// Registers `object` with the given replica set and primary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if `primary` is not in `replicas` or
+    /// the replica set is empty.
+    pub fn register_object(
+        &mut self,
+        object: ObjectId,
+        replicas: impl IntoIterator<Item = NodeId>,
+        primary: NodeId,
+    ) -> Result<()> {
+        let replicas: BTreeSet<NodeId> = replicas.into_iter().collect();
+        if replicas.is_empty() {
+            return Err(Error::Config(format!("{object}: empty replica set")));
+        }
+        if !replicas.contains(&primary) {
+            return Err(Error::Config(format!(
+                "{object}: primary {primary} not in replica set"
+            )));
+        }
+        self.placements
+            .insert(object, Placement { replicas, primary });
+        Ok(())
+    }
+
+    /// Removes placement metadata (after a propagated delete).
+    pub fn unregister_object(&mut self, object: &ObjectId) {
+        self.placements.remove(object);
+    }
+
+    /// The replica set of `object`, if registered.
+    pub fn replicas_of(&self, object: &ObjectId) -> Option<&BTreeSet<NodeId>> {
+        self.placements.get(object).map(|p| &p.replicas)
+    }
+
+    /// The static primary of `object`, if registered.
+    pub fn primary_of(&self, object: &ObjectId) -> Option<NodeId> {
+        self.placements.get(object).map(|p| p.primary)
+    }
+
+    /// The node a write to `object` must execute on (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtocolKind::write_target`]; unregistered objects execute
+    /// locally.
+    pub fn write_target(
+        &self,
+        object: &ObjectId,
+        requester: NodeId,
+        topology: &Topology,
+    ) -> Result<NodeId> {
+        match self.placements.get(object) {
+            None => Ok(requester),
+            Some(p) => self.protocol.write_target(
+                object,
+                requester,
+                &p.replicas,
+                p.primary,
+                topology,
+                &self.weights,
+            ),
+        }
+    }
+
+    /// Whether a read of `object` on `requester` may be stale (LCC).
+    pub fn is_possibly_stale(
+        &self,
+        object: &ObjectId,
+        requester: NodeId,
+        topology: &Topology,
+    ) -> bool {
+        match self.placements.get(object) {
+            None => false,
+            Some(p) => self.protocol.is_possibly_stale(
+                requester,
+                &p.replicas,
+                p.primary,
+                topology,
+                &self.weights,
+            ),
+        }
+    }
+
+    /// Whether any replica of `object` is reachable from `requester`
+    /// (false ⇒ NCC / uncheckable).
+    pub fn is_reachable(&self, object: &ObjectId, requester: NodeId, topology: &Topology) -> bool {
+        match self.placements.get(object) {
+            None => true,
+            Some(p) => {
+                let partition = topology.partition_of(requester);
+                p.replicas.iter().any(|r| partition.contains(r))
+            }
+        }
+    }
+
+    /// Synchronously propagates the committed state of `object` from
+    /// `executed_on` to every reachable backup replica, recording
+    /// degraded-mode bookkeeping when partitions are present.
+    pub fn propagate_update(
+        &mut self,
+        object: &ObjectId,
+        executed_on: NodeId,
+        topology: &Topology,
+        containers: &mut [EntityContainer],
+        now: SimTime,
+    ) -> PropagationReport {
+        self.stats.propagations += 1;
+        let state = containers[executed_on.index()]
+            .committed_entity(object)
+            .cloned();
+        let recipients = self.reachable_backups(object, executed_on, topology);
+        match &state {
+            Some(state) => {
+                for &r in &recipients {
+                    containers[r.index()].install_committed(state.clone());
+                }
+            }
+            None => {
+                // The object was deleted on the executing node.
+                for &r in &recipients {
+                    containers[r.index()].remove_committed(object);
+                }
+            }
+        }
+        let messages = recipients.len() as u64 * 2; // update + confirmation
+        self.stats.messages += messages;
+
+        if !topology.is_healthy() {
+            self.stats.degraded_writes += 1;
+            let pkey = partition_key(executed_on, topology);
+            self.degraded_writes
+                .entry(object.clone())
+                .or_default()
+                .insert(pkey, executed_on);
+            if let Some(state) = &state {
+                let key = history_key(object, pkey);
+                if let Ok(json) = state.to_json() {
+                    self.history.record(key, state.version(), json, now);
+                }
+            }
+        }
+        PropagationReport {
+            recipients,
+            messages,
+        }
+    }
+
+    /// Objects written in at least one partition during degraded mode,
+    /// with the per-partition representative nodes.
+    pub fn degraded_write_map(&self) -> &BTreeMap<ObjectId, BTreeMap<u32, NodeId>> {
+        &self.degraded_writes
+    }
+
+    /// Takes the degraded-write map (used by replica reconciliation).
+    pub(crate) fn take_degraded_writes(&mut self) -> BTreeMap<ObjectId, BTreeMap<u32, NodeId>> {
+        std::mem::take(&mut self.degraded_writes)
+    }
+
+    /// Puts postponed entries back (partial reconciliation, §3.3).
+    pub(crate) fn restore_degraded_writes(
+        &mut self,
+        entries: BTreeMap<ObjectId, BTreeMap<u32, NodeId>>,
+    ) {
+        for (object, partitions) in entries {
+            self.degraded_writes
+                .entry(object)
+                .or_default()
+                .extend(partitions);
+        }
+    }
+
+    pub(crate) fn count_conflict(&mut self) {
+        self.stats.conflicts += 1;
+    }
+
+    pub(crate) fn count_missed_updates(&mut self, n: u64, messages: u64) {
+        self.stats.missed_updates += n;
+        self.stats.messages += messages;
+    }
+
+    /// Clears degraded-mode bookkeeping (after reconciliation
+    /// completes).
+    pub fn clear_degraded_state(&mut self) {
+        self.degraded_writes.clear();
+        self.history.clear();
+    }
+
+    fn reachable_backups(
+        &self,
+        object: &ObjectId,
+        executed_on: NodeId,
+        topology: &Topology,
+    ) -> Vec<NodeId> {
+        let partition = topology.partition_of(executed_on);
+        match self.placements.get(object) {
+            None => Vec::new(),
+            Some(p) => p
+                .replicas
+                .iter()
+                .filter(|&&r| r != executed_on && partition.contains(&r))
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// Partition key: the lowest node id in the partition.
+pub(crate) fn partition_key(node: NodeId, topology: &Topology) -> u32 {
+    topology
+        .partition_of(node)
+        .iter()
+        .next()
+        .expect("partitions are non-empty")
+        .0
+}
+
+/// History key for an object's states in one partition.
+pub(crate) fn history_key(object: &ObjectId, pkey: u32) -> String {
+    format!("{object}|p{pkey}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+    use dedisys_types::{TxId, Value};
+
+    fn app() -> AppDescriptor {
+        AppDescriptor::new("t")
+            .with_class(ClassDescriptor::new("Flight").with_field("seats", Value::Int(0)))
+    }
+
+    fn containers(n: usize) -> Vec<EntityContainer> {
+        (0..n).map(|_| EntityContainer::new(&app())).collect()
+    }
+
+    fn obj() -> ObjectId {
+        ObjectId::new("Flight", "F1")
+    }
+
+    fn mgr(n: u32) -> ReplicationManager {
+        let mut m =
+            ReplicationManager::new(ProtocolKind::PrimaryPerPartition, NodeWeights::uniform(n));
+        m.register_object(obj(), (0..n).map(NodeId), NodeId(0))
+            .unwrap();
+        m
+    }
+
+    fn seed(containers: &mut [EntityContainer], node: usize, seats: i64) {
+        let tx = TxId::new(NodeId(node as u32), 999);
+        let mut e = EntityState::for_class(&app(), &obj()).unwrap();
+        e.set_field("seats", Value::Int(seats), SimTime::ZERO);
+        containers[node].create(tx, e).unwrap();
+        containers[node].commit(tx);
+    }
+
+    #[test]
+    fn propagation_installs_on_reachable_backups() {
+        let mut m = mgr(3);
+        let topo = Topology::fully_connected(3);
+        let mut cs = containers(3);
+        seed(&mut cs, 0, 80);
+        let report = m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert_eq!(report.recipients, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(report.messages, 4);
+        assert_eq!(
+            cs[2].committed_entity(&obj()).unwrap().field("seats"),
+            &Value::Int(80)
+        );
+        assert!(m.degraded_write_map().is_empty(), "healthy: no tracking");
+    }
+
+    #[test]
+    fn degraded_propagation_is_tracked_with_history() {
+        let mut m = mgr(3);
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0], &[1, 2]]);
+        let mut cs = containers(3);
+        seed(&mut cs, 1, 70);
+        let report = m.propagate_update(&obj(), NodeId(1), &topo, &mut cs, SimTime::ZERO);
+        assert_eq!(report.recipients, vec![NodeId(2)]);
+        assert_eq!(m.degraded_write_map().len(), 1);
+        assert_eq!(m.stats().degraded_writes, 1);
+        assert_eq!(m.history().total_entries(), 1);
+    }
+
+    #[test]
+    fn delete_propagates_as_removal() {
+        let mut m = mgr(2);
+        let topo = Topology::fully_connected(2);
+        let mut cs = containers(2);
+        seed(&mut cs, 0, 1);
+        m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert!(cs[1].committed_entity(&obj()).is_some());
+        // Delete on node 0, then propagate.
+        let tx = TxId::new(NodeId(0), 1000);
+        cs[0].delete(tx, &obj()).unwrap();
+        cs[0].commit(tx);
+        m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert!(cs[1].committed_entity(&obj()).is_none());
+    }
+
+    #[test]
+    fn placement_validation() {
+        let mut m = ReplicationManager::new(ProtocolKind::PrimaryBackup, NodeWeights::uniform(2));
+        assert!(m.register_object(obj(), [], NodeId(0)).is_err());
+        assert!(m.register_object(obj(), [NodeId(1)], NodeId(0)).is_err());
+        assert!(m.register_object(obj(), [NodeId(0)], NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn reachability_with_bound_placement() {
+        let mut m =
+            ReplicationManager::new(ProtocolKind::PrimaryPerPartition, NodeWeights::uniform(3));
+        m.register_object(obj(), [NodeId(0), NodeId(1)], NodeId(0))
+            .unwrap();
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0, 1], &[2]]);
+        assert!(m.is_reachable(&obj(), NodeId(0), &topo));
+        assert!(!m.is_reachable(&obj(), NodeId(2), &topo));
+    }
+
+    #[test]
+    fn unregistered_objects_are_local() {
+        let m = ReplicationManager::new(ProtocolKind::PrimaryPerPartition, NodeWeights::uniform(2));
+        let topo = Topology::fully_connected(2);
+        assert_eq!(m.write_target(&obj(), NodeId(1), &topo), Ok(NodeId(1)));
+        assert!(!m.is_possibly_stale(&obj(), NodeId(1), &topo));
+        assert!(m.is_reachable(&obj(), NodeId(1), &topo));
+    }
+}

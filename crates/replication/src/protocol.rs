@@ -1,0 +1,341 @@
+//! Replication protocol selection and placement rules.
+
+use dedisys_gms::NodeWeights;
+use dedisys_net::Topology;
+use dedisys_types::{Error, NodeId, ObjectId, Result};
+use std::collections::BTreeSet;
+
+/// The replication protocol in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolKind {
+    /// Primary/backup: writes go to the static primary; blocked when it
+    /// is unreachable.
+    PrimaryBackup,
+    /// Primary-partition \[RSB93\]: writes allowed only in the primary
+    /// partition (majority weight; ties broken towards the partition
+    /// containing the lowest node id).
+    PrimaryPartition,
+    /// Primary-per-partition (P4) \[BBG+06\]: every partition elects a
+    /// temporary primary per object, trading consistency threats for
+    /// availability.
+    #[default]
+    PrimaryPerPartition,
+    /// Adaptive Voting: majority write quorums, adapted to the
+    /// partition during degraded mode.
+    AdaptiveVoting,
+}
+
+impl ProtocolKind {
+    /// The node on which a write to `object` must execute for a request
+    /// issued on `requester`, or an error if writes are blocked.
+    ///
+    /// `replicas` is the object's replica set, `primary` its static
+    /// primary (always a member of `replicas`).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ObjectUnreachable`] — no replica reachable.
+    /// * [`Error::ModeRestriction`] — protocol blocks writes here.
+    /// * [`Error::NoQuorum`] — voting quorum unavailable (strict mode).
+    pub fn write_target(
+        self,
+        object: &ObjectId,
+        requester: NodeId,
+        replicas: &BTreeSet<NodeId>,
+        primary: NodeId,
+        topology: &Topology,
+        weights: &NodeWeights,
+    ) -> Result<NodeId> {
+        let partition = topology.partition_of(requester);
+        let reachable: BTreeSet<NodeId> = replicas.intersection(partition).copied().collect();
+        if reachable.is_empty() {
+            return Err(Error::ObjectUnreachable(object.clone()));
+        }
+        match self {
+            ProtocolKind::PrimaryBackup => {
+                if reachable.contains(&primary) {
+                    Ok(primary)
+                } else {
+                    Err(Error::ModeRestriction(format!(
+                        "primary {primary} of {object} unreachable under primary-backup"
+                    )))
+                }
+            }
+            ProtocolKind::PrimaryPartition => {
+                if is_primary_partition(partition, topology, weights) {
+                    // Normal operation: the static primary is preferred;
+                    // if it crashed, the lowest reachable replica takes
+                    // over.
+                    Ok(if reachable.contains(&primary) {
+                        primary
+                    } else {
+                        *reachable.iter().next().expect("non-empty")
+                    })
+                } else {
+                    Err(Error::ModeRestriction(format!(
+                        "writes to {object} blocked outside the primary partition"
+                    )))
+                }
+            }
+            ProtocolKind::PrimaryPerPartition => {
+                // Static primary if reachable, otherwise the temporary
+                // per-partition primary (lowest reachable replica).
+                Ok(if reachable.contains(&primary) {
+                    primary
+                } else {
+                    *reachable.iter().next().expect("non-empty")
+                })
+            }
+            ProtocolKind::AdaptiveVoting => {
+                let available = weights.partition_weight(&reachable);
+                let required = weights.partition_weight(replicas) / 2 + 1;
+                if topology.is_healthy() && available < required {
+                    return Err(Error::NoQuorum {
+                        object: object.clone(),
+                        available,
+                        required,
+                    });
+                }
+                // Degraded mode: the quorum is adapted to the partition
+                // (any reachable majority *of the partition's copies*),
+                // accepting consistency threats.
+                Ok(if reachable.contains(&primary) {
+                    primary
+                } else {
+                    *reachable.iter().next().expect("non-empty")
+                })
+            }
+        }
+    }
+
+    /// Whether a read of `object` on `requester` may observe stale
+    /// state under the current topology (feeding LCC classification,
+    /// §3.1).
+    pub fn is_possibly_stale(
+        self,
+        requester: NodeId,
+        replicas: &BTreeSet<NodeId>,
+        primary: NodeId,
+        topology: &Topology,
+        weights: &NodeWeights,
+    ) -> bool {
+        if topology.is_healthy() {
+            return false;
+        }
+        let partition = topology.partition_of(requester);
+        let all_replicas_here = replicas.iter().all(|r| partition.contains(r));
+        match self {
+            // Primary-backup blocks writes elsewhere, so a copy is stale
+            // only if the primary is in another partition (it may have
+            // been updated there when the primary's partition is the
+            // writable one). If the primary is reachable, reads are
+            // authoritative.
+            ProtocolKind::PrimaryBackup => !partition.contains(&primary),
+            // Only the primary partition takes writes: every object
+            // accessed in a non-primary partition is possibly stale
+            // [RSB93].
+            ProtocolKind::PrimaryPartition => !is_primary_partition(partition, topology, weights),
+            // P4: a temporary primary may write in *any* partition, so
+            // objects are possibly stale in every partition [BBG+06] —
+            // unless every replica of the object lives in this
+            // partition (no other partition holds a copy to diverge).
+            ProtocolKind::PrimaryPerPartition | ProtocolKind::AdaptiveVoting => !all_replicas_here,
+        }
+    }
+}
+
+/// Whether `partition` is the primary partition: strictly more than
+/// half the total weight, or exactly half and containing node 0 (tie
+/// break).
+fn is_primary_partition(
+    partition: &BTreeSet<NodeId>,
+    _topology: &Topology,
+    weights: &NodeWeights,
+) -> bool {
+    let w = u64::from(weights.partition_weight(partition));
+    let total = u64::from(weights.total());
+    w * 2 > total || (w * 2 == total && partition.contains(&NodeId(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replicas(n: u32) -> BTreeSet<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn obj() -> ObjectId {
+        ObjectId::new("Flight", "F1")
+    }
+
+    #[test]
+    fn primary_backup_blocks_without_primary() {
+        let mut topo = Topology::fully_connected(3);
+        let w = NodeWeights::uniform(3);
+        let p = ProtocolKind::PrimaryBackup;
+        assert_eq!(
+            p.write_target(&obj(), NodeId(2), &replicas(3), NodeId(0), &topo, &w),
+            Ok(NodeId(0))
+        );
+        topo.split(&[&[0], &[1, 2]]);
+        assert!(matches!(
+            p.write_target(&obj(), NodeId(2), &replicas(3), NodeId(0), &topo, &w),
+            Err(Error::ModeRestriction(_))
+        ));
+        // The primary's own partition still writes.
+        assert_eq!(
+            p.write_target(&obj(), NodeId(0), &replicas(3), NodeId(0), &topo, &w),
+            Ok(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn primary_partition_allows_majority_side_only() {
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0], &[1, 2]]);
+        let w = NodeWeights::uniform(3);
+        let p = ProtocolKind::PrimaryPartition;
+        // Majority partition {1,2} writes (primary crashed -> lowest).
+        assert_eq!(
+            p.write_target(&obj(), NodeId(1), &replicas(3), NodeId(0), &topo, &w),
+            Ok(NodeId(1))
+        );
+        // Minority partition {0} blocked.
+        assert!(matches!(
+            p.write_target(&obj(), NodeId(0), &replicas(3), NodeId(0), &topo, &w),
+            Err(Error::ModeRestriction(_))
+        ));
+    }
+
+    #[test]
+    fn p4_writes_in_every_partition() {
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0], &[1, 2]]);
+        let w = NodeWeights::uniform(3);
+        let p = ProtocolKind::PrimaryPerPartition;
+        assert_eq!(
+            p.write_target(&obj(), NodeId(0), &replicas(3), NodeId(0), &topo, &w),
+            Ok(NodeId(0))
+        );
+        // Temporary primary in {1,2} is the lowest reachable replica.
+        assert_eq!(
+            p.write_target(&obj(), NodeId(2), &replicas(3), NodeId(0), &topo, &w),
+            Ok(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn adaptive_voting_requires_quorum_only_when_healthy() {
+        let w = NodeWeights::uniform(3);
+        let p = ProtocolKind::AdaptiveVoting;
+        let topo = Topology::fully_connected(3);
+        // Healthy with all replicas reachable: fine.
+        assert!(p
+            .write_target(&obj(), NodeId(1), &replicas(3), NodeId(0), &topo, &w)
+            .is_ok());
+        // Degraded minority partition: quorum adapted, write allowed.
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0], &[1, 2]]);
+        assert!(p
+            .write_target(&obj(), NodeId(0), &replicas(3), NodeId(0), &topo, &w)
+            .is_ok());
+    }
+
+    #[test]
+    fn unreachable_object_with_bound_placement() {
+        // DTMS-style: object only on nodes {0,1}.
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0, 1], &[2]]);
+        let w = NodeWeights::uniform(3);
+        let bound: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into();
+        for p in [
+            ProtocolKind::PrimaryBackup,
+            ProtocolKind::PrimaryPerPartition,
+            ProtocolKind::AdaptiveVoting,
+        ] {
+            assert!(matches!(
+                p.write_target(&obj(), NodeId(2), &bound, NodeId(0), &topo, &w),
+                Err(Error::ObjectUnreachable(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn staleness_per_protocol() {
+        let mut topo = Topology::fully_connected(3);
+        let w = NodeWeights::uniform(3);
+        let all = replicas(3);
+        // Healthy: nothing stale.
+        assert!(!ProtocolKind::PrimaryPerPartition.is_possibly_stale(
+            NodeId(1),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+        topo.split(&[&[0], &[1, 2]]);
+        // Primary-backup: stale only away from the primary.
+        assert!(!ProtocolKind::PrimaryBackup.is_possibly_stale(
+            NodeId(0),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+        assert!(ProtocolKind::PrimaryBackup.is_possibly_stale(
+            NodeId(1),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+        // Primary-partition: stale only in the minority partition.
+        assert!(ProtocolKind::PrimaryPartition.is_possibly_stale(
+            NodeId(0),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+        assert!(!ProtocolKind::PrimaryPartition.is_possibly_stale(
+            NodeId(1),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+        // P4: stale in every partition.
+        assert!(ProtocolKind::PrimaryPerPartition.is_possibly_stale(
+            NodeId(0),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+        assert!(ProtocolKind::PrimaryPerPartition.is_possibly_stale(
+            NodeId(2),
+            &all,
+            NodeId(0),
+            &topo,
+            &w
+        ));
+    }
+
+    #[test]
+    fn p4_not_stale_when_all_replicas_local() {
+        // Object bound to {1,2}, both in the same partition: no other
+        // partition can diverge it.
+        let mut topo = Topology::fully_connected(3);
+        topo.split(&[&[0], &[1, 2]]);
+        let w = NodeWeights::uniform(3);
+        let bound: BTreeSet<NodeId> = [NodeId(1), NodeId(2)].into();
+        assert!(!ProtocolKind::PrimaryPerPartition.is_possibly_stale(
+            NodeId(1),
+            &bound,
+            NodeId(1),
+            &topo,
+            &w
+        ));
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-key version histories — the degraded-mode state history.
+//!
+//! The P4 replication protocol stores intermediate states applied
+//! during degraded mode so reconciliation can roll back to a previous
+//! consistent state (§4.3). The history also powers the fig5-8
+//! "reduced history" ablation: with history disabled, only the latest
+//! state is retained.
+
+use dedisys_types::{SimTime, Version};
+use std::collections::HashMap;
+
+/// One recorded state of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Version of the state.
+    pub version: Version,
+    /// Serialized state.
+    pub state: String,
+    /// Virtual time at which the state was applied.
+    pub at: SimTime,
+}
+
+/// Version chains for a set of keys.
+#[derive(Debug, Clone, Default)]
+pub struct VersionHistory {
+    chains: HashMap<String, Vec<HistoryEntry>>,
+    enabled: bool,
+}
+
+impl VersionHistory {
+    /// Creates an enabled history.
+    pub fn new() -> Self {
+        Self {
+            chains: HashMap::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled history (the "reduced history" configuration):
+    /// only the most recent entry per key is retained.
+    pub fn reduced() -> Self {
+        Self {
+            chains: HashMap::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether full chains are being kept.
+    pub fn is_full_history(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a state for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is not strictly newer than the last recorded
+    /// version for the key.
+    pub fn record(&mut self, key: impl Into<String>, version: Version, state: String, at: SimTime) {
+        let chain = self.chains.entry(key.into()).or_default();
+        if let Some(last) = chain.last() {
+            assert!(
+                version > last.version,
+                "history must advance: {version} after {}",
+                last.version
+            );
+        }
+        if !self.enabled {
+            chain.clear();
+        }
+        chain.push(HistoryEntry { version, state, at });
+    }
+
+    /// The most recent entry for `key`.
+    pub fn latest(&self, key: &str) -> Option<&HistoryEntry> {
+        self.chains.get(key)?.last()
+    }
+
+    /// The full chain for `key`, oldest first.
+    pub fn chain(&self, key: &str) -> &[HistoryEntry] {
+        self.chains.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// The state recorded at exactly `version`, if retained.
+    pub fn state_at(&self, key: &str, version: Version) -> Option<&HistoryEntry> {
+        self.chains.get(key)?.iter().find(|e| e.version == version)
+    }
+
+    /// Discards entries newer than `version` for `key` (a rollback),
+    /// returning the new latest entry.
+    pub fn rollback_to(&mut self, key: &str, version: Version) -> Option<&HistoryEntry> {
+        let chain = self.chains.get_mut(key)?;
+        chain.retain(|e| e.version <= version);
+        chain.last()
+    }
+
+    /// Total number of retained entries across all keys (the memory the
+    /// fig5-8 ablation trades away).
+    pub fn total_entries(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// Drops every chain (after successful reconciliation).
+    pub fn clear(&mut self) {
+        self.chains.clear();
+    }
+
+    /// Keys with at least one retained entry, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.chains.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn full_history_keeps_chains() {
+        let mut h = VersionHistory::new();
+        h.record("k", Version(1), "s1".into(), t(1));
+        h.record("k", Version(2), "s2".into(), t(2));
+        assert_eq!(h.chain("k").len(), 2);
+        assert_eq!(h.latest("k").unwrap().state, "s2");
+        assert_eq!(h.state_at("k", Version(1)).unwrap().state, "s1");
+        assert_eq!(h.total_entries(), 2);
+    }
+
+    #[test]
+    fn reduced_history_keeps_only_latest() {
+        let mut h = VersionHistory::reduced();
+        h.record("k", Version(1), "s1".into(), t(1));
+        h.record("k", Version(2), "s2".into(), t(2));
+        assert_eq!(h.chain("k").len(), 1);
+        assert_eq!(h.latest("k").unwrap().state, "s2");
+        assert!(h.state_at("k", Version(1)).is_none());
+    }
+
+    #[test]
+    fn rollback_discards_newer_states() {
+        let mut h = VersionHistory::new();
+        for v in 1..=4 {
+            h.record("k", Version(v), format!("s{v}"), t(v));
+        }
+        let latest = h.rollback_to("k", Version(2)).unwrap();
+        assert_eq!(latest.state, "s2");
+        assert_eq!(h.chain("k").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "history must advance")]
+    fn non_monotonic_versions_rejected() {
+        let mut h = VersionHistory::new();
+        h.record("k", Version(2), "a".into(), t(1));
+        h.record("k", Version(2), "b".into(), t(2));
+    }
+
+    #[test]
+    fn clear_and_keys() {
+        let mut h = VersionHistory::new();
+        h.record("b", Version(1), "x".into(), t(1));
+        h.record("a", Version(1), "y".into(), t(1));
+        assert_eq!(h.keys(), vec!["a", "b"]);
+        h.clear();
+        assert_eq!(h.total_entries(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dedisys-store
+//!
+//! Persistence substrate — the MySQL replacement.
+//!
+//! The original prototype persisted entity-bean state, replica metadata,
+//! intermediate replica states (the degraded-mode history enabling
+//! rollback during reconciliation) and accepted consistency threats in
+//! MySQL. This crate provides the equivalent building blocks:
+//!
+//! * [`TableStore`] — an in-memory multi-table key/value store holding
+//!   serialized records.
+//! * [`WriteAheadLog`] — an append-only log that can be replayed into a
+//!   fresh store (durability realism + crash-recovery tests).
+//! * [`VersionHistory`] — per-key version chains recording the
+//!   intermediate states applied during degraded mode (§4.3).
+//! * [`Persistence`] — a store bound to a [`SimClock`](dedisys_net::SimClock) and
+//!   [`StoreCosts`], so every database access advances virtual time the
+//!   way MySQL round trips consumed wall-clock time in the paper's
+//!   measurements.
+//!
+//! ## Example
+//!
+//! ```
+//! use dedisys_store::TableStore;
+//!
+//! let mut store = TableStore::new();
+//! store.put("flights", "LH-441", r#"{"seats":80}"#.to_owned());
+//! assert_eq!(store.get("flights", "LH-441").unwrap(), r#"{"seats":80}"#);
+//! assert_eq!(store.table_len("flights"), 1);
+//! ```
+
+mod history;
+mod kv;
+mod log;
+mod persistence;
+
+pub use history::{HistoryEntry, VersionHistory};
+pub use kv::TableStore;
+pub use log::{LogEntry, LogOp, WriteAheadLog};
+pub use persistence::{Persistence, StoreCosts, StoreStats};

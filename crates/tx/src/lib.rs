@@ -1,0 +1,42 @@
+//! # dedisys-tx
+//!
+//! Transaction substrate — the JBossTS replacement.
+//!
+//! The balancing approach keeps atomicity, isolation and durability
+//! strictly bound to transactions ("AID" transactions, Figure 1.2)
+//! while replication and constraint consistency operate on top. This
+//! crate provides:
+//!
+//! * [`TransactionManager`] — begin/commit/rollback life cycle,
+//!   **rollback-only** marking (the CCMgr's veto, §4.2.3), and
+//!   per-transaction bookkeeping.
+//! * [`TransactionalResource`] — the participant trait
+//!   (prepare/commit/rollback); the constraint consistency manager
+//!   registers as such a resource to take part in two-phase commit.
+//! * [`TwoPhaseCoordinator`] — a 2PC driver over participants.
+//! * [`LockTable`] — exclusive per-object locks (entity-bean locking).
+//!
+//! ## Example
+//!
+//! ```
+//! use dedisys_tx::{TransactionManager, TxStatus};
+//! use dedisys_types::NodeId;
+//!
+//! let mut tm = TransactionManager::new();
+//! let tx = tm.begin(NodeId(0));
+//! assert_eq!(tm.status(tx), Some(TxStatus::Active));
+//!
+//! tm.set_rollback_only(tx);
+//! assert!(tm.commit(tx).is_err()); // vetoed
+//! assert_eq!(tm.status(tx), Some(TxStatus::RolledBack));
+//! ```
+
+mod locks;
+mod manager;
+mod resource;
+mod two_phase;
+
+pub use locks::LockTable;
+pub use manager::{TransactionManager, TxStats, TxStatus};
+pub use resource::{TransactionalResource, Vote};
+pub use two_phase::TwoPhaseCoordinator;

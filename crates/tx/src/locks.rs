@@ -1,0 +1,140 @@
+//! Exclusive per-object locks.
+
+use dedisys_types::{Error, ObjectId, Result, TxId};
+use std::collections::HashMap;
+
+/// An exclusive lock table keyed by [`ObjectId`] — the entity-bean
+/// locking the paper lists among the services already performed per
+/// invocation (§5.1).
+///
+/// Locks are re-entrant for the holding transaction. The soft-
+/// constraint limitation of §5.3 (a validation transaction must be able
+/// to read objects locked by the business transaction) is honoured by
+/// [`LockTable::acquire_shared_with`], which allows a designated reader
+/// transaction to pass.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    locks: HashMap<ObjectId, TxId>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires the exclusive lock on `object` for `tx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LockConflict`] if another transaction holds the
+    /// lock.
+    pub fn acquire(&mut self, tx: TxId, object: &ObjectId) -> Result<()> {
+        match self.locks.get(object) {
+            Some(&holder) if holder != tx => Err(Error::LockConflict {
+                object: object.clone(),
+                holder,
+            }),
+            _ => {
+                self.locks.insert(object.clone(), tx);
+                Ok(())
+            }
+        }
+    }
+
+    /// Read access for `reader` that tolerates a lock held by
+    /// `business_tx` — the §5.3 soft-constraint validation arrangement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LockConflict`] if a third transaction holds the
+    /// lock.
+    pub fn acquire_shared_with(
+        &mut self,
+        reader: TxId,
+        business_tx: TxId,
+        object: &ObjectId,
+    ) -> Result<()> {
+        match self.locks.get(object) {
+            Some(&holder) if holder != reader && holder != business_tx => {
+                Err(Error::LockConflict {
+                    object: object.clone(),
+                    holder,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The holder of the lock on `object`, if any.
+    pub fn holder(&self, object: &ObjectId) -> Option<TxId> {
+        self.locks.get(object).copied()
+    }
+
+    /// Releases every lock held by `tx`; returns how many were freed.
+    pub fn release_all(&mut self, tx: TxId) -> usize {
+        let before = self.locks.len();
+        self.locks.retain(|_, holder| *holder != tx);
+        before - self.locks.len()
+    }
+
+    /// Number of held locks.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedisys_types::NodeId;
+
+    fn tx(n: u64) -> TxId {
+        TxId::new(NodeId(0), n)
+    }
+
+    fn obj(k: &str) -> ObjectId {
+        ObjectId::new("Flight", k)
+    }
+
+    #[test]
+    fn exclusive_locking_and_reentrancy() {
+        let mut locks = LockTable::new();
+        locks.acquire(tx(1), &obj("a")).unwrap();
+        locks.acquire(tx(1), &obj("a")).unwrap(); // re-entrant
+        assert_eq!(
+            locks.acquire(tx(2), &obj("a")),
+            Err(Error::LockConflict {
+                object: obj("a"),
+                holder: tx(1)
+            })
+        );
+    }
+
+    #[test]
+    fn release_all_frees_only_own_locks() {
+        let mut locks = LockTable::new();
+        locks.acquire(tx(1), &obj("a")).unwrap();
+        locks.acquire(tx(1), &obj("b")).unwrap();
+        locks.acquire(tx(2), &obj("c")).unwrap();
+        assert_eq!(locks.release_all(tx(1)), 2);
+        assert_eq!(locks.len(), 1);
+        assert_eq!(locks.holder(&obj("c")), Some(tx(2)));
+    }
+
+    #[test]
+    fn validation_reader_passes_business_lock() {
+        let mut locks = LockTable::new();
+        locks.acquire(tx(1), &obj("a")).unwrap();
+        // Validation tx(9) may read objects locked by business tx(1)…
+        locks.acquire_shared_with(tx(9), tx(1), &obj("a")).unwrap();
+        // …but not objects locked by a third transaction.
+        locks.acquire(tx(2), &obj("b")).unwrap();
+        assert!(locks.acquire_shared_with(tx(9), tx(1), &obj("b")).is_err());
+    }
+}

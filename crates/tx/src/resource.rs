@@ -1,0 +1,79 @@
+//! The transactional-resource participant trait.
+
+use dedisys_types::TxId;
+
+/// A participant's answer to the prepare phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Vote {
+    /// Ready to commit.
+    Prepared,
+    /// Refuses to commit, with a reason (forces rollback of the
+    /// transaction).
+    Abort(String),
+}
+
+/// A participant in two-phase commit.
+///
+/// The constraint consistency manager registers as such a resource
+/// (§4.2.3): its `prepare` validates the transaction's soft constraints
+/// and votes [`Vote::Abort`] if any are violated or a threat was
+/// rejected.
+pub trait TransactionalResource {
+    /// Human-readable participant name (used in error reporting).
+    fn name(&self) -> &str;
+
+    /// Phase one: vote on whether `tx` may commit.
+    fn prepare(&mut self, tx: TxId) -> Vote;
+
+    /// Phase two (success): make the transaction's effects durable.
+    fn commit(&mut self, tx: TxId);
+
+    /// Phase two (failure) or explicit abort: discard effects.
+    fn rollback(&mut self, tx: TxId);
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A scriptable resource for coordinator tests.
+    #[derive(Debug)]
+    pub struct ScriptedResource {
+        pub name: String,
+        pub vote: Vote,
+        pub prepared: Vec<TxId>,
+        pub committed: Vec<TxId>,
+        pub rolled_back: Vec<TxId>,
+    }
+
+    impl ScriptedResource {
+        pub fn voting(name: &str, vote: Vote) -> Self {
+            Self {
+                name: name.to_owned(),
+                vote,
+                prepared: Vec::new(),
+                committed: Vec::new(),
+                rolled_back: Vec::new(),
+            }
+        }
+    }
+
+    impl TransactionalResource for ScriptedResource {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn prepare(&mut self, tx: TxId) -> Vote {
+            self.prepared.push(tx);
+            self.vote.clone()
+        }
+
+        fn commit(&mut self, tx: TxId) {
+            self.committed.push(tx);
+        }
+
+        fn rollback(&mut self, tx: TxId) {
+            self.rolled_back.push(tx);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The two-phase-commit coordinator.
+
+use crate::{TransactionalResource, Vote};
+use dedisys_types::{Error, Result, TxId};
+
+/// Drives two-phase commit over a set of participants.
+///
+/// Phase one collects votes from every participant; if all vote
+/// [`Vote::Prepared`], phase two commits them all, otherwise every
+/// participant (including those that voted to abort) is rolled back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoPhaseCoordinator {
+    /// Number of 2PC rounds driven.
+    pub rounds: u64,
+    /// Number of rounds that ended in commit.
+    pub commits: u64,
+    /// Number of rounds that ended in abort.
+    pub aborts: u64,
+}
+
+impl TwoPhaseCoordinator {
+    /// Creates a coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs 2PC for `tx` over `participants`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PrepareFailed`] naming the first participant
+    /// that voted to abort; all participants have been rolled back in
+    /// that case.
+    pub fn run(
+        &mut self,
+        tx: TxId,
+        participants: &mut [&mut dyn TransactionalResource],
+    ) -> Result<()> {
+        self.rounds += 1;
+        let mut abort_reason: Option<String> = None;
+        // Phase 1: collect every vote (a real coordinator contacts all
+        // participants even after a no-vote, to learn their state).
+        for p in participants.iter_mut() {
+            if let Vote::Abort(reason) = p.prepare(tx) {
+                if abort_reason.is_none() {
+                    abort_reason = Some(format!("{}: {}", p.name(), reason));
+                }
+            }
+        }
+        // Phase 2.
+        match abort_reason {
+            None => {
+                for p in participants.iter_mut() {
+                    p.commit(tx);
+                }
+                self.commits += 1;
+                Ok(())
+            }
+            Some(resource) => {
+                for p in participants.iter_mut() {
+                    p.rollback(tx);
+                }
+                self.aborts += 1;
+                Err(Error::PrepareFailed { tx, resource })
+            }
+        }
+    }
+
+    /// Rolls back `tx` on every participant without a vote phase
+    /// (explicit application abort).
+    pub fn abort(&mut self, tx: TxId, participants: &mut [&mut dyn TransactionalResource]) {
+        self.rounds += 1;
+        self.aborts += 1;
+        for p in participants.iter_mut() {
+            p.rollback(tx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::test_support::ScriptedResource;
+    use dedisys_types::NodeId;
+
+    fn tx() -> TxId {
+        TxId::new(NodeId(0), 1)
+    }
+
+    #[test]
+    fn unanimous_prepare_commits_all() {
+        let mut a = ScriptedResource::voting("a", Vote::Prepared);
+        let mut b = ScriptedResource::voting("b", Vote::Prepared);
+        let mut coord = TwoPhaseCoordinator::new();
+        coord.run(tx(), &mut [&mut a, &mut b]).unwrap();
+        assert_eq!(a.committed, vec![tx()]);
+        assert_eq!(b.committed, vec![tx()]);
+        assert!(a.rolled_back.is_empty());
+        assert_eq!(coord.commits, 1);
+    }
+
+    #[test]
+    fn single_no_vote_rolls_back_everyone() {
+        let mut a = ScriptedResource::voting("a", Vote::Prepared);
+        let mut b = ScriptedResource::voting("b", Vote::Abort("constraint violated".into()));
+        let mut coord = TwoPhaseCoordinator::new();
+        let err = coord.run(tx(), &mut [&mut a, &mut b]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::PrepareFailed {
+                tx: tx(),
+                resource: "b: constraint violated".into()
+            }
+        );
+        assert!(a.committed.is_empty());
+        assert_eq!(a.rolled_back, vec![tx()]);
+        assert_eq!(b.rolled_back, vec![tx()]);
+        assert_eq!(coord.aborts, 1);
+    }
+
+    #[test]
+    fn all_participants_are_asked_even_after_a_no_vote() {
+        let mut a = ScriptedResource::voting("a", Vote::Abort("x".into()));
+        let mut b = ScriptedResource::voting("b", Vote::Prepared);
+        let mut coord = TwoPhaseCoordinator::new();
+        let _ = coord.run(tx(), &mut [&mut a, &mut b]);
+        assert_eq!(b.prepared, vec![tx()]);
+    }
+
+    #[test]
+    fn explicit_abort_skips_prepare() {
+        let mut a = ScriptedResource::voting("a", Vote::Prepared);
+        let mut coord = TwoPhaseCoordinator::new();
+        coord.abort(tx(), &mut [&mut a]);
+        assert!(a.prepared.is_empty());
+        assert_eq!(a.rolled_back, vec![tx()]);
+    }
+}

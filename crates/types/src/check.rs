@@ -1,0 +1,54 @@
+//! Categories of constraint checks in a partitioned system (§3.1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three categories of constraint checks of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CheckCategory {
+    /// Full Constraint Check — all affected objects up to date.
+    Full,
+    /// Limited Constraint Check — checking possible but some affected
+    /// objects possibly stale.
+    Limited,
+    /// No Constraint Check — at least one affected object unreachable
+    /// (no replica accessible).
+    NoCheck,
+}
+
+impl CheckCategory {
+    /// Whether this category produces a consistency threat (LCC or NCC).
+    pub fn is_threat(self) -> bool {
+        !matches!(self, CheckCategory::Full)
+    }
+}
+
+impl fmt::Display for CheckCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckCategory::Full => "FCC",
+            CheckCategory::Limited => "LCC",
+            CheckCategory::NoCheck => "NCC",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threat_categories() {
+        assert!(!CheckCategory::Full.is_threat());
+        assert!(CheckCategory::Limited.is_threat());
+        assert!(CheckCategory::NoCheck.is_threat());
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(CheckCategory::Full.to_string(), "FCC");
+        assert_eq!(CheckCategory::Limited.to_string(), "LCC");
+        assert_eq!(CheckCategory::NoCheck.to_string(), "NCC");
+    }
+}

@@ -1,0 +1,218 @@
+//! The satisfaction-degree lattice of §3.1/§4.2.2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of validating an integrity constraint, enriched with the
+/// degraded-mode degrees of §3.1.
+///
+/// The dissertation orders the degrees (§4.2.2):
+///
+/// > `violated < uncheckable < possibly violated < possibly satisfied <
+/// > satisfied`
+///
+/// and specifies (§3.1) how the results of a *set* of constraints
+/// combine. That combination is exactly the minimum (meet) under the
+/// ordering above, which [`SatisfactionDegree::combine`] computes.
+///
+/// ```
+/// use dedisys_types::SatisfactionDegree as D;
+/// assert!(D::Violated < D::Uncheckable);
+/// assert!(D::Uncheckable < D::PossiblyViolated);
+/// assert!(D::PossiblyViolated < D::PossiblySatisfied);
+/// assert!(D::PossiblySatisfied < D::Satisfied);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum SatisfactionDegree {
+    /// The constraint is certainly violated.
+    Violated,
+    /// No constraint check was possible (NCC): at least one affected
+    /// object is unreachable with no replica accessible.
+    Uncheckable,
+    /// A limited check (LCC) evaluated to *violated*, but some affected
+    /// objects were possibly stale, so the result is unreliable.
+    PossiblyViolated,
+    /// A limited check (LCC) evaluated to *satisfied*, but some affected
+    /// objects were possibly stale, so the result is unreliable.
+    PossiblySatisfied,
+    /// The constraint is certainly satisfied (full check, FCC).
+    #[default]
+    Satisfied,
+}
+
+impl SatisfactionDegree {
+    /// All degrees in ascending order.
+    pub const ALL: [SatisfactionDegree; 5] = [
+        SatisfactionDegree::Violated,
+        SatisfactionDegree::Uncheckable,
+        SatisfactionDegree::PossiblyViolated,
+        SatisfactionDegree::PossiblySatisfied,
+        SatisfactionDegree::Satisfied,
+    ];
+
+    /// Whether this degree denotes a *consistency threat* (§3.1): the
+    /// constraint could not be validated reliably.
+    ///
+    /// ```
+    /// use dedisys_types::SatisfactionDegree as D;
+    /// assert!(D::PossiblySatisfied.is_threat());
+    /// assert!(D::PossiblyViolated.is_threat());
+    /// assert!(D::Uncheckable.is_threat());
+    /// assert!(!D::Satisfied.is_threat());
+    /// assert!(!D::Violated.is_threat());
+    /// ```
+    pub fn is_threat(self) -> bool {
+        matches!(
+            self,
+            SatisfactionDegree::PossiblySatisfied
+                | SatisfactionDegree::PossiblyViolated
+                | SatisfactionDegree::Uncheckable
+        )
+    }
+
+    /// Whether the constraint is definitely decided (satisfied or
+    /// violated) — i.e. the validation was reliable.
+    pub fn is_definite(self) -> bool {
+        matches!(
+            self,
+            SatisfactionDegree::Satisfied | SatisfactionDegree::Violated
+        )
+    }
+
+    /// Combines the validation results of a set of constraints into the
+    /// overall outcome per §3.1.
+    ///
+    /// Returns [`SatisfactionDegree::Satisfied`] for an empty set (a set
+    /// with no constraints poses no threat).
+    ///
+    /// ```
+    /// use dedisys_types::SatisfactionDegree as D;
+    /// assert_eq!(D::combine([D::Satisfied, D::PossiblyViolated]), D::PossiblyViolated);
+    /// assert_eq!(D::combine([D::Uncheckable, D::PossiblySatisfied]), D::Uncheckable);
+    /// assert_eq!(D::combine([D::Violated, D::Uncheckable]), D::Violated);
+    /// assert_eq!(D::combine(std::iter::empty()), D::Satisfied);
+    /// ```
+    pub fn combine(degrees: impl IntoIterator<Item = SatisfactionDegree>) -> SatisfactionDegree {
+        degrees
+            .into_iter()
+            .min()
+            .unwrap_or(SatisfactionDegree::Satisfied)
+    }
+
+    /// Degrades a *definite* validation result because possibly stale
+    /// objects were involved (§4.2.3): `Satisfied → PossiblySatisfied`,
+    /// `Violated → PossiblyViolated`. Threat degrees are unchanged.
+    pub fn degrade_for_staleness(self) -> SatisfactionDegree {
+        match self {
+            SatisfactionDegree::Satisfied => SatisfactionDegree::PossiblySatisfied,
+            SatisfactionDegree::Violated => SatisfactionDegree::PossiblyViolated,
+            other => other,
+        }
+    }
+
+    /// Parses the configuration-file spelling of a degree
+    /// (case-insensitive; e.g. `"UNCHECKABLE"` in Listing 4.1).
+    pub fn parse_config(s: &str) -> Option<SatisfactionDegree> {
+        match s.to_ascii_uppercase().as_str() {
+            "VIOLATED" => Some(SatisfactionDegree::Violated),
+            "UNCHECKABLE" => Some(SatisfactionDegree::Uncheckable),
+            "POSSIBLY_VIOLATED" | "POSSIBLYVIOLATED" => Some(SatisfactionDegree::PossiblyViolated),
+            "POSSIBLY_SATISFIED" | "POSSIBLYSATISFIED" => {
+                Some(SatisfactionDegree::PossiblySatisfied)
+            }
+            "SATISFIED" => Some(SatisfactionDegree::Satisfied),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SatisfactionDegree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SatisfactionDegree::Violated => "violated",
+            SatisfactionDegree::Uncheckable => "uncheckable",
+            SatisfactionDegree::PossiblyViolated => "possibly violated",
+            SatisfactionDegree::PossiblySatisfied => "possibly satisfied",
+            SatisfactionDegree::Satisfied => "satisfied",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SatisfactionDegree as D;
+
+    #[test]
+    fn ordering_matches_dissertation() {
+        assert!(D::Violated < D::Uncheckable);
+        assert!(D::Uncheckable < D::PossiblyViolated);
+        assert!(D::PossiblyViolated < D::PossiblySatisfied);
+        assert!(D::PossiblySatisfied < D::Satisfied);
+    }
+
+    #[test]
+    fn combine_all_satisfied() {
+        assert_eq!(D::combine([D::Satisfied, D::Satisfied]), D::Satisfied);
+    }
+
+    #[test]
+    fn combine_possibly_satisfied_rule() {
+        // "if all constraints are either satisfied or possibly satisfied
+        // and at least one constraint is possibly satisfied"
+        assert_eq!(
+            D::combine([D::Satisfied, D::PossiblySatisfied]),
+            D::PossiblySatisfied
+        );
+    }
+
+    #[test]
+    fn combine_possibly_violated_rule() {
+        assert_eq!(
+            D::combine([D::Satisfied, D::PossiblySatisfied, D::PossiblyViolated]),
+            D::PossiblyViolated
+        );
+    }
+
+    #[test]
+    fn combine_uncheckable_dominates_possibles_but_not_violated() {
+        assert_eq!(
+            D::combine([D::PossiblySatisfied, D::Uncheckable]),
+            D::Uncheckable
+        );
+        assert_eq!(D::combine([D::Uncheckable, D::Violated]), D::Violated);
+    }
+
+    #[test]
+    fn combine_empty_is_satisfied() {
+        assert_eq!(D::combine(std::iter::empty()), D::Satisfied);
+    }
+
+    #[test]
+    fn degrade_for_staleness() {
+        assert_eq!(D::Satisfied.degrade_for_staleness(), D::PossiblySatisfied);
+        assert_eq!(D::Violated.degrade_for_staleness(), D::PossiblyViolated);
+        assert_eq!(D::Uncheckable.degrade_for_staleness(), D::Uncheckable);
+    }
+
+    #[test]
+    fn threat_classification() {
+        let threats: Vec<_> = D::ALL.iter().filter(|d| d.is_threat()).collect();
+        assert_eq!(
+            threats,
+            [&D::Uncheckable, &D::PossiblyViolated, &D::PossiblySatisfied]
+        );
+    }
+
+    #[test]
+    fn parse_config_spellings() {
+        assert_eq!(D::parse_config("UNCHECKABLE"), Some(D::Uncheckable));
+        assert_eq!(
+            D::parse_config("possibly_satisfied"),
+            Some(D::PossiblySatisfied)
+        );
+        assert_eq!(D::parse_config("nonsense"), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! The workspace error type.
+
+use crate::{ConstraintName, MethodSignature, NodeId, ObjectId, SatisfactionDegree, TxId};
+use std::fmt;
+
+/// Convenience result alias using [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced across the DeDiSys-RS workspace.
+///
+/// Following C-GOOD-ERR, this type implements [`std::error::Error`],
+/// [`fmt::Display`], and is `Send + Sync`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An application object (or all of its replicas) is unreachable
+    /// from the current partition.
+    ObjectUnreachable(ObjectId),
+    /// No object with the given id exists.
+    ObjectNotFound(ObjectId),
+    /// An object with the given id already exists.
+    ObjectExists(ObjectId),
+    /// The class or method is not part of the deployed application.
+    MethodNotDeployed(MethodSignature),
+    /// The class is not part of the deployed application.
+    ClassNotDeployed(String),
+    /// A constraint was violated in healthy mode; the operation was
+    /// aborted (§4.2.3 — the CCMgr sets the transaction rollback-only).
+    ConstraintViolated {
+        /// The violated constraint.
+        constraint: ConstraintName,
+    },
+    /// A consistency threat was not accepted during negotiation; the
+    /// operation was aborted (§3.2.1).
+    ThreatRejected {
+        /// The threatened constraint.
+        constraint: ConstraintName,
+        /// The satisfaction degree that was rejected.
+        degree: SatisfactionDegree,
+    },
+    /// The constraint cannot be checked (affected objects unavailable).
+    ConstraintUncheckable {
+        /// The uncheckable constraint.
+        constraint: ConstraintName,
+    },
+    /// The transaction does not exist or already terminated.
+    NoSuchTransaction(TxId),
+    /// The transaction was marked rollback-only and cannot commit.
+    RollbackOnly(TxId),
+    /// A prepare vote failed during two-phase commit.
+    PrepareFailed {
+        /// The transaction that failed to prepare.
+        tx: TxId,
+        /// The resource that voted no.
+        resource: String,
+    },
+    /// A lock on an object is held by another transaction.
+    LockConflict {
+        /// The contended object.
+        object: ObjectId,
+        /// The transaction holding the lock.
+        holder: TxId,
+    },
+    /// The target node is not reachable from the caller's partition.
+    NodeUnreachable(NodeId),
+    /// A quorum could not be assembled (adaptive voting protocol).
+    NoQuorum {
+        /// The object for which the quorum was requested.
+        object: ObjectId,
+        /// Votes available in the current partition.
+        available: u32,
+        /// Votes required.
+        required: u32,
+    },
+    /// Invalid configuration (constraint descriptor, cluster setup, …).
+    Config(String),
+    /// A constraint-expression parse or evaluation error.
+    Expr(String),
+    /// The invoked operation is not permitted in the current system
+    /// mode (e.g. writes blocked in a non-primary partition).
+    ModeRestriction(String),
+    /// Serialization/persistence failure.
+    Persistence(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ObjectUnreachable(id) => write!(f, "object {id} is unreachable"),
+            Error::ObjectNotFound(id) => write!(f, "object {id} not found"),
+            Error::ObjectExists(id) => write!(f, "object {id} already exists"),
+            Error::MethodNotDeployed(sig) => write!(f, "method {sig} is not deployed"),
+            Error::ClassNotDeployed(c) => write!(f, "class {c} is not deployed"),
+            Error::ConstraintViolated { constraint } => {
+                write!(f, "constraint {constraint} violated")
+            }
+            Error::ThreatRejected { constraint, degree } => {
+                write!(f, "consistency threat on {constraint} ({degree}) rejected")
+            }
+            Error::ConstraintUncheckable { constraint } => {
+                write!(f, "constraint {constraint} uncheckable")
+            }
+            Error::NoSuchTransaction(tx) => write!(f, "no such transaction {tx}"),
+            Error::RollbackOnly(tx) => write!(f, "transaction {tx} is rollback-only"),
+            Error::PrepareFailed { tx, resource } => {
+                write!(f, "resource {resource} failed to prepare transaction {tx}")
+            }
+            Error::LockConflict { object, holder } => {
+                write!(f, "lock on {object} held by {holder}")
+            }
+            Error::NodeUnreachable(n) => write!(f, "node {n} unreachable"),
+            Error::NoQuorum {
+                object,
+                available,
+                required,
+            } => write!(
+                f,
+                "no quorum for {object}: {available} of {required} votes available"
+            ),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Expr(msg) => write!(f, "constraint expression error: {msg}"),
+            Error::ModeRestriction(msg) => write!(f, "operation not allowed: {msg}"),
+            Error::Persistence(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            Error::ObjectUnreachable(ObjectId::new("A", "1")),
+            Error::ConstraintViolated {
+                constraint: ConstraintName::from("TicketConstraint"),
+            },
+            Error::ThreatRejected {
+                constraint: ConstraintName::from("TicketConstraint"),
+                degree: SatisfactionDegree::PossiblyViolated,
+            },
+            Error::NoQuorum {
+                object: ObjectId::new("A", "1"),
+                available: 1,
+                required: 2,
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Identifier newtypes used across the workspace.
+//!
+//! Per C-NEWTYPE, each identifier is a distinct type so a [`NodeId`] can
+//! never be confused with a [`TxId`] and a [`ClassName`] never with a
+//! [`MethodName`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node (server) in the distributed system.
+///
+/// Nodes are numbered densely from zero by the cluster builder.
+///
+/// ```
+/// use dedisys_types::NodeId;
+/// let n = NodeId(2);
+/// assert_eq!(n.to_string(), "n2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a transaction started through the transaction manager.
+///
+/// Transaction ids carry the originating node so ids minted on different
+/// nodes never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId {
+    /// Node on which the transaction was started.
+    pub node: NodeId,
+    /// Per-node sequence number.
+    pub seq: u64,
+}
+
+impl TxId {
+    /// Creates a transaction id from its parts.
+    pub fn new(node: NodeId, seq: u64) -> Self {
+        Self { node, seq }
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx-{}-{}", self.node.0, self.seq)
+    }
+}
+
+/// Identifies a group-membership view (§4.1, GMS).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ViewId(pub u64);
+
+impl ViewId {
+    /// The view id following this one.
+    pub fn next(self) -> ViewId {
+        ViewId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+macro_rules! name_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates the name from anything string-like.
+            pub fn new(name: impl Into<String>) -> Self {
+                Self(name.into())
+            }
+
+            /// Returns the name as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+name_type!(
+    /// Name of an application class (e.g. `"Flight"`).
+    ///
+    /// Classes are the unit upon which invariant constraints define their
+    /// context (§1.6).
+    ClassName,
+    "class"
+);
+
+name_type!(
+    /// Name of a method of an application class (e.g. `"setAlarmKind"`).
+    MethodName,
+    "method"
+);
+
+name_type!(
+    /// Unique name of an integrity constraint within an application
+    /// (§4.2.2: constraint names are unique per application).
+    ConstraintName,
+    "constraint"
+);
+
+impl MethodName {
+    /// Whether this method is considered a *write* under the EJB-style
+    /// naming convention used by the replication service (§4.3): every
+    /// method starting with `set` followed by an upper-case letter.
+    pub fn is_setter_convention(&self) -> bool {
+        let s = self.as_str();
+        match s.strip_prefix("set") {
+            Some(rest) => rest.chars().next().is_some_and(|c| c.is_uppercase()),
+            None => false,
+        }
+    }
+}
+
+/// Identifies a single logical application object: a class plus a
+/// primary key.
+///
+/// ```
+/// use dedisys_types::ObjectId;
+/// let alarm = ObjectId::new("Alarm", "A-17");
+/// assert_eq!(alarm.to_string(), "Alarm#A-17");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId {
+    class: ClassName,
+    key: String,
+}
+
+impl ObjectId {
+    /// Creates an object id for `class` with primary key `key`.
+    pub fn new(class: impl Into<ClassName>, key: impl Into<String>) -> Self {
+        Self {
+            class: class.into(),
+            key: key.into(),
+        }
+    }
+
+    /// The class this object belongs to.
+    pub fn class(&self) -> &ClassName {
+        &self.class
+    }
+
+    /// The primary key within the class.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.class, self.key)
+    }
+}
+
+/// A `(class, method)` pair — the lookup key used by the constraint
+/// repository to find constraints affected by an invocation (§2.1.4).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodSignature {
+    /// Declaring class of the method.
+    pub class: ClassName,
+    /// Name of the method.
+    pub method: MethodName,
+}
+
+impl MethodSignature {
+    /// Creates a method signature from class and method names.
+    pub fn new(class: impl Into<ClassName>, method: impl Into<MethodName>) -> Self {
+        Self {
+            class: class.into(),
+            method: method.into(),
+        }
+    }
+}
+
+impl fmt::Display for MethodSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.class, self.method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+
+    #[test]
+    fn tx_ids_from_different_nodes_are_distinct() {
+        let a = TxId::new(NodeId(0), 1);
+        let b = TxId::new(NodeId(1), 1);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "tx-0-1");
+    }
+
+    #[test]
+    fn view_id_next_increments() {
+        assert_eq!(ViewId(1).next(), ViewId(2));
+    }
+
+    #[test]
+    fn setter_convention_detection() {
+        assert!(MethodName::from("setAlarmKind").is_setter_convention());
+        assert!(MethodName::from("setX").is_setter_convention());
+        assert!(!MethodName::from("settle").is_setter_convention());
+        assert!(!MethodName::from("getAlarmKind").is_setter_convention());
+        assert!(!MethodName::from("set").is_setter_convention());
+    }
+
+    #[test]
+    fn object_id_parts_and_display() {
+        let id = ObjectId::new("Flight", "LH-441");
+        assert_eq!(id.class().as_str(), "Flight");
+        assert_eq!(id.key(), "LH-441");
+        assert_eq!(id.to_string(), "Flight#LH-441");
+    }
+
+    #[test]
+    fn method_signature_display() {
+        let sig = MethodSignature::new("Alarm", "setAlarmKind");
+        assert_eq!(sig.to_string(), "Alarm::setAlarmKind");
+    }
+
+    #[test]
+    fn names_roundtrip_serde() {
+        let c = ClassName::from("RepairReport");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClassName = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,99 @@
+//! Entity versions and freshness estimation (§4.2.1, `VersionedEntity`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Monotonically increasing version number of a (replicated) entity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The initial version of a freshly created entity.
+    pub const INITIAL: Version = Version(0);
+
+    /// The version after one more update.
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The `VersionedEntity` information of Figure 4.3: the version a local
+/// replica actually has, and the version it *estimates* the logical
+/// object to have by now (e.g. from the entity's usual update rate).
+///
+/// The difference feeds the freshness criteria used during declarative
+/// negotiation of consistency threats (§4.2.3).
+///
+/// ```
+/// use dedisys_types::{Version, VersionInfo};
+/// let info = VersionInfo::new(Version(5), Version(8));
+/// assert_eq!(info.missed_updates(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct VersionInfo {
+    /// The version the local copy holds (`getVersion()`).
+    pub version: Version,
+    /// The version the object would expect to have by now
+    /// (`getEstimatedLatestVersion()`).
+    pub estimated_latest: Version,
+}
+
+impl VersionInfo {
+    /// Creates version info from the held and estimated-latest versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimated_latest` is older than `version` — an entity
+    /// can never estimate fewer updates than it has observed.
+    pub fn new(version: Version, estimated_latest: Version) -> Self {
+        assert!(
+            estimated_latest >= version,
+            "estimated latest version {estimated_latest} older than held version {version}"
+        );
+        Self {
+            version,
+            estimated_latest,
+        }
+    }
+
+    /// Info for a fully fresh copy (no estimated missed updates).
+    pub fn fresh(version: Version) -> Self {
+        Self::new(version, version)
+    }
+
+    /// Number of updates the local copy is estimated to have missed —
+    /// the "maximum age" compared against a freshness criterion.
+    pub fn missed_updates(&self) -> u64 {
+        self.estimated_latest.0 - self.version.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_next() {
+        assert_eq!(Version::INITIAL.next(), Version(1));
+    }
+
+    #[test]
+    fn missed_updates() {
+        assert_eq!(VersionInfo::fresh(Version(4)).missed_updates(), 0);
+        assert_eq!(VersionInfo::new(Version(4), Version(7)).missed_updates(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "older than held version")]
+    fn estimated_latest_must_not_be_older() {
+        let _ = VersionInfo::new(Version(5), Version(4));
+    }
+}

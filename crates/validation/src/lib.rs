@@ -1,0 +1,52 @@
+//! # dedisys-validation
+//!
+//! The Chapter 2 laboratory: a quantitative comparison of constraint
+//! validation approaches.
+//!
+//! The dissertation evaluates Java strategies — handcrafted if-checks,
+//! constraints-as-aspects (AspectJ), repository-based explicit
+//! constraints behind three interception mechanisms (AspectJ, JBoss
+//! AOP, `java.lang.reflect.Proxy`) in cached and scan-per-invocation
+//! repository variants, compiler-generated checks (JML) and
+//! tool-generated interpreted checks (Dresden OCL). This crate builds
+//! the Rust equivalents over a shared reference application (the
+//! project/employee management scenario of §2.3 with 78 constraints)
+//! so the *relative cost structure* can be measured:
+//!
+//! | Paper approach | Here |
+//! |---|---|
+//! | No checks | [`Strategy::NoChecks`] |
+//! | Handcrafted | [`Strategy::Handcrafted`] |
+//! | AspectJ-Interceptor (inline aspects) | [`Strategy::InterceptorInline`] |
+//! | JML (compiler-generated) | [`Strategy::Generated`] |
+//! | {AspectJ, JBossAOP, Proxy} × repository | [`Strategy::Repository`] with a [`Mechanism`] |
+//! | Dresden OCL (tool-generated, interpreted) | [`Strategy::Interpreted`] |
+//!
+//! The runtime-slice instrumentation of Figure 2.3 (R1 application,
+//! R2 interception, R3 parameter extraction, R4 repository search,
+//! R5 checks) is available through [`SliceLevel`].
+//!
+//! ## Example
+//!
+//! ```
+//! use dedisys_validation::{default_ops, CheckCounts, Company, Strategy};
+//!
+//! let ops = default_ops();
+//! let mut counts = CheckCounts::default();
+//! let mut company = Company::generate();
+//! Strategy::Handcrafted.run(&mut company, &ops, &mut counts);
+//! assert!(counts.invariants > 0);
+//! assert_eq!(counts.violations, 0); // the scenario never violates (§2.3.1)
+//! ```
+
+mod constraints_def;
+mod model;
+mod scenario;
+mod strategies;
+
+pub use constraints_def::{build_expr_constraints, build_native_constraints, NativeConstraint};
+pub use model::{Company, Op, TargetClass};
+pub use scenario::{
+    default_ops, lookup_time_study, measure_wall_clock, LookupStudyRow, MeasureReport,
+};
+pub use strategies::{CheckCounts, Mechanism, SliceLevel, Strategy};

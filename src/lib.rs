@@ -1,0 +1,2 @@
+//! Facade crate re-exporting the DeDiSys-RS workspace.
+pub use dedisys_core as core;

@@ -1,0 +1,243 @@
+//! Failure-injection integration tests: node crashes, cascading
+//! partitions, rollback-based reconciliation, threat-history policies
+//! and crash recovery of the persistence substrate.
+
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{
+    ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy, ReconcileInstructions,
+};
+use dedisys_net::SimClock;
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_store::{Persistence, StoreCosts};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, Value};
+use std::sync::Arc;
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("inv").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("max", Value::Int(100)),
+    )
+}
+
+fn bounded_constraint() -> RegisteredConstraint {
+    RegisteredConstraint::new(
+        ConstraintMeta::new("Bounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+    )
+    .context_class("Counter")
+    .affects("Counter", "setN", ContextPreparation::CalledObject)
+}
+
+fn seed(cluster: &mut dedisys_core::Cluster) -> ObjectId {
+    let id = ObjectId::new("Counter", "c1");
+    let node = NodeId(0);
+    let e = id.clone();
+    cluster
+        .run_tx(node, move |c, tx| {
+            c.create(node, tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+    id
+}
+
+#[test]
+fn node_crash_is_a_singleton_partition_and_recovery_reconciles() {
+    let mut cluster = ClusterBuilder::new(3, app())
+        .constraint(bounded_constraint())
+        .build()
+        .unwrap();
+    let id = seed(&mut cluster);
+    // Node 2 crashes (pause-crash): the survivors keep operating.
+    cluster.isolate(NodeId(2));
+    cluster
+        .run_tx(NodeId(0), |c, tx| {
+            c.set_field(NodeId(0), tx, &id, "n", Value::Int(5))
+        })
+        .unwrap();
+    assert_eq!(
+        cluster.entity_on(NodeId(2), &id).unwrap().field("n"),
+        &Value::Int(0),
+        "crashed node missed the update"
+    );
+    // Recovery: the node re-joins and is brought up to date.
+    cluster.heal();
+    cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert_eq!(
+        cluster.entity_on(NodeId(2), &id).unwrap().field("n"),
+        &Value::Int(5)
+    );
+}
+
+#[test]
+fn cascading_partitions_merge_step_by_step() {
+    let mut cluster = ClusterBuilder::new(4, app())
+        .constraint(bounded_constraint())
+        .build()
+        .unwrap();
+    let id = seed(&mut cluster);
+    // First a 2/2 split, then one side splits again.
+    cluster.partition(&[&[0, 1], &[2, 3]]);
+    cluster
+        .run_tx(NodeId(2), |c, tx| {
+            c.set_field(NodeId(2), tx, &id, "n", Value::Int(7))
+        })
+        .unwrap();
+    cluster.partition(&[&[0], &[1], &[2, 3]]);
+    cluster
+        .run_tx(NodeId(0), |c, tx| {
+            c.set_field(NodeId(0), tx, &id, "n", Value::Int(3))
+        })
+        .unwrap();
+    assert_eq!(cluster.topology().partitions().len(), 3);
+    // Full heal and reconcile: highest version wins deterministically.
+    cluster.heal();
+    let summary = cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert_eq!(summary.replica.conflicts.len(), 1);
+    let reference = cluster
+        .entity_on(NodeId(0), &id)
+        .unwrap()
+        .field("n")
+        .clone();
+    for n in 1..4 {
+        assert_eq!(
+            cluster.entity_on(NodeId(n), &id).unwrap().field("n"),
+            &reference
+        );
+    }
+}
+
+#[test]
+fn rollback_based_reconciliation_restores_a_consistent_state() {
+    let mut cluster = ClusterBuilder::new(2, app())
+        .constraint(bounded_constraint())
+        .default_instructions(ReconcileInstructions {
+            allow_rollback: true,
+            notify_on_replica_conflict: false,
+        })
+        .build()
+        .unwrap();
+    let id = seed(&mut cluster);
+    cluster
+        .run_tx(NodeId(0), |c, tx| {
+            c.set_field(NodeId(0), tx, &id, "n", Value::Int(40))
+        })
+        .unwrap();
+    cluster.partition(&[&[0], &[1]]);
+    // Each side adds 35: individually fine (75 ≤ 100), merged by an
+    // additive handler it overflows (110 > 100).
+    cluster
+        .run_tx(NodeId(0), |c, tx| {
+            c.set_field(NodeId(0), tx, &id, "n", Value::Int(75))
+        })
+        .unwrap();
+    cluster
+        .run_tx(NodeId(1), |c, tx| {
+            c.set_field(NodeId(1), tx, &id, "n", Value::Int(75))
+        })
+        .unwrap();
+    cluster.heal();
+    let mut additive = |conflict: &dedisys_core::ReplicaConflict| {
+        let mut merged = conflict.candidates[0].1.clone().unwrap();
+        merged.set_field("n", Value::Int(110), dedisys_types::SimTime::ZERO);
+        Some(merged)
+    };
+    let summary = cluster.reconcile(&mut additive, &mut DeferAll);
+    assert_eq!(summary.constraints.violations, 1);
+    // The rollback search found a historical degraded-mode state (75)
+    // that satisfies the constraint — availability retrospectively
+    // reduced, but no handler needed.
+    assert_eq!(summary.constraints.resolved_by_rollback, 1);
+    assert_eq!(summary.constraints.deferred, 0);
+    let n = cluster
+        .entity_on(NodeId(0), &id)
+        .unwrap()
+        .field("n")
+        .as_int()
+        .unwrap();
+    assert!(n <= 100, "rolled back to a consistent state, got {n}");
+    assert!(cluster.threats().is_empty());
+}
+
+#[test]
+fn full_history_policy_stores_every_occurrence() {
+    for (policy, expected_records) in [
+        (HistoryPolicy::IdenticalOnce, 1),
+        (HistoryPolicy::FullHistory, 5),
+    ] {
+        let mut cluster = ClusterBuilder::new(2, app())
+            .constraint(bounded_constraint())
+            .threat_policy(policy)
+            .build()
+            .unwrap();
+        let id = seed(&mut cluster);
+        cluster.partition(&[&[0], &[1]]);
+        for i in 1..=5 {
+            cluster
+                .run_tx(NodeId(0), |c, tx| {
+                    c.set_field(NodeId(0), tx, &id, "n", Value::Int(i))
+                })
+                .unwrap();
+        }
+        assert_eq!(cluster.threats().len(), expected_records, "{policy:?}");
+        assert_eq!(cluster.threats().identities().len(), 1, "{policy:?}");
+    }
+}
+
+#[test]
+fn async_constraints_skip_degraded_validation() {
+    let mut constraint = bounded_constraint();
+    constraint.meta.kind = dedisys_constraints::ConstraintKind::AsyncInvariant;
+    let mut cluster = ClusterBuilder::new(2, app())
+        .constraint(constraint)
+        .build()
+        .unwrap();
+    let id = seed(&mut cluster);
+    let validations_before = cluster.ccm_stats().validations;
+    cluster.partition(&[&[0], &[1]]);
+    cluster
+        .run_tx(NodeId(0), |c, tx| {
+            c.set_field(NodeId(0), tx, &id, "n", Value::Int(5))
+        })
+        .unwrap();
+    // No validation, no negotiation — the threat was recorded directly.
+    assert_eq!(cluster.ccm_stats().validations, validations_before);
+    assert_eq!(cluster.ccm_stats().async_shortcuts, 1);
+    assert_eq!(cluster.threats().len(), 1);
+    // Reconciliation evaluates it for the first time.
+    cluster.heal();
+    let summary = cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert_eq!(summary.constraints.satisfied_removed, 1);
+}
+
+#[test]
+fn wal_recovery_restores_store_state_after_crash() {
+    let clock = SimClock::new();
+    let mut persistence = Persistence::new(clock, StoreCosts::default());
+    for i in 0..50 {
+        persistence.put("threats", &format!("t{i}"), format!("{{\"id\":{i}}}"));
+    }
+    for i in 0..25 {
+        persistence.delete("threats", &format!("t{i}"));
+    }
+    let before: Vec<(String, String)> = persistence.scan("threats");
+    let replayed = persistence.recover_from_wal();
+    assert_eq!(replayed, 75);
+    assert_eq!(persistence.scan("threats"), before);
+    assert_eq!(persistence.store().table_len("threats"), 25);
+}
+
+#[test]
+fn lossy_network_group_communication_masks_failures() {
+    // End-to-end over the gc substrate: 25% loss, everything delivered.
+    let mut sim: dedisys_gc::GroupSim<u32> = dedisys_gc::GroupSim::new(4, 250);
+    for i in 0..30 {
+        sim.multicast(NodeId(0), i);
+    }
+    sim.run_to_quiescence();
+    for n in 1..4 {
+        assert_eq!(sim.delivered(NodeId(n)), &(0..30).collect::<Vec<_>>());
+    }
+}

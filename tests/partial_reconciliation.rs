@@ -1,0 +1,149 @@
+//! §3.3 partial re-unification: when only some partitions merge,
+//! reconciliation proceeds for the objects it can reach and postpones
+//! the rest until further partitions re-unify.
+
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{ClusterBuilder, DeferAll, HighestVersionWins};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SystemMode, Value};
+use std::sync::Arc;
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("inv").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("max", Value::Int(100)),
+    )
+}
+
+fn constraint() -> RegisteredConstraint {
+    RegisteredConstraint::new(
+        ConstraintMeta::new("Bounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+    )
+    .context_class("Counter")
+    .affects("Counter", "setN", ContextPreparation::CalledObject)
+}
+
+#[test]
+fn partial_merge_reconciles_reachable_and_postpones_the_rest() {
+    let mut cluster = ClusterBuilder::new(4, app())
+        .constraint(constraint())
+        .build()
+        .unwrap();
+    let id = ObjectId::new("Counter", "c1");
+    let e = id.clone();
+    cluster
+        .run_tx(NodeId(0), move |c, tx| {
+            c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+
+    // Three-way split; every partition writes.
+    cluster.partition(&[&[0], &[1], &[2, 3]]);
+    for (node, value) in [(0u32, 1i64), (1, 2), (2, 3)] {
+        let id = id.clone();
+        cluster
+            .run_tx(NodeId(node), move |c, tx| {
+                c.set_field(NodeId(node), tx, &id, "n", Value::Int(value))
+            })
+            .unwrap();
+    }
+    assert_eq!(cluster.threats().identities().len(), 1);
+
+    // Partitions {0} and {1} merge; {2,3} stays away.
+    cluster.partition(&[&[0, 1], &[2, 3]]);
+    let summary = cluster.reconcile_partial(NodeId(0), &mut HighestVersionWins, &mut DeferAll);
+
+    // The {0}/{1} conflict was resolved within the merged partition…
+    assert_eq!(summary.replica.conflicts.len(), 1);
+    assert_eq!(
+        cluster.entity_on(NodeId(0), &id).unwrap().field("n"),
+        cluster.entity_on(NodeId(1), &id).unwrap().field("n"),
+    );
+    // …but the constraint threat is postponed: the {2,3} side is still
+    // unreachable and possibly diverging.
+    assert_eq!(summary.constraints.postponed, 1);
+    assert_eq!(cluster.threats().identities().len(), 1, "threat retained");
+    assert_eq!(cluster.mode(), SystemMode::Degraded);
+    // {2,3} never saw the merge.
+    assert_eq!(
+        cluster.entity_on(NodeId(2), &id).unwrap().field("n"),
+        &Value::Int(3)
+    );
+
+    // Full heal: the remaining divergence reconciles and the threat is
+    // re-evaluated for good.
+    cluster.heal();
+    let summary = cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert!(!summary.replica.conflicts.is_empty());
+    assert_eq!(summary.constraints.postponed, 0);
+    assert!(cluster.threats().is_empty());
+    assert_eq!(cluster.mode(), SystemMode::Healthy);
+    let reference = cluster
+        .entity_on(NodeId(0), &id)
+        .unwrap()
+        .field("n")
+        .clone();
+    for n in 1..4 {
+        assert_eq!(
+            cluster.entity_on(NodeId(n), &id).unwrap().field("n"),
+            &reference
+        );
+    }
+}
+
+#[test]
+fn partial_merge_with_all_writers_reachable_resolves_threats() {
+    let mut cluster = ClusterBuilder::new(3, app())
+        .constraint(constraint())
+        .build()
+        .unwrap();
+    let id = ObjectId::new("Counter", "c1");
+    let e = id.clone();
+    cluster
+        .run_tx(NodeId(0), move |c, tx| {
+            c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+    cluster.partition(&[&[0], &[1], &[2]]);
+    // Only partitions {0} and {1} write.
+    for (node, value) in [(0u32, 5i64), (1, 6)] {
+        let id = id.clone();
+        cluster
+            .run_tx(NodeId(node), move |c, tx| {
+                c.set_field(NodeId(node), tx, &id, "n", Value::Int(value))
+            })
+            .unwrap();
+    }
+    // {0} and {1} merge — every writer partition is now reachable, but
+    // node 2 still holds a (stale, never-written) replica, so the
+    // object remains tracked and the threat stays (P4: possibly stale
+    // while any partition remains).
+    cluster.partition(&[&[0, 1], &[2]]);
+    let summary = cluster.reconcile_partial(NodeId(0), &mut HighestVersionWins, &mut DeferAll);
+    assert_eq!(
+        summary.replica.conflicts.len(),
+        1,
+        "writer conflict resolved"
+    );
+    assert_eq!(
+        summary.constraints.postponed, 1,
+        "object still stale: threat kept"
+    );
+    assert_eq!(
+        cluster.entity_on(NodeId(1), &id).unwrap().field("n"),
+        &Value::Int(6),
+        "merged partition consistent (highest version wins)"
+    );
+
+    cluster.heal();
+    cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert!(cluster.threats().is_empty());
+    assert_eq!(
+        cluster.entity_on(NodeId(2), &id).unwrap().field("n"),
+        &Value::Int(6)
+    );
+}
