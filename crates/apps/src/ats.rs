@@ -169,7 +169,7 @@ mod tests {
         let mut cluster = ats_cluster(2).unwrap();
         let node = NodeId(0);
         let (alarm, report) = create_alarm_with_report(&mut cluster, node, "A-17").unwrap();
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         // Administrative operator changes the alarm in partition {1}.
         cluster
             .run_tx(NodeId(1), |c, tx| {
@@ -188,7 +188,7 @@ mod tests {
         // identity; the default identical-once policy stores it once.
         assert_eq!(cluster.threats().identities().len(), 1);
         assert!(
-            cluster.ccm_stats().threats_accepted >= 2,
+            cluster.stats().ccm.threats_accepted >= 2,
             "both writes threatened"
         );
         // Reunification: the merged state (alarm = Power, component =

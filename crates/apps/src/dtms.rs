@@ -168,7 +168,7 @@ mod tests {
     fn partition_makes_peer_unreachable_and_threat_uncheckable() {
         let mut cluster = dtms_cluster(2).unwrap();
         let (ep_a, ep_b) = create_channel(&mut cluster, "ch1", NodeId(0), NodeId(1), 120).unwrap();
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         // The peer endpoint is genuinely unreachable (bound object):
         // NCC — uncheckable — accepted per the constraint policy.
         retune(&mut cluster, NodeId(0), &ep_a, 130).unwrap();

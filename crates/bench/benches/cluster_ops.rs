@@ -74,7 +74,7 @@ fn bench_ops(c: &mut Criterion) {
     }
     // Degraded-mode threat path (negotiation + identical-once dedup).
     let (mut cl, id) = cluster(2);
-    cl.partition(&[&[0], &[1]]);
+    cl.partition_raw(&[&[0], &[1]]);
     group.bench_function("degraded-threat-write", |b| {
         let mut i = 0i64;
         b.iter(|| {

@@ -4,14 +4,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dedisys-bench --bin repro -- <experiment>|all
+//! cargo run --release -p dedisys-bench --bin repro -- <experiment>|all [--trace <path>]
 //! ```
 //!
 //! Experiments: fig1-3, fig2-1 … fig2-6, tab2-lookup, fig5-1 … fig5-4,
 //! fig5-6, fig5-8, tab5-async, tab5-psc. See DESIGN.md for the
 //! per-experiment index and EXPERIMENTS.md for a recorded run.
+//!
+//! `--trace <path>` exports the typed telemetry stream of every cluster
+//! the Chapter 5 experiments build as JSONL — one `{seq, at, event}`
+//! object per line, stamped in virtual time only, so two runs of the
+//! same experiment write byte-identical files.
 
 use dedisys_bench::{ch2, ch5};
+use std::path::PathBuf;
 
 const CH2: &[&str] = &[
     "fig2-1",
@@ -36,19 +42,45 @@ const CH5: &[&str] = &[
     "tab-worth",
 ];
 
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment>|ch2|ch5|all [--trace <path>]");
+    eprintln!(
+        "experiments: {}",
+        CH2.iter()
+            .chain(CH5)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut trace: Option<PathBuf> = None;
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            match it.next() {
+                Some(path) => trace = Some(path.into()),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    usage();
+                }
+            }
+        } else {
+            args.push(arg);
+        }
+    }
     if args.is_empty() {
-        eprintln!("usage: repro <experiment>|ch2|ch5|all");
-        eprintln!(
-            "experiments: {}",
-            CH2.iter()
-                .chain(CH5)
-                .cloned()
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        std::process::exit(2);
+        usage();
+    }
+    if let Some(path) = &trace {
+        // Truncate once; each cluster's exporter then appends, so one
+        // file accumulates the traces of every experiment requested.
+        std::fs::File::create(path).expect("create trace file");
+        ch5::set_trace_path(Some(path.clone()));
     }
     for arg in &args {
         match arg.as_str() {
@@ -61,6 +93,10 @@ fn main() {
             "ch5" => CH5.iter().for_each(|id| dispatch(id)),
             id => dispatch(id),
         }
+    }
+    if let Some(path) = &trace {
+        ch5::set_trace_path(None);
+        eprintln!("trace written to {}", path.display());
     }
 }
 

@@ -7,10 +7,53 @@ use dedisys_apps::flight;
 use dedisys_constraints::{
     ConstraintKind, ConstraintMeta, ContextPreparation, RegisteredConstraint, ValidationContext,
 };
-use dedisys_core::{Cluster, ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy};
+use dedisys_core::{
+    Cluster, ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy, JsonlExporter,
+};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState, MethodDescriptor, MethodKind};
 use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SimDuration, Value};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// When set (via `repro --trace <path>`), every cluster the experiments
+/// build appends its telemetry stream to this JSONL file.
+static TRACE_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Routes the telemetry stream of every subsequently built cluster into
+/// `path` (appending — callers truncate the file once up front).
+/// `None` disables tracing again.
+pub fn set_trace_path(path: Option<PathBuf>) {
+    *TRACE_PATH.lock().expect("trace path poisoned") = path;
+}
+
+/// Attaches a JSONL exporter to `cluster` when tracing is enabled.
+fn attach_trace(cluster: &Cluster) {
+    let guard = TRACE_PATH.lock().expect("trace path poisoned");
+    if let Some(path) = guard.as_ref() {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("open trace file");
+        cluster
+            .telemetry()
+            .attach(Box::new(JsonlExporter::new(Box::new(file))));
+    }
+}
+
+/// `build().expect(..)` plus trace attachment — the one way the
+/// experiments materialize clusters.
+trait BuildTraced {
+    fn build_traced(self) -> Cluster;
+}
+
+impl BuildTraced for ClusterBuilder {
+    fn build_traced(self) -> Cluster {
+        let cluster = self.build().expect("cluster");
+        attach_trace(&cluster);
+        cluster
+    }
+}
 
 /// The evaluation application of §5.1 ("DedisysTest"): plain items,
 /// a class with always-satisfied/always-violated constraints, and a
@@ -211,8 +254,8 @@ fn standard_rows(cluster: &mut Cluster, node: NodeId, threats: bool) -> Vec<(Str
 /// management: ops/sec with and without the CCM (single node, no
 /// replication). The paper measures a drop to 87–99 %.
 pub fn fig5_1() -> Vec<(String, f64, f64)> {
-    let mut with_ccm = builder(1).ccm_only().build().expect("cluster");
-    let mut without = builder(1).without_dedisys().build().expect("cluster");
+    let mut with_ccm = builder(1).ccm_only().build_traced();
+    let mut without = builder(1).without_dedisys().build_traced();
     let rows_with = standard_rows(&mut with_ccm, NodeId(0), false);
     let rows_without = standard_rows(&mut without, NodeId(0), false);
     rows_with
@@ -236,13 +279,13 @@ pub struct Fig5Column {
 }
 
 fn dedisys_column(label: &str, total_nodes: u32, partition: Option<&[&[u32]]>) -> Fig5Column {
-    let mut cluster = builder(total_nodes).build().expect("cluster");
+    let mut cluster = builder(total_nodes).build_traced();
     let node = NodeId(0);
     // Pools for the threat cases are created while still healthy.
     let good_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "good", 1);
     let bad_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "bad", 1000);
     if let Some(groups) = partition {
-        cluster.partition(groups);
+        cluster.partition_raw(groups);
     }
     let mut rows: Vec<(String, Option<f64>)> = standard_rows(&mut cluster, node, true)
         .into_iter()
@@ -279,7 +322,7 @@ fn dedisys_column(label: &str, total_nodes: u32, partition: Option<&[&[u32]]>) -
 }
 
 fn no_dedisys_column() -> Fig5Column {
-    let mut cluster = builder(1).without_dedisys().build().expect("cluster");
+    let mut cluster = builder(1).without_dedisys().build_traced();
     let mut rows: Vec<(String, Option<f64>)> = standard_rows(&mut cluster, NodeId(0), false)
         .into_iter()
         .map(|(l, v)| (l, Some(v)))
@@ -337,7 +380,7 @@ pub fn fig5_3() -> Vec<Fig5Column> {
 pub fn fig5_4() -> Vec<Vec<String>> {
     let mut out = Vec::new();
     // Reference: No DeDiSys single node.
-    let mut baseline = builder(1).without_dedisys().build().expect("cluster");
+    let mut baseline = builder(1).without_dedisys().build_traced();
     let base_rows = standard_rows(&mut baseline, NodeId(0), false);
     out.push(
         std::iter::once("No DeDiSys".to_owned())
@@ -346,7 +389,7 @@ pub fn fig5_4() -> Vec<Vec<String>> {
             .collect(),
     );
     for n in 1..=4u32 {
-        let mut cluster = builder(n).build().expect("cluster");
+        let mut cluster = builder(n).build_traced();
         let rows = standard_rows(&mut cluster, NodeId(0), false);
         let getter = rows
             .iter()
@@ -405,10 +448,10 @@ pub fn fig5_6() -> Vec<ReconRow> {
         (HistoryPolicy::IdenticalOnce, "Identical threats once"),
         (HistoryPolicy::FullHistory, "Full threat history"),
     ] {
-        let mut cluster = builder(2).threat_policy(policy).build().expect("cluster");
+        let mut cluster = builder(2).threat_policy(policy).build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 200);
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         for i in 0..1000 {
             let id = pool[i % pool.len()].clone();
             cluster
@@ -450,10 +493,10 @@ pub fn fig5_8() -> Vec<(String, Vec<f64>)> {
             "Accepted threats (identical only once)",
         ),
     ] {
-        let mut cluster = builder(2).threat_policy(policy).build().expect("cluster");
+        let mut cluster = builder(2).threat_policy(policy).build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 200);
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         let mut iterations = Vec::new();
         for _ in 0..5 {
             let rate = throughput(&mut cluster, 200, |c, i| {
@@ -495,11 +538,10 @@ pub fn tab5_async() -> Vec<(String, f64)> {
         .affects("Guarded", "setValue", ContextPreparation::CalledObject);
         let mut cluster = ClusterBuilder::new(2, eval_app())
             .constraint(constraint)
-            .build()
-            .expect("cluster");
+            .build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 1);
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         let rate = throughput(&mut cluster, 500, |c, _| {
             let id = pool[0].clone();
             c.run_tx(node, move |c, tx| {
@@ -530,10 +572,10 @@ pub fn tab5_psc() -> Vec<(String, i64, i64)> {
         } else {
             b.constraint(flight::ticket_constraint())
         };
-        let mut cluster = b.build().expect("cluster");
+        let mut cluster = b.build_traced();
         let flight_id =
             flight::create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70).expect("flight");
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         // Both sides keep selling single tickets until rejected.
         let mut sold_in_partition = [0i64; 2];
         for (i, node) in [NodeId(0), NodeId(1)].into_iter().enumerate() {
@@ -588,10 +630,10 @@ pub fn tab_avail() -> Vec<(String, Vec<(f64, f64)>)> {
     ] {
         let mut rows = Vec::new();
         for write_fraction in [0.1, 0.3, 0.5] {
-            let mut cluster = builder(3).protocol(protocol).build().expect("cluster");
+            let mut cluster = builder(3).protocol(protocol).build_traced();
             let node = NodeId(1); // a *minority*-side client after the split
             let pool = create_pool(&mut cluster, NodeId(0), "Guarded", 20);
-            cluster.partition(&[&[0, 2], &[1]]);
+            cluster.partition_raw(&[&[0, 2], &[1]]);
             let total = 400usize;
             let mut ok = 0u64;
             for i in 0..total {
@@ -625,7 +667,7 @@ pub fn tab_avail() -> Vec<(String, Vec<(f64, f64)>)> {
 /// writes pay synchronous propagation).
 pub fn tab_worth() -> Vec<(u32, Vec<(f64, f64)>)> {
     // Per-op virtual costs measured from the standard rows.
-    let mut baseline = builder(1).without_dedisys().build().expect("cluster");
+    let mut baseline = builder(1).without_dedisys().build_traced();
     let base = standard_rows(&mut baseline, NodeId(0), false);
     let rate = |rows: &[(String, f64)], label: &str| {
         rows.iter()
@@ -637,7 +679,7 @@ pub fn tab_worth() -> Vec<(u32, Vec<(f64, f64)>)> {
     let base_write = rate(&base, "Setter");
     let mut out = Vec::new();
     for n in 1..=4u32 {
-        let mut cluster = builder(n).build().expect("cluster");
+        let mut cluster = builder(n).build_traced();
         let rows = standard_rows(&mut cluster, NodeId(0), false);
         let read = rate(&rows, "Getter");
         let write = rate(&rows, "Setter");
@@ -664,8 +706,9 @@ pub fn tab_worth() -> Vec<(u32, Vec<(f64, f64)>)> {
 /// `(after_a, after_b, merged, reconciled)`.
 pub fn fig1_3() -> (i64, i64, i64, i64) {
     let mut cluster = flight::booking_cluster(4).expect("cluster");
+    attach_trace(&cluster);
     let id = flight::create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70).expect("flight");
-    cluster.partition(&[&[0, 1], &[2, 3]]);
+    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
     let after_a = flight::sell_tickets(&mut cluster, NodeId(0), &id, 7).expect("side A");
     let after_b = flight::sell_tickets(&mut cluster, NodeId(2), &id, 8).expect("side B");
     cluster.heal();

@@ -9,7 +9,7 @@
 //! resource it vetoes commits of transactions with violated soft
 //! constraints.
 
-use crate::negotiation::{negotiate, NegotiationHandler, ThreatDecision};
+use crate::negotiation::{negotiate, NegotiationHandler, NegotiationPath, ThreatDecision};
 use crate::threat::{
     ConsistencyThreat, HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore,
 };
@@ -17,14 +17,16 @@ use dedisys_constraints::{ObjectAccess, ObjectScope, RegisteredConstraint, Valid
 use dedisys_net::Topology;
 use dedisys_object::EntityContainer;
 use dedisys_replication::ReplicationManager;
+use dedisys_telemetry::{Telemetry, ThreatStorage, TraceEvent};
 use dedisys_types::{
     ClassName, Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimTime, TxId,
     Value, VersionInfo,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// CCM counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CcmStats {
     /// Constraint validations triggered.
     pub validations: u64,
@@ -200,6 +202,16 @@ pub struct Ccm {
     /// Guard against middleware/application validation loops (§5.3).
     in_validation: bool,
     stats: CcmStats,
+    telemetry: Option<Telemetry>,
+}
+
+/// Maps a threat-store outcome onto its telemetry representation.
+fn storage_kind(outcome: StoreOutcome) -> ThreatStorage {
+    match outcome {
+        StoreOutcome::Stored => ThreatStorage::Stored,
+        StoreOutcome::LinkedOccurrence => ThreatStorage::LinkedOccurrence,
+        StoreOutcome::Deduplicated => ThreatStorage::Deduplicated,
+    }
 }
 
 impl std::fmt::Debug for Ccm {
@@ -226,6 +238,43 @@ impl Ccm {
             default_instructions: ReconcileInstructions::default(),
             in_validation: false,
             stats: CcmStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Wires a telemetry bus; `constraint_validated`, `threat_recorded`
+    /// and `threat_rejected` events are emitted from now on.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn emit_threat_recorded(
+        &self,
+        constraint: &RegisteredConstraint,
+        context: Option<&ObjectId>,
+        degree: SatisfactionDegree,
+        outcome: StoreOutcome,
+    ) {
+        if let Some(t) = &self.telemetry {
+            t.metrics().incr("ccm.threats_recorded");
+            t.emit(|| TraceEvent::ThreatRecorded {
+                constraint: constraint.name().to_string(),
+                context: context.map(ToString::to_string),
+                degree,
+                storage: storage_kind(outcome),
+            });
+        }
+    }
+
+    /// Counts which §3.2 negotiation mechanism decided a threat.
+    fn note_negotiation_path(&self, path: NegotiationPath) {
+        if let Some(t) = &self.telemetry {
+            t.metrics().incr(match path {
+                NegotiationPath::NonTradeable => "negotiation.non_tradeable",
+                NegotiationPath::Dynamic => "negotiation.dynamic",
+                NegotiationPath::Static => "negotiation.static",
+                NegotiationPath::Default => "negotiation.default",
+            });
         }
     }
 
@@ -410,6 +459,15 @@ impl Ccm {
             self.stats.violations += 1;
         }
 
+        if let Some(t) = &self.telemetry {
+            t.metrics().incr("ccm.validations");
+            t.emit(|| TraceEvent::ConstraintValidated {
+                constraint: constraint.name().to_string(),
+                degree,
+                accessed: accessed.len() as u32,
+            });
+        }
+
         Ok(ValidationVerdict {
             degree,
             accessed,
@@ -474,7 +532,7 @@ impl Ccm {
                     return Ok(None);
                 }
                 let mut threat = threat;
-                let decision = {
+                let (decision, path) = {
                     let handler: Option<&mut dyn NegotiationHandler> =
                         match self.handlers.get_mut(&tx) {
                             Some(h) => Some(&mut **h),
@@ -487,11 +545,18 @@ impl Ccm {
                         &verdict.version_infos,
                         self.app_default_min_degree,
                     )
-                    .0
                 };
+                self.note_negotiation_path(path);
                 match decision {
                     ThreatDecision::Reject => {
                         self.stats.threats_rejected += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.metrics().incr("ccm.threats_rejected");
+                            t.emit(|| TraceEvent::ThreatRejected {
+                                constraint: constraint.name().to_string(),
+                                degree,
+                            });
+                        }
                         Err(Error::ThreatRejected {
                             constraint: constraint.name().clone(),
                             degree,
@@ -502,7 +567,15 @@ impl Ccm {
                         if constraint.meta.kind.is_invariant() {
                             // Invariant threats are persisted for
                             // reconciliation.
-                            Ok(Some(self.threat_store.store(threat)))
+                            let context = threat.context_object.clone();
+                            let outcome = self.threat_store.store(threat);
+                            self.emit_threat_recorded(
+                                constraint,
+                                context.as_ref(),
+                                degree,
+                                outcome,
+                            );
+                            Ok(Some(outcome))
                         } else {
                             // Pre/postcondition threats cannot be
                             // re-evaluated later (§3); their effects
@@ -533,7 +606,7 @@ impl Ccm {
             version_infos,
         } in deferred
         {
-            let decision = {
+            let (decision, path) = {
                 let handler: Option<&mut dyn crate::negotiation::NegotiationHandler> =
                     match self.handlers.get_mut(&tx) {
                         Some(h) => Some(&mut **h),
@@ -546,11 +619,19 @@ impl Ccm {
                     &version_infos,
                     self.app_default_min_degree,
                 )
-                .0
             };
+            self.note_negotiation_path(path);
             match decision {
                 ThreatDecision::Reject => {
                     self.stats.threats_rejected += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.metrics().incr("ccm.threats_rejected");
+                        let degree = threat.degree;
+                        t.emit(|| TraceEvent::ThreatRejected {
+                            constraint: constraint.name().to_string(),
+                            degree,
+                        });
+                    }
                     return Err(Error::ThreatRejected {
                         constraint: constraint.name().clone(),
                         degree: threat.degree,
@@ -559,7 +640,11 @@ impl Ccm {
                 ThreatDecision::Accept => {
                     self.stats.threats_accepted += 1;
                     if constraint.meta.kind.is_invariant() {
-                        outcomes.push(self.threat_store.store(threat));
+                        let degree = threat.degree;
+                        let context = threat.context_object.clone();
+                        let outcome = self.threat_store.store(threat);
+                        self.emit_threat_recorded(&constraint, context.as_ref(), degree, outcome);
+                        outcomes.push(outcome);
                     }
                 }
             }
@@ -586,16 +671,26 @@ impl Ccm {
         self.stats.async_shortcuts += 1;
         self.stats.threats_detected += 1;
         self.stats.threats_accepted += 1;
-        self.threat_store.store(ConsistencyThreat {
+        let outcome = self.threat_store.store(ConsistencyThreat {
             constraint: constraint.name().clone(),
-            context_object,
+            context_object: context_object.clone(),
             degree: SatisfactionDegree::Uncheckable,
             affected_objects: BTreeSet::new(),
             app_data: None,
             instructions: self.default_instructions,
             occurred_at: now,
             tx,
-        })
+        });
+        if let Some(t) = &self.telemetry {
+            t.metrics().incr("ccm.async_shortcuts");
+        }
+        self.emit_threat_recorded(
+            constraint,
+            context_object.as_ref(),
+            SatisfactionDegree::Uncheckable,
+            outcome,
+        );
+        outcome
     }
 }
 

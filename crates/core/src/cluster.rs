@@ -23,15 +23,19 @@ use dedisys_object::{
     MethodTable, NamingService,
 };
 use dedisys_replication::{ProtocolKind, ReplicationManager};
+use dedisys_telemetry::{
+    CostBreakdown, InvocationOutcome, MetricsSnapshot, Telemetry, TraceEvent, TriggerKind,
+};
 use dedisys_tx::{LockTable, TransactionManager};
 use dedisys_types::{
-    Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimTime, SystemMode, TxId,
-    Value,
+    ConstraintName, Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimTime,
+    SystemMode, TxId, Value,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Cluster-level counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ClusterMetrics {
     /// Business invocations attempted.
     pub invocations: u64,
@@ -41,6 +45,32 @@ pub struct ClusterMetrics {
     pub creates: u64,
     /// Entities deleted.
     pub deletes: u64,
+}
+
+/// One serializable snapshot of every cluster-level statistic — the
+/// single aggregate returned by [`Cluster::stats`].
+///
+/// Serializes cleanly to JSON (`serde_json::to_string(&cluster.stats())`)
+/// so benches and operators can dump the full state of a run in one
+/// line instead of stitching four accessor calls together.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Current system mode (Figure 1.4).
+    pub mode: SystemMode,
+    /// Virtual time of the snapshot, in nanoseconds.
+    pub now_ns: u64,
+    /// Cluster-level counters (invocations, creates, deletes).
+    pub cluster: ClusterMetrics,
+    /// CCM counters (validations, threats, violations).
+    pub ccm: crate::ccm::CcmStats,
+    /// Replication counters (propagations, messages, conflicts).
+    pub replication: dedisys_replication::ReplStats,
+    /// Transaction counters (begun, committed, rolled back).
+    pub tx: dedisys_tx::TxStats,
+    /// Telemetry metrics registry (named counters + histograms).
+    pub telemetry: MetricsSnapshot,
+    /// Total trace events emitted on the telemetry bus.
+    pub events_emitted: u64,
 }
 
 /// Context handed to application/operator interceptors registered via
@@ -227,6 +257,10 @@ impl ClusterBuilder {
             )));
         }
         let clock = SimClock::new();
+        // One telemetry bus per cluster, stamped from the shared
+        // virtual clock — every subsystem below observes the same
+        // deterministic timeline.
+        let telemetry = Telemetry::new(clock.clone());
         let topology = Topology::fully_connected(self.nodes);
         let mut repository = ConstraintRepository::new(self.lookup_mode);
         for c in self.constraints {
@@ -236,13 +270,22 @@ impl ClusterBuilder {
         ccm.set_app_default_min_degree(self.app_default_min_degree);
         ccm.set_default_instructions(self.default_instructions);
         ccm.set_negotiation_timing(self.negotiation_timing);
+        ccm.attach_telemetry(telemetry.clone());
         let mut replication = ReplicationManager::new(self.protocol, weights.clone());
         replication.set_reduced_history(self.reduced_replica_history);
+        replication.attach_telemetry(telemetry.clone());
+        let mut tx_manager = TransactionManager::new();
+        tx_manager.attach_telemetry(telemetry.clone());
         let view_trackers = (0..self.nodes)
-            .map(|n| ViewTracker::new(NodeId(n), &topology))
+            .map(|n| {
+                let mut tracker = ViewTracker::new(NodeId(n), &topology);
+                tracker.attach_telemetry(telemetry.clone());
+                tracker
+            })
             .collect();
         Ok(Cluster {
             clock,
+            telemetry,
             topology,
             weights,
             containers: (0..self.nodes)
@@ -250,7 +293,7 @@ impl ClusterBuilder {
                 .collect(),
             app: self.app,
             methods: self.methods,
-            tx_manager: TransactionManager::new(),
+            tx_manager,
             tx_infos: BTreeMap::new(),
             locks: LockTable::new(),
             replication,
@@ -261,6 +304,7 @@ impl ClusterBuilder {
             mode: SystemMode::Healthy,
             view_trackers,
             metrics: ClusterMetrics::default(),
+            inv_cost: CostBreakdown::default(),
             hooks: InterceptorChain::new(),
             ccm_enabled: self.ccm_enabled,
             replication_enabled: self.replication_enabled,
@@ -271,6 +315,7 @@ impl ClusterBuilder {
 /// A simulated DeDiSys cluster.
 pub struct Cluster {
     clock: SimClock,
+    telemetry: Telemetry,
     topology: Topology,
     weights: NodeWeights,
     containers: Vec<EntityContainer>,
@@ -287,6 +332,8 @@ pub struct Cluster {
     pub(crate) mode: SystemMode,
     view_trackers: Vec<ViewTracker>,
     metrics: ClusterMetrics,
+    /// Scratch R1–R5 breakdown of the invocation in flight.
+    inv_cost: CostBreakdown,
     hooks: InterceptorChain<HookInfo>,
     ccm_enabled: bool,
     replication_enabled: bool,
@@ -340,22 +387,49 @@ impl Cluster {
         &self.costs
     }
 
+    /// The cluster's telemetry bus: attach a sink (JSONL exporter,
+    /// ring recorder) to capture the typed event stream of a run.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// One serializable snapshot of every statistic the cluster keeps:
+    /// cluster/CCM/replication/transaction counters plus the telemetry
+    /// metrics registry, stamped with the current mode and virtual
+    /// time.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            mode: self.mode,
+            now_ns: self.clock.now().as_nanos(),
+            cluster: self.metrics,
+            ccm: self.ccm.stats(),
+            replication: self.replication.stats(),
+            tx: self.tx_manager.stats(),
+            telemetry: self.telemetry.metrics().snapshot(),
+            events_emitted: self.telemetry.events_emitted(),
+        }
+    }
+
     /// Cluster metrics.
+    #[deprecated(note = "use `Cluster::stats().cluster` instead")]
     pub fn metrics(&self) -> ClusterMetrics {
         self.metrics
     }
 
     /// CCM counters.
+    #[deprecated(note = "use `Cluster::stats().ccm` instead")]
     pub fn ccm_stats(&self) -> crate::ccm::CcmStats {
         self.ccm.stats()
     }
 
     /// Replication counters.
+    #[deprecated(note = "use `Cluster::stats().replication` instead")]
     pub fn repl_stats(&self) -> dedisys_replication::ReplStats {
         self.replication.stats()
     }
 
     /// Transaction counters.
+    #[deprecated(note = "use `Cluster::stats().tx` instead")]
     pub fn tx_stats(&self) -> dedisys_tx::TxStats {
         self.tx_manager.stats()
     }
@@ -366,13 +440,41 @@ impl Cluster {
     }
 
     /// Mutable CCM access for crash-recovery scenarios and tests.
+    #[doc(hidden)]
     pub fn ccm_mut_for_tests(&mut self) -> &mut Ccm {
         &mut self.ccm
     }
 
-    /// Runtime constraint management (add/remove/enable/disable).
+    /// Raw mutable repository access (tests only — use
+    /// [`Cluster::set_constraint_enabled`] / [`Cluster::remove_constraint`]
+    /// / [`Cluster::add_constraint_with_check`] at runtime).
+    #[doc(hidden)]
     pub fn repository_mut(&mut self) -> &mut ConstraintRepository {
         &mut self.repository
+    }
+
+    /// Enables or disables a registered constraint at runtime (§3.3).
+    /// Disabling merely stops lookups from returning it; re-enabling
+    /// *with* the mandated full re-check is
+    /// [`Cluster::enable_constraint_with_check`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for unknown constraint names.
+    pub fn set_constraint_enabled(&mut self, name: &ConstraintName, enabled: bool) -> Result<()> {
+        self.repository.set_enabled(name, enabled)
+    }
+
+    /// Removes a constraint at runtime (§3.3). Returns whether the
+    /// constraint existed.
+    pub fn remove_constraint(&mut self, name: &ConstraintName) -> bool {
+        self.repository.remove(name).is_some()
+    }
+
+    /// Re-activates every deactivated threat record after a CCM crash
+    /// (§5.5.1 recovery). Returns the number of recovered records.
+    pub fn recover_threats(&mut self) -> usize {
+        self.ccm.threat_store_mut().recover()
     }
 
     /// Adds a new constraint at runtime and — per §3.3 — immediately
@@ -499,35 +601,64 @@ impl Cluster {
     // Failure injection / repair
     // ------------------------------------------------------------------
 
-    /// Splits the network into the given groups (unmentioned nodes
-    /// become singletons) and installs the new views.
-    pub fn partition(&mut self, groups: &[&[u32]]) {
+    /// Splits the network into the given groups of typed node ids
+    /// (unmentioned nodes become singletons), installs the new views
+    /// and returns the resulting system mode.
+    pub fn partition(&mut self, groups: &[Vec<NodeId>]) -> SystemMode {
+        let raw: Vec<Vec<u32>> = groups
+            .iter()
+            .map(|g| g.iter().map(|n| n.0).collect())
+            .collect();
+        let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
+        self.partition_raw(&refs)
+    }
+
+    /// [`Cluster::partition`] over raw `u32` node indices — the
+    /// convenient spelling for literal scenarios
+    /// (`cluster.partition_raw(&[&[0, 1], &[2]])`).
+    pub fn partition_raw(&mut self, groups: &[&[u32]]) -> SystemMode {
         self.topology.split(groups);
         self.install_views();
-        self.mode = if self.topology.is_healthy() {
+        let to = if self.topology.is_healthy() {
             SystemMode::Healthy
         } else {
             SystemMode::Degraded
         };
+        self.set_mode(to)
     }
 
-    /// Isolates one node (models a crash).
-    pub fn isolate(&mut self, node: NodeId) {
+    /// Isolates one node (models a crash) and returns the resulting
+    /// system mode.
+    pub fn isolate(&mut self, node: NodeId) -> SystemMode {
         self.topology.isolate(node);
         self.install_views();
-        self.mode = SystemMode::Degraded;
+        self.set_mode(SystemMode::Degraded)
     }
 
     /// Repairs all failures; the system enters the reconciliation
     /// phase (run [`Cluster::reconcile`] to return to healthy).
-    pub fn heal(&mut self) {
+    /// Returns the resulting system mode.
+    pub fn heal(&mut self) -> SystemMode {
         self.topology.heal();
         self.install_views();
-        self.mode = if self.needs_reconciliation() {
+        let to = if self.needs_reconciliation() {
             SystemMode::Reconciliation
         } else {
             SystemMode::Healthy
         };
+        self.set_mode(to)
+    }
+
+    /// Installs `to` as the system mode, emitting a `mode_transition`
+    /// trace event on actual change. Returns the (new) current mode.
+    pub(crate) fn set_mode(&mut self, to: SystemMode) -> SystemMode {
+        let from = self.mode;
+        if from != to {
+            self.mode = to;
+            self.telemetry
+                .emit(|| TraceEvent::ModeTransition { from, to });
+        }
+        to
     }
 
     /// Whether degraded-mode residue (threats, unsynced replicas)
@@ -681,6 +812,11 @@ impl Cluster {
     fn prepare_constraints(&mut self, tx: TxId) -> Result<()> {
         let origin = tx.node;
         let pending = self.ccm.take_pending(tx);
+        self.telemetry.emit(|| TraceEvent::TriggerPoint {
+            trigger: TriggerKind::CommitPrepare,
+            signature: format!("commit:{tx}"),
+            matches: pending.len() as u32,
+        });
         for check in pending {
             let constraint = check.constraint.as_ref();
             match constraint.meta.kind {
@@ -833,6 +969,13 @@ impl Cluster {
     ) -> Result<Value> {
         let method = method.into();
         self.metrics.invocations += 1;
+        self.inv_cost = CostBreakdown::default();
+        self.telemetry.emit(|| TraceEvent::InvocationStart {
+            node,
+            tx,
+            target: target.to_string(),
+            method: method.to_string(),
+        });
         // Pass the reified invocation through the deployed interceptor
         // chain (Figure 4.5) around the middleware pipeline. The chain
         // is configurable at runtime — the `standardjboss.xml`
@@ -843,14 +986,33 @@ impl Cluster {
             mode: self.mode,
             at: self.clock.now(),
         };
-        let mut inv = Invocation::new(tx, target.clone(), method, args);
+        let mut inv = Invocation::new(tx, target.clone(), method.clone(), args);
         let result = chain.invoke(&mut info, &mut inv, |_, inv| {
             self.invoke_inner(node, tx, &inv.target, inv.method.clone(), inv.args.clone())
         });
         self.hooks = chain;
-        if result.is_err() {
+        let outcome = if result.is_err() {
             self.metrics.failed_invocations += 1;
+            InvocationOutcome::Failed
+        } else {
+            InvocationOutcome::Ok
+        };
+        let cost = self.inv_cost;
+        self.telemetry.metrics().incr("cluster.invocations");
+        if result.is_err() {
+            self.telemetry.metrics().incr("cluster.failed_invocations");
         }
+        self.telemetry
+            .metrics()
+            .observe("invocation.total", cost.total());
+        self.telemetry.emit(|| TraceEvent::InvocationEnd {
+            node,
+            tx,
+            target: target.to_string(),
+            method: method.to_string(),
+            outcome,
+            cost,
+        });
         result
     }
 
@@ -885,7 +1047,8 @@ impl Cluster {
             .map(dedisys_object::MethodDescriptor::kind)
             .unwrap_or(MethodKind::Write); // safe side (§5.1)
 
-        // Base invocation + interceptor costs.
+        // Base invocation + interceptor costs (R2 — interception).
+        let t_r2 = self.clock.now();
         self.clock.advance(self.costs.base_invocation);
         if self.replication_enabled {
             self.clock.advance(self.costs.replication_interceptor);
@@ -893,8 +1056,10 @@ impl Cluster {
         if self.ccm_enabled {
             self.clock.advance(self.costs.ccm_interceptor);
         }
+        self.inv_cost.r2_interception_ns += self.clock.now().since(t_r2).as_nanos();
 
-        // Choose the executing node.
+        // Choose the executing node (R3 — target routing + locks).
+        let t_r3 = self.clock.now();
         let exec = match kind {
             MethodKind::Write => {
                 if self.replication_enabled {
@@ -913,13 +1078,20 @@ impl Cluster {
             self.locks.acquire(tx, target)?;
         }
         self.tx_infos.entry(tx).or_default().involved.insert(exec);
+        self.inv_cost.r3_preparation_ns += self.clock.now().since(t_r3).as_nanos();
 
         let inv = Invocation::new(tx, target.clone(), method.clone(), args.clone());
         let sig = inv.signature();
 
         // --- CCM before-invocation: preconditions + @pre snapshots ---
         if self.ccm_enabled {
+            let t_r5 = self.clock.now();
             let pres = self.repository.lookup(&sig, LookupKind::Precondition);
+            self.telemetry.emit(|| TraceEvent::TriggerPoint {
+                trigger: TriggerKind::Precondition,
+                signature: sig.to_string(),
+                matches: pres.len() as u32,
+            });
             for constraint in &pres {
                 let call = CallInfo {
                     target: target.clone(),
@@ -935,6 +1107,7 @@ impl Cluster {
                     Some(&call),
                     BTreeMap::new(),
                 ) {
+                    self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                     let _ = self.tx_manager.set_rollback_only(tx);
                     return Err(e);
                 }
@@ -961,15 +1134,18 @@ impl Cluster {
                 self.ccm
                     .store_pre_state(tx, constraint.name().as_str(), pre);
             }
+            self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
         }
 
-        // --- Dispatch ---
+        // --- Dispatch (R1 — application/database work) ---
+        let t_r1 = self.clock.now();
         let result =
             self.methods
                 .dispatch(&mut self.containers[exec.index()], &inv, self.clock.now());
         if kind == MethodKind::Read {
             self.clock.advance(self.costs.db_read);
         }
+        self.inv_cost.r1_application_ns += self.clock.now().since(t_r1).as_nanos();
         let value = match result {
             Ok(v) => v,
             Err(e) => {
@@ -980,7 +1156,13 @@ impl Cluster {
 
         // --- CCM after-invocation: postconditions + invariants ---
         if self.ccm_enabled {
+            let t_r5 = self.clock.now();
             let posts = self.repository.lookup(&sig, LookupKind::Postcondition);
+            self.telemetry.emit(|| TraceEvent::TriggerPoint {
+                trigger: TriggerKind::Postcondition,
+                signature: sig.to_string(),
+                matches: posts.len() as u32,
+            });
             for constraint in &posts {
                 let pre = self.ccm.take_pre_state(tx, constraint.name().as_str());
                 let call = CallInfo {
@@ -997,11 +1179,17 @@ impl Cluster {
                     Some(&call),
                     pre,
                 ) {
+                    self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                     let _ = self.tx_manager.set_rollback_only(tx);
                     return Err(e);
                 }
             }
             let invariants = self.repository.lookup(&sig, LookupKind::Invariant);
+            self.telemetry.emit(|| TraceEvent::TriggerPoint {
+                trigger: TriggerKind::Invariant,
+                signature: sig.to_string(),
+                matches: invariants.len() as u32,
+            });
             for constraint in invariants {
                 // Resolve the context object (§4.2.2).
                 let preparation = constraint
@@ -1025,6 +1213,7 @@ impl Cluster {
                             None
                         }
                         Err(e) => {
+                            self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                             let _ = self.tx_manager.set_rollback_only(tx);
                             return Err(e);
                         }
@@ -1040,6 +1229,7 @@ impl Cluster {
                             None,
                             BTreeMap::new(),
                         ) {
+                            self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                             let _ = self.tx_manager.set_rollback_only(tx);
                             return Err(e);
                         }
@@ -1056,6 +1246,7 @@ impl Cluster {
                     _ => {}
                 }
             }
+            self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
         }
         Ok(value)
     }

@@ -78,7 +78,9 @@ pub mod web;
 pub use ccm::{
     CallInfo, Ccm, CcmStats, NegotiationTiming, PendingCheck, ReplicaAccess, ValidationVerdict,
 };
-pub use cluster::{getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo};
+pub use cluster::{
+    getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo, StatsSnapshot,
+};
 pub use costs::CostModel;
 pub use negotiation::{negotiate, NegotiationHandler, NegotiationPath, ThreatDecision};
 pub use reconciliation::{
@@ -93,4 +95,7 @@ pub use threat::{
 // Re-export the pieces users need to assemble a cluster.
 pub use dedisys_replication::{
     HighestVersionWins, ProtocolKind, ReplicaConflict, ReplicaConsistencyHandler,
+};
+pub use dedisys_telemetry::{
+    JsonlExporter, MetricsSnapshot, RingRecorder, Telemetry, TraceEvent, TraceRecord, TraceSink,
 };

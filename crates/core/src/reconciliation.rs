@@ -13,6 +13,7 @@ use crate::cluster::Cluster;
 use crate::threat::{ConsistencyThreat, ThreatIdentity};
 use dedisys_object::EntityState;
 use dedisys_replication::{ReconcileReport, ReplicaConflict, ReplicaConsistencyHandler};
+use dedisys_telemetry::TraceEvent;
 use dedisys_types::{
     Error, NodeId, ObjectId, Result, SatisfactionDegree, SimDuration, SystemMode, TxId, Value,
 };
@@ -203,7 +204,7 @@ impl Cluster {
         replica_handler: &mut dyn ReplicaConsistencyHandler,
         constraint_handler: &mut dyn ConstraintReconciliationHandler,
     ) -> ReconciliationSummary {
-        self.mode = SystemMode::Reconciliation;
+        self.set_mode(SystemMode::Reconciliation);
         let mut summary = ReconciliationSummary::default();
 
         // Step 1: replica reconciliation.
@@ -235,6 +236,11 @@ impl Cluster {
         self.clock()
             .advance((self.costs().db_write + self.costs().net_hop * 2) * threat_records);
         summary.replica_duration = self.clock().now().since(t0);
+        self.telemetry().emit(|| TraceEvent::ReconcileReplicaPhase {
+            missed_updates: replica_report.missed_updates,
+            conflicts: replica_report.conflicts.len() as u32,
+            duration_ns: summary.replica_duration.as_nanos(),
+        });
 
         // Step 2: constraint reconciliation.
         let t1 = self.clock().now();
@@ -242,15 +248,28 @@ impl Cluster {
             self.reconcile_constraints(observer, &replica_report, constraint_handler);
         summary.constraint_duration = self.clock().now().since(t1);
         summary.replica = replica_report;
+        let constraints = summary.constraints;
+        let duration_ns = summary.constraint_duration.as_nanos();
+        self.telemetry()
+            .emit(|| TraceEvent::ReconcileConstraintPhase {
+                re_evaluated: constraints.re_evaluated as u64,
+                satisfied_removed: constraints.satisfied_removed as u64,
+                violations: constraints.violations as u64,
+                resolved_by_rollback: constraints.resolved_by_rollback as u64,
+                resolved_by_handler: constraints.resolved_by_handler as u64,
+                deferred: constraints.deferred as u64,
+                postponed: constraints.postponed as u64,
+                duration_ns,
+            });
 
         // Fully healed: drop the degraded bookkeeping and return to
         // healthy. After a partial re-unification the system stays
         // degraded and keeps its histories for the remaining objects.
         if self.topology().is_healthy() {
             self.replication.clear_degraded_state();
-            self.mode = SystemMode::Healthy;
+            self.set_mode(SystemMode::Healthy);
         } else {
-            self.mode = SystemMode::Degraded;
+            self.set_mode(SystemMode::Degraded);
         }
         summary
     }

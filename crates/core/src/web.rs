@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn degraded_write_ships_negotiation_over_the_response() {
         let (mut gw, flight) = gateway();
-        gw.cluster().lock().unwrap().partition(&[&[0], &[1]]);
+        gw.cluster().lock().unwrap().partition_raw(&[&[0], &[1]]);
         let f = flight.clone();
         let response = gw.submit(move |c, tx| {
             c.set_field(NodeId(0), tx, &f, "sold", Value::Int(71))
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn rejected_decision_aborts_the_business_operation() {
         let (mut gw, flight) = gateway();
-        gw.cluster().lock().unwrap().partition(&[&[0], &[1]]);
+        gw.cluster().lock().unwrap().partition_raw(&[&[0], &[1]]);
         let f = flight.clone();
         let response = gw.submit(move |c, tx| {
             c.set_field(NodeId(0), tx, &f, "sold", Value::Int(71))
@@ -333,7 +333,7 @@ mod tests {
     fn negotiation_timeout_rejects() {
         let (mut gw, flight) = gateway();
         gw.set_timeout(Duration::from_millis(100));
-        gw.cluster().lock().unwrap().partition(&[&[0], &[1]]);
+        gw.cluster().lock().unwrap().partition_raw(&[&[0], &[1]]);
         let f = flight.clone();
         let response = gw.submit(move |c, tx| {
             c.set_field(NodeId(0), tx, &f, "sold", Value::Int(71))

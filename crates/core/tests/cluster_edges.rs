@@ -94,7 +94,7 @@ fn bound_objects_are_read_remotely_within_the_partition() {
         .unwrap();
     assert_eq!(got, Value::Int(42));
     // After isolating node 2, the object is unreachable from node 0.
-    c.partition(&[&[0, 1], &[2]]);
+    c.partition_raw(&[&[0, 1], &[2]]);
     let gone = c.run_tx(NodeId(0), |c, tx| c.get_field(NodeId(0), tx, &id, "v"));
     assert!(matches!(gone, Err(Error::ObjectUnreachable(_))));
 }
@@ -111,13 +111,13 @@ fn empty_methods_do_not_propagate() {
     );
     let mut c = ClusterBuilder::new(2, app).build().unwrap();
     let id = seed(&mut c, "a");
-    let before = c.repl_stats().propagations;
+    let before = c.stats().replication.propagations;
     c.run_tx(NodeId(0), |c, tx| {
         c.invoke(NodeId(0), tx, &id, "poke", vec![])
     })
     .unwrap();
     assert_eq!(
-        c.repl_stats().propagations,
+        c.stats().replication.propagations,
         before,
         "no state change, nothing propagated (§5.1)"
     );
@@ -132,7 +132,7 @@ fn metrics_count_attempts_and_failures() {
     });
     let missing = ObjectId::new("Item", "missing");
     let _ = c.run_tx(NodeId(0), |c, tx| c.get_field(NodeId(0), tx, &missing, "v"));
-    let m = c.metrics();
+    let m = c.stats().cluster;
     assert_eq!(m.invocations, 2);
     assert_eq!(m.failed_invocations, 1);
     assert_eq!(m.creates, 1);
@@ -156,7 +156,7 @@ fn naming_service_binds_and_resolves_targets() {
 fn views_track_partition_membership_per_node() {
     let mut c = cluster(4);
     assert_eq!(c.view_of(NodeId(0)).size(), 4);
-    c.partition(&[&[0, 1], &[2, 3]]);
+    c.partition_raw(&[&[0, 1], &[2, 3]]);
     assert_eq!(c.view_of(NodeId(0)).size(), 2);
     assert_eq!(c.view_of(NodeId(3)).size(), 2);
     assert!(!c.view_of(NodeId(0)).contains(NodeId(2)));
@@ -171,7 +171,7 @@ fn partition_fraction_reflects_weights() {
         .weights(dedisys_gms::NodeWeights::explicit(vec![3, 1, 1, 1]))
         .build()
         .unwrap();
-    c.partition(&[&[0], &[1, 2, 3]]);
+    c.partition_raw(&[&[0], &[1, 2, 3]]);
     assert!((c.partition_fraction(NodeId(0)) - 0.5).abs() < 1e-9);
     assert!((c.partition_fraction(NodeId(1)) - 0.5).abs() < 1e-9);
 }

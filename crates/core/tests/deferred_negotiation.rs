@@ -41,7 +41,7 @@ fn degraded_cluster() -> (Cluster, ObjectId) {
             c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     (cluster, id)
 }
 
@@ -63,7 +63,7 @@ fn operations_continue_and_threats_are_stored_at_commit() {
     // Identical threats deduplicate to one record, accepted via the
     // static declaration.
     assert_eq!(cluster.threats().identities().len(), 1);
-    assert!(cluster.ccm_stats().threats_accepted >= 2);
+    assert!(cluster.stats().ccm.threats_accepted >= 2);
 }
 
 #[test]

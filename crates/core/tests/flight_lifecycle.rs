@@ -66,7 +66,7 @@ fn flight_booking_partition_threat_reconciliation() {
     }
 
     // Network partition: {0} vs {1, 2}.
-    cluster.partition(&[&[0], &[1, 2]]);
+    cluster.partition_raw(&[&[0], &[1, 2]]);
     assert_eq!(cluster.mode(), SystemMode::Degraded);
 
     // Partition A sells 7 (70 → 77 ≤ 80: possibly satisfied, accepted
@@ -84,7 +84,7 @@ fn flight_booking_partition_threat_reconciliation() {
         .unwrap();
 
     assert_eq!(cluster.threats().identities().len(), 1, "identical-once");
-    assert!(cluster.ccm_stats().threats_accepted >= 2);
+    assert!(cluster.stats().ccm.threats_accepted >= 2);
 
     // Reunification.
     cluster.heal();
@@ -160,7 +160,7 @@ fn non_tradeable_constraints_block_degraded_writes() {
             c.set_field(node, tx, &flight, "seats", Value::Int(10))
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     // Fallback to conventional behaviour: the system blocks (§3.2).
     let result = cluster.run_tx(node, |c, tx| {
         c.set_field(node, tx, &flight, "sold", Value::Int(1))
@@ -191,7 +191,7 @@ fn deferred_reconciliation_is_cleaned_up_by_business_operations() {
             c.set_field(a, tx, &flight, "sold", Value::Int(9))
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     cluster
         .run_tx(a, |c, tx| {
             c.set_field(a, tx, &flight, "sold", Value::Int(10))

@@ -73,7 +73,7 @@ fn re_enabling_checks_context_objects_again() {
         .unwrap();
     // Disable for a bulk import that exceeds capacity.
     let name = ConstraintName::from("Capacity");
-    cluster.repository_mut().set_enabled(&name, false).unwrap();
+    cluster.set_constraint_enabled(&name, false).unwrap();
     cluster
         .run_tx(node, |c, tx| {
             c.set_field(node, tx, &id, "stock", Value::Int(500))
@@ -110,7 +110,7 @@ fn accepted_threats_survive_a_middleware_crash() {
             )
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     cluster
         .run_tx(node, |c, tx| {
             c.set_field(node, tx, &id, "stock", Value::Int(10))
@@ -119,7 +119,7 @@ fn accepted_threats_survive_a_middleware_crash() {
     assert_eq!(cluster.threats().len(), 1);
     assert_eq!(cluster.threats().persisted_records(), 1);
     // Crash-recover the threat store from its write-ahead log.
-    let recovered = cluster.ccm_mut_for_tests().threat_store_mut().recover();
+    let recovered = cluster.recover_threats();
     assert_eq!(recovered, 1);
     assert_eq!(cluster.threats().len(), 1);
     assert_eq!(

@@ -1,6 +1,7 @@
 //! Membership views and per-node view tracking.
 
 use dedisys_net::Topology;
+use dedisys_telemetry::{Telemetry, TraceEvent};
 use dedisys_types::{NodeId, ViewId};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -103,6 +104,7 @@ pub struct ViewTracker {
     node: NodeId,
     current: View,
     last_epoch: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl ViewTracker {
@@ -114,7 +116,14 @@ impl ViewTracker {
             node,
             current: View::new(ViewId(0), members),
             last_epoch: topology.epoch(),
+            telemetry: None,
         }
+    }
+
+    /// Wires a telemetry bus; `view_change` events are emitted on each
+    /// installed view from now on.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The node this tracker belongs to.
@@ -143,12 +152,22 @@ impl ViewTracker {
         let joined = new.members().difference(old.members()).copied().collect();
         let left = old.members().difference(new.members()).copied().collect();
         self.current = new.clone();
-        Some(ViewChange {
+        let change = ViewChange {
             old,
             new,
             joined,
             left,
-        })
+        };
+        if let Some(t) = &self.telemetry {
+            t.emit(|| TraceEvent::ViewChange {
+                node: self.node,
+                view: change.new.id(),
+                members: change.new.size() as u32,
+                joined: change.joined.len() as u32,
+                left: change.left.len() as u32,
+            });
+        }
+        Some(change)
     }
 }
 

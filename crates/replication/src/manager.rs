@@ -6,7 +6,9 @@ use dedisys_gms::NodeWeights;
 use dedisys_net::Topology;
 use dedisys_object::EntityContainer;
 use dedisys_store::VersionHistory;
+use dedisys_telemetry::{Telemetry, TraceEvent};
 use dedisys_types::{Error, NodeId, ObjectId, Result, SimTime};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Placement of one logical object.
@@ -27,7 +29,7 @@ pub struct PropagationReport {
 }
 
 /// Counters kept by the manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ReplStats {
     /// Updates propagated (create/write/delete commits).
     pub propagations: u64,
@@ -58,6 +60,7 @@ pub struct ReplicationManager {
     /// `object|partition`, enabling rollback during reconciliation.
     history: VersionHistory,
     stats: ReplStats,
+    telemetry: Option<Telemetry>,
 }
 
 impl ReplicationManager {
@@ -70,7 +73,14 @@ impl ReplicationManager {
             degraded_writes: BTreeMap::new(),
             history: VersionHistory::new(),
             stats: ReplStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Wires a telemetry bus; `replication_update` and `staleness_hit`
+    /// events are emitted from now on.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The protocol in force.
@@ -176,7 +186,7 @@ impl ReplicationManager {
         requester: NodeId,
         topology: &Topology,
     ) -> bool {
-        match self.placements.get(object) {
+        let stale = match self.placements.get(object) {
             None => false,
             Some(p) => self.protocol.is_possibly_stale(
                 requester,
@@ -185,7 +195,17 @@ impl ReplicationManager {
                 topology,
                 &self.weights,
             ),
+        };
+        if stale {
+            if let Some(t) = &self.telemetry {
+                t.metrics().incr("replication.staleness_hits");
+                t.emit(|| TraceEvent::StalenessHit {
+                    object: object.to_string(),
+                    node: requester,
+                });
+            }
         }
+        stale
     }
 
     /// Whether any replica of `object` is reachable from `requester`
@@ -231,6 +251,18 @@ impl ReplicationManager {
         }
         let messages = recipients.len() as u64 * 2; // update + confirmation
         self.stats.messages += messages;
+        let degraded = !topology.is_healthy();
+        if let Some(t) = &self.telemetry {
+            t.metrics().incr("replication.propagations");
+            t.metrics().add("replication.messages", messages);
+            t.emit(|| TraceEvent::ReplicationUpdate {
+                object: object.to_string(),
+                from: executed_on,
+                recipients: recipients.len() as u32,
+                messages,
+                degraded,
+            });
+        }
 
         if !topology.is_healthy() {
             self.stats.degraded_writes += 1;
@@ -278,11 +310,18 @@ impl ReplicationManager {
 
     pub(crate) fn count_conflict(&mut self) {
         self.stats.conflicts += 1;
+        if let Some(t) = &self.telemetry {
+            t.metrics().incr("reconcile.conflicts");
+        }
     }
 
     pub(crate) fn count_missed_updates(&mut self, n: u64, messages: u64) {
         self.stats.missed_updates += n;
         self.stats.messages += messages;
+        if let Some(t) = &self.telemetry {
+            t.metrics().add("reconcile.missed_updates", n);
+            t.metrics().add("replication.messages", messages);
+        }
     }
 
     /// Clears degraded-mode bookkeeping (after reconciliation

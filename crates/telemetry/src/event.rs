@@ -1,0 +1,340 @@
+//! Typed, virtual-time-stamped trace events.
+//!
+//! Every event names the *paper concept* it witnesses — trigger points
+//! (§4.2.3), consistency threats (§3.2.2), mode transitions (§1.4),
+//! reconciliation phases (§4.4) — so an exported stream reads as a
+//! protocol transcript of one simulated run.
+
+use dedisys_types::{NodeId, SatisfactionDegree, SimDuration, SimTime, SystemMode, TxId, ViewId};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one business invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum InvocationOutcome {
+    /// The invocation returned a value.
+    Ok,
+    /// The invocation failed (availability, constraint, threat).
+    Failed,
+}
+
+/// Per-invocation virtual-time cost breakdown, in the R1–R5 slice
+/// style of the Chapter 2 instrumentation (Figure 2.3): application
+/// work, interception, parameter/target preparation, repository
+/// search, and constraint checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CostBreakdown {
+    /// R1 — application/database work (method dispatch, reads).
+    pub r1_application_ns: u64,
+    /// R2 — interception: base invocation + replication/CCM
+    /// interceptor passes.
+    pub r2_interception_ns: u64,
+    /// R3 — parameter extraction and target routing (lock acquisition,
+    /// remote hops to the executing node).
+    pub r3_preparation_ns: u64,
+    /// R4 — constraint-repository search (trigger-point lookups).
+    pub r4_repository_ns: u64,
+    /// R5 — constraint checks, negotiation and threat persistence.
+    pub r5_checks_ns: u64,
+}
+
+impl CostBreakdown {
+    /// Total virtual time across all slices.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.r1_application_ns
+                + self.r2_interception_ns
+                + self.r3_preparation_ns
+                + self.r4_repository_ns
+                + self.r5_checks_ns,
+        )
+    }
+}
+
+/// Which trigger point of the CCMgr fired (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TriggerKind {
+    /// Before-invocation preconditions.
+    Precondition,
+    /// After-invocation postconditions.
+    Postcondition,
+    /// After-invocation invariants.
+    Invariant,
+    /// Commit-time soft/async invariants.
+    CommitPrepare,
+}
+
+/// How a threat record landed in the persistent store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ThreatStorage {
+    /// First occurrence — full record persisted.
+    Stored,
+    /// Additional occurrence linked under the full-history policy.
+    LinkedOccurrence,
+    /// Duplicate detected under identical-once — read only.
+    Deduplicated,
+}
+
+/// A two-phase-commit protocol step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TwoPcPhase {
+    /// Phase 1 started: votes are being collected.
+    Prepare,
+    /// One participant voted.
+    Vote,
+    /// Phase 2: all participants commit.
+    Commit,
+    /// Phase 2: all participants roll back.
+    Rollback,
+}
+
+/// A typed trace event.
+///
+/// Serialized with an external `kind` tag so a JSONL stream is easy to
+/// filter with standard tools (`jq 'select(.event.kind == "...")'`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A business invocation entered the middleware pipeline.
+    InvocationStart {
+        /// Node the client issued the invocation on.
+        node: NodeId,
+        /// Enclosing transaction.
+        tx: TxId,
+        /// Target object (display form `Class#key`).
+        target: String,
+        /// Invoked method.
+        method: String,
+    },
+    /// A business invocation left the middleware pipeline.
+    InvocationEnd {
+        /// Node the client issued the invocation on.
+        node: NodeId,
+        /// Enclosing transaction.
+        tx: TxId,
+        /// Target object (display form `Class#key`).
+        target: String,
+        /// Invoked method.
+        method: String,
+        /// Success or failure.
+        outcome: InvocationOutcome,
+        /// Virtual-time cost split into R1–R5 slices.
+        cost: CostBreakdown,
+    },
+    /// A CCMgr trigger point fired and searched the repository.
+    TriggerPoint {
+        /// Which trigger point.
+        trigger: TriggerKind,
+        /// The `Class::method` signature looked up.
+        signature: String,
+        /// Number of affected constraints found.
+        matches: u32,
+    },
+    /// One constraint was validated (including staleness adjustment).
+    ConstraintValidated {
+        /// Constraint name.
+        constraint: String,
+        /// Final satisfaction degree.
+        degree: SatisfactionDegree,
+        /// Number of objects the validation accessed.
+        accessed: u32,
+    },
+    /// A consistency threat was accepted and handed to the store.
+    ThreatRecorded {
+        /// Constraint name.
+        constraint: String,
+        /// Context object, if any.
+        context: Option<String>,
+        /// Observed satisfaction degree.
+        degree: SatisfactionDegree,
+        /// Storage outcome (dedup vs new record).
+        storage: ThreatStorage,
+    },
+    /// A consistency threat was rejected during negotiation; the
+    /// enclosing operation aborts.
+    ThreatRejected {
+        /// Constraint name.
+        constraint: String,
+        /// Observed satisfaction degree.
+        degree: SatisfactionDegree,
+    },
+    /// A two-phase-commit protocol step.
+    TwoPc {
+        /// The transaction.
+        tx: TxId,
+        /// Protocol step.
+        phase: TwoPcPhase,
+        /// Participant resource (votes only).
+        participant: Option<String>,
+        /// Whether the vote was "prepared" (votes only).
+        prepared: Option<bool>,
+    },
+    /// A transaction began.
+    TxBegin {
+        /// The transaction.
+        tx: TxId,
+    },
+    /// A transaction committed.
+    TxCommit {
+        /// The transaction.
+        tx: TxId,
+    },
+    /// A transaction rolled back (explicitly or by veto).
+    TxRollback {
+        /// The transaction.
+        tx: TxId,
+    },
+    /// A committed update was propagated to reachable backups.
+    ReplicationUpdate {
+        /// The updated object.
+        object: String,
+        /// Node the write executed on.
+        from: NodeId,
+        /// Number of backups reached.
+        recipients: u32,
+        /// Point-to-point messages exchanged.
+        messages: u64,
+        /// Whether the system was degraded (bookkeeping recorded).
+        degraded: bool,
+    },
+    /// A validation read hit a possibly stale replica (LCC input).
+    StalenessHit {
+        /// The possibly stale object.
+        object: String,
+        /// Node that read it.
+        node: NodeId,
+    },
+    /// A node installed a new membership view.
+    ViewChange {
+        /// The observing node.
+        node: NodeId,
+        /// The new view id.
+        view: ViewId,
+        /// Members of the new view.
+        members: u32,
+        /// Nodes that joined (merge when > 0).
+        joined: u32,
+        /// Nodes that left (degradation when > 0).
+        left: u32,
+    },
+    /// The cluster-wide system mode changed (Figure 1.4).
+    ModeTransition {
+        /// Previous mode.
+        from: SystemMode,
+        /// New mode.
+        to: SystemMode,
+    },
+    /// Replica reconciliation (step 1 of the reconciliation phase)
+    /// completed.
+    ReconcileReplicaPhase {
+        /// Missed updates propagated.
+        missed_updates: u64,
+        /// Write-write conflicts resolved.
+        conflicts: u32,
+        /// Virtual time the step took.
+        duration_ns: u64,
+    },
+    /// Constraint reconciliation (step 2) completed.
+    ReconcileConstraintPhase {
+        /// Distinct threat identities re-evaluated.
+        re_evaluated: u64,
+        /// Threats found satisfied and removed.
+        satisfied_removed: u64,
+        /// Actual violations detected.
+        violations: u64,
+        /// Violations resolved by rollback search.
+        resolved_by_rollback: u64,
+        /// Violations resolved immediately by the handler.
+        resolved_by_handler: u64,
+        /// Violations deferred to later cleanup.
+        deferred: u64,
+        /// Threats postponed (partitions remain).
+        postponed: u64,
+        /// Virtual time the step took.
+        duration_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// A short, stable name of the event kind (matches the serialized
+    /// `kind` tag).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::InvocationStart { .. } => "invocation_start",
+            TraceEvent::InvocationEnd { .. } => "invocation_end",
+            TraceEvent::TriggerPoint { .. } => "trigger_point",
+            TraceEvent::ConstraintValidated { .. } => "constraint_validated",
+            TraceEvent::ThreatRecorded { .. } => "threat_recorded",
+            TraceEvent::ThreatRejected { .. } => "threat_rejected",
+            TraceEvent::TwoPc { .. } => "two_pc",
+            TraceEvent::TxBegin { .. } => "tx_begin",
+            TraceEvent::TxCommit { .. } => "tx_commit",
+            TraceEvent::TxRollback { .. } => "tx_rollback",
+            TraceEvent::ReplicationUpdate { .. } => "replication_update",
+            TraceEvent::StalenessHit { .. } => "staleness_hit",
+            TraceEvent::ViewChange { .. } => "view_change",
+            TraceEvent::ModeTransition { .. } => "mode_transition",
+            TraceEvent::ReconcileReplicaPhase { .. } => "reconcile_replica_phase",
+            TraceEvent::ReconcileConstraintPhase { .. } => "reconcile_constraint_phase",
+        }
+    }
+}
+
+/// One recorded event: a sequence number, a virtual timestamp and the
+/// typed payload. Two identically-seeded runs produce identical record
+/// streams (virtual time only — no wall clock anywhere).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonic per-bus sequence number (0-based).
+    pub seq: u64,
+    /// Virtual time the event was emitted.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_kind_tag() {
+        let record = TraceRecord {
+            seq: 7,
+            at: SimTime::from_nanos(42),
+            event: TraceEvent::ModeTransition {
+                from: SystemMode::Healthy,
+                to: SystemMode::Degraded,
+            },
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.contains("\"kind\":\"mode_transition\""), "{json}");
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn kind_matches_serde_tag() {
+        let event = TraceEvent::StalenessHit {
+            object: "Flight#F1".into(),
+            node: NodeId(1),
+        };
+        let json = serde_json::to_value(&event).unwrap();
+        assert_eq!(json["kind"], event.kind());
+    }
+
+    #[test]
+    fn cost_breakdown_totals() {
+        let cost = CostBreakdown {
+            r1_application_ns: 1,
+            r2_interception_ns: 2,
+            r3_preparation_ns: 3,
+            r4_repository_ns: 4,
+            r5_checks_ns: 5,
+        };
+        assert_eq!(cost.total(), SimDuration::from_nanos(15));
+    }
+}

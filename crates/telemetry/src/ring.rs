@@ -1,0 +1,135 @@
+//! Bounded in-memory recorder for tests.
+
+use crate::bus::TraceSink;
+use crate::event::TraceRecord;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable ring buffer of the most recent trace records.
+///
+/// Attach one clone to the bus and keep the other to inspect what was
+/// recorded:
+///
+/// ```
+/// use dedisys_net::SimClock;
+/// use dedisys_telemetry::{RingRecorder, Telemetry, TraceEvent};
+/// use dedisys_types::SystemMode;
+///
+/// let bus = Telemetry::new(SimClock::new());
+/// let ring = RingRecorder::new(128);
+/// bus.attach(Box::new(ring.clone()));
+/// bus.emit(|| TraceEvent::ModeTransition {
+///     from: SystemMode::Healthy,
+///     to: SystemMode::Degraded,
+/// });
+/// assert_eq!(ring.records().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    capacity: usize,
+    buf: Arc<Mutex<VecDeque<TraceRecord>>>,
+}
+
+impl RingRecorder {
+    /// Creates a recorder keeping the last `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.buf
+            .lock()
+            .expect("ring recorder poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained records of one `kind`, oldest first.
+    pub fn records_of_kind(&self, kind: &str) -> Vec<TraceRecord> {
+        self.buf
+            .lock()
+            .expect("ring recorder poisoned")
+            .iter()
+            .filter(|r| r.event.kind() == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// The sequence of event kinds retained, oldest first.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        self.buf
+            .lock()
+            .expect("ring recorder poisoned")
+            .iter()
+            .map(|r| r.event.kind())
+            .collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring recorder poisoned").len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained records.
+    pub fn clear(&self) {
+        self.buf.lock().expect("ring recorder poisoned").clear();
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, record: &TraceRecord) {
+        let mut buf = self.buf.lock().expect("ring recorder poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use dedisys_types::{NodeId, SimTime, TxId};
+
+    fn record(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: SimTime::from_nanos(seq),
+            event: TraceEvent::TxBegin {
+                tx: TxId::new(NodeId(0), seq),
+            },
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut ring = RingRecorder::new(2);
+        for seq in 0..5 {
+            ring.record(&record(seq));
+        }
+        let kept: Vec<u64> = ring.records().iter().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn kind_filters() {
+        let mut ring = RingRecorder::new(8);
+        ring.record(&record(0));
+        assert_eq!(ring.kinds(), vec!["tx_begin"]);
+        assert_eq!(ring.records_of_kind("tx_begin").len(), 1);
+        assert_eq!(ring.records_of_kind("tx_commit").len(), 0);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+}

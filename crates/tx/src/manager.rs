@@ -1,6 +1,8 @@
 //! The transaction manager.
 
+use dedisys_telemetry::{Telemetry, TraceEvent};
 use dedisys_types::{Error, NodeId, Result, TxId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Life-cycle state of a transaction.
@@ -15,7 +17,7 @@ pub enum TxStatus {
 }
 
 /// Counters kept by the manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TxStats {
     /// Transactions begun.
     pub begun: u64,
@@ -41,12 +43,25 @@ pub struct TransactionManager {
     records: HashMap<TxId, TxRecord>,
     next_seq: HashMap<NodeId, u64>,
     stats: TxStats,
+    telemetry: Option<Telemetry>,
 }
 
 impl TransactionManager {
     /// Creates an empty manager.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wires a telemetry bus; life-cycle events (`tx_begin`,
+    /// `tx_commit`, `tx_rollback`) are emitted from now on.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.telemetry {
+            t.emit(build);
+        }
     }
 
     /// Begins a transaction on behalf of `node`.
@@ -62,6 +77,7 @@ impl TransactionManager {
             },
         );
         self.stats.begun += 1;
+        self.emit(|| TraceEvent::TxBegin { tx });
         tx
     }
 
@@ -106,10 +122,12 @@ impl TransactionManager {
         if record.rollback_only {
             record.status = TxStatus::RolledBack;
             self.stats.rolled_back += 1;
+            self.emit(|| TraceEvent::TxRollback { tx });
             return Err(Error::RollbackOnly(tx));
         }
         record.status = TxStatus::Committed;
         self.stats.committed += 1;
+        self.emit(|| TraceEvent::TxCommit { tx });
         Ok(())
     }
 
@@ -122,6 +140,7 @@ impl TransactionManager {
         let record = self.active_record(tx)?;
         record.status = TxStatus::RolledBack;
         self.stats.rolled_back += 1;
+        self.emit(|| TraceEvent::TxRollback { tx });
         Ok(())
     }
 
@@ -132,6 +151,9 @@ impl TransactionManager {
             if record.status == TxStatus::Active {
                 record.status = TxStatus::RolledBack;
                 self.stats.rolled_back += 1;
+                if let Some(t) = &self.telemetry {
+                    t.emit(|| TraceEvent::TxRollback { tx });
+                }
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The two-phase-commit coordinator.
 
 use crate::{TransactionalResource, Vote};
+use dedisys_telemetry::{Telemetry, TraceEvent, TwoPcPhase};
 use dedisys_types::{Error, Result, TxId};
 
 /// Drives two-phase commit over a set of participants.
@@ -8,7 +9,7 @@ use dedisys_types::{Error, Result, TxId};
 /// Phase one collects votes from every participant; if all vote
 /// [`Vote::Prepared`], phase two commits them all, otherwise every
 /// participant (including those that voted to abort) is rolled back.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TwoPhaseCoordinator {
     /// Number of 2PC rounds driven.
     pub rounds: u64,
@@ -16,12 +17,25 @@ pub struct TwoPhaseCoordinator {
     pub commits: u64,
     /// Number of rounds that ended in abort.
     pub aborts: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl TwoPhaseCoordinator {
     /// Creates a coordinator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wires a telemetry bus; `two_pc` protocol-step events are
+    /// emitted from now on.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.telemetry {
+            t.emit(build);
+        }
     }
 
     /// Runs 2PC for `tx` over `participants`.
@@ -37,11 +51,24 @@ impl TwoPhaseCoordinator {
         participants: &mut [&mut dyn TransactionalResource],
     ) -> Result<()> {
         self.rounds += 1;
+        self.emit(|| TraceEvent::TwoPc {
+            tx,
+            phase: TwoPcPhase::Prepare,
+            participant: None,
+            prepared: None,
+        });
         let mut abort_reason: Option<String> = None;
         // Phase 1: collect every vote (a real coordinator contacts all
         // participants even after a no-vote, to learn their state).
         for p in participants.iter_mut() {
-            if let Vote::Abort(reason) = p.prepare(tx) {
+            let vote = p.prepare(tx);
+            self.emit(|| TraceEvent::TwoPc {
+                tx,
+                phase: TwoPcPhase::Vote,
+                participant: Some(p.name().to_string()),
+                prepared: Some(matches!(vote, Vote::Prepared)),
+            });
+            if let Vote::Abort(reason) = vote {
                 if abort_reason.is_none() {
                     abort_reason = Some(format!("{}: {}", p.name(), reason));
                 }
@@ -54,6 +81,12 @@ impl TwoPhaseCoordinator {
                     p.commit(tx);
                 }
                 self.commits += 1;
+                self.emit(|| TraceEvent::TwoPc {
+                    tx,
+                    phase: TwoPcPhase::Commit,
+                    participant: None,
+                    prepared: None,
+                });
                 Ok(())
             }
             Some(resource) => {
@@ -61,6 +94,12 @@ impl TwoPhaseCoordinator {
                     p.rollback(tx);
                 }
                 self.aborts += 1;
+                self.emit(|| TraceEvent::TwoPc {
+                    tx,
+                    phase: TwoPcPhase::Rollback,
+                    participant: None,
+                    prepared: None,
+                });
                 Err(Error::PrepareFailed { tx, resource })
             }
         }
@@ -74,6 +113,12 @@ impl TwoPhaseCoordinator {
         for p in participants.iter_mut() {
             p.rollback(tx);
         }
+        self.emit(|| TraceEvent::TwoPc {
+            tx,
+            phase: TwoPcPhase::Rollback,
+            participant: None,
+            prepared: None,
+        });
     }
 }
 

@@ -30,7 +30,7 @@ fn main() -> Result<()> {
     );
 
     // The split between the two sites.
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     println!("\nsplit between the sites: {}", cluster.topology());
 
     // Admin changes the alarm kind on its side…
@@ -49,7 +49,7 @@ fn main() -> Result<()> {
     println!(
         "stored threats: {} identity/ies from {} accepted threat(s)",
         cluster.threats().identities().len(),
-        cluster.ccm_stats().threats_accepted
+        cluster.stats().ccm.threats_accepted
     );
 
     // Repair the link; reconciliation discovers that the merged state

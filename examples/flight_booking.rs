@@ -29,7 +29,7 @@ fn plain_ticket_constraint_scenario() -> Result<()> {
     println!("healthy: flight LH-441 with 80 seats, 70 sold");
 
     // Partition: {0,1} (side A) vs {2,3} (side B).
-    cluster.partition(&[&[0, 1], &[2, 3]]);
+    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
     println!("partition: {}", cluster.topology());
 
     // Side A registers a dynamic negotiation handler for its sale —
@@ -120,7 +120,7 @@ fn partition_sensitive_scenario() -> Result<()> {
         .constraint(partition_sensitive_ticket_constraint())
         .build()?;
     let flight = create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70)?;
-    cluster.partition(&[&[0, 1], &[2, 3]]);
+    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
     println!("partition: each side holds weight 1/2 → 5 of the 10 remaining tickets");
 
     for node in [NodeId(0), NodeId(2)] {

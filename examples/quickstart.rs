@@ -56,7 +56,7 @@ fn main() -> Result<()> {
 
     // 4. Degraded mode: a partition splits the cluster; both sides stay
     //    available, trading consistency threats.
-    cluster.partition(&[&[0], &[1, 2]]);
+    cluster.partition_raw(&[&[0], &[1, 2]]);
     println!(
         "\npartition installed: {:?} — mode = {}",
         cluster.topology(),

@@ -72,14 +72,14 @@ fn main() -> Result<()> {
     // Disable the capacity constraint at runtime (e.g. for a bulk
     // import, cf. [OCS01] in §6.2) …
     let capacity = ConstraintName::from("StockBelowCapacity");
-    cluster.repository_mut().set_enabled(&capacity, false)?;
+    cluster.set_constraint_enabled(&capacity, false)?;
     cluster.run_tx(node, |c, tx| {
         c.set_field(node, tx, &wh, "stock", Value::Int(150))
     })?;
     println!("constraint disabled: stock=150 accepted");
 
     // … re-enable it, and watch it bite again.
-    cluster.repository_mut().set_enabled(&capacity, true)?;
+    cluster.set_constraint_enabled(&capacity, true)?;
     let still_over = cluster.run_tx(node, |c, tx| {
         c.set_field(node, tx, &wh, "stock", Value::Int(160))
     });
@@ -89,7 +89,7 @@ fn main() -> Result<()> {
     );
 
     // Remove it entirely.
-    cluster.repository_mut().remove(&capacity);
+    cluster.remove_constraint(&capacity);
     cluster.run_tx(node, |c, tx| {
         c.set_field(node, tx, &wh, "stock", Value::Int(160))
     })?;

@@ -33,7 +33,7 @@ fn main() -> Result<()> {
     println!("healthy: lone retune rejected: {}", lone.unwrap_err());
 
     // Vienna loses its link to the other sites.
-    cluster.partition(&[&[0], &[1, 2]]);
+    cluster.partition_raw(&[&[0], &[1, 2]]);
     println!("\nVienna isolated: {}", cluster.topology());
 
     // The Graz endpoint is unreachable from Vienna — the constraint is

@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 fn main() -> Result<()> {
     let mut cluster = booking_cluster(2)?;
     let flight = create_flight(&mut cluster, NodeId(0), "LH-441", 80, 78)?;
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     println!("degraded flight-booking system; browser talks to node 0\n");
 
     let mut gateway = WebGateway::new(Arc::new(Mutex::new(cluster)), NodeId(0));

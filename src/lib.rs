@@ -1,2 +1,3 @@
 //! Facade crate re-exporting the DeDiSys-RS workspace.
 pub use dedisys_core as core;
+pub use dedisys_telemetry as telemetry;

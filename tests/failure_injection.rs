@@ -79,13 +79,13 @@ fn cascading_partitions_merge_step_by_step() {
         .unwrap();
     let id = seed(&mut cluster);
     // First a 2/2 split, then one side splits again.
-    cluster.partition(&[&[0, 1], &[2, 3]]);
+    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
     cluster
         .run_tx(NodeId(2), |c, tx| {
             c.set_field(NodeId(2), tx, &id, "n", Value::Int(7))
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1], &[2, 3]]);
+    cluster.partition_raw(&[&[0], &[1], &[2, 3]]);
     cluster
         .run_tx(NodeId(0), |c, tx| {
             c.set_field(NodeId(0), tx, &id, "n", Value::Int(3))
@@ -125,7 +125,7 @@ fn rollback_based_reconciliation_restores_a_consistent_state() {
             c.set_field(NodeId(0), tx, &id, "n", Value::Int(40))
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1]]);
+    cluster.partition_raw(&[&[0], &[1]]);
     // Each side adds 35: individually fine (75 ≤ 100), merged by an
     // additive handler it overflows (110 > 100).
     cluster
@@ -173,7 +173,7 @@ fn full_history_policy_stores_every_occurrence() {
             .build()
             .unwrap();
         let id = seed(&mut cluster);
-        cluster.partition(&[&[0], &[1]]);
+        cluster.partition_raw(&[&[0], &[1]]);
         for i in 1..=5 {
             cluster
                 .run_tx(NodeId(0), |c, tx| {
@@ -195,16 +195,16 @@ fn async_constraints_skip_degraded_validation() {
         .build()
         .unwrap();
     let id = seed(&mut cluster);
-    let validations_before = cluster.ccm_stats().validations;
-    cluster.partition(&[&[0], &[1]]);
+    let validations_before = cluster.stats().ccm.validations;
+    cluster.partition_raw(&[&[0], &[1]]);
     cluster
         .run_tx(NodeId(0), |c, tx| {
             c.set_field(NodeId(0), tx, &id, "n", Value::Int(5))
         })
         .unwrap();
     // No validation, no negotiation — the threat was recorded directly.
-    assert_eq!(cluster.ccm_stats().validations, validations_before);
-    assert_eq!(cluster.ccm_stats().async_shortcuts, 1);
+    assert_eq!(cluster.stats().ccm.validations, validations_before);
+    assert_eq!(cluster.stats().ccm.async_shortcuts, 1);
     assert_eq!(cluster.threats().len(), 1);
     // Reconciliation evaluates it for the first time.
     cluster.heal();

@@ -42,7 +42,7 @@ fn partial_merge_reconciles_reachable_and_postpones_the_rest() {
         .unwrap();
 
     // Three-way split; every partition writes.
-    cluster.partition(&[&[0], &[1], &[2, 3]]);
+    cluster.partition_raw(&[&[0], &[1], &[2, 3]]);
     for (node, value) in [(0u32, 1i64), (1, 2), (2, 3)] {
         let id = id.clone();
         cluster
@@ -54,7 +54,7 @@ fn partial_merge_reconciles_reachable_and_postpones_the_rest() {
     assert_eq!(cluster.threats().identities().len(), 1);
 
     // Partitions {0} and {1} merge; {2,3} stays away.
-    cluster.partition(&[&[0, 1], &[2, 3]]);
+    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
     let summary = cluster.reconcile_partial(NodeId(0), &mut HighestVersionWins, &mut DeferAll);
 
     // The {0}/{1} conflict was resolved within the merged partition…
@@ -108,7 +108,7 @@ fn partial_merge_with_all_writers_reachable_resolves_threats() {
             c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
         })
         .unwrap();
-    cluster.partition(&[&[0], &[1], &[2]]);
+    cluster.partition_raw(&[&[0], &[1], &[2]]);
     // Only partitions {0} and {1} write.
     for (node, value) in [(0u32, 5i64), (1, 6)] {
         let id = id.clone();
@@ -122,7 +122,7 @@ fn partial_merge_with_all_writers_reachable_resolves_threats() {
     // node 2 still holds a (stale, never-written) replica, so the
     // object remains tracked and the threat stays (P4: possibly stale
     // while any partition remains).
-    cluster.partition(&[&[0, 1], &[2]]);
+    cluster.partition_raw(&[&[0, 1], &[2]]);
     let summary = cluster.reconcile_partial(NodeId(0), &mut HighestVersionWins, &mut DeferAll);
     assert_eq!(
         summary.replica.conflicts.len(),

@@ -1,0 +1,202 @@
+//! Telemetry lifecycle integration tests: a full partition → degraded
+//! writes → heal → reconciliation scenario observed through the trace
+//! bus, plus the hard determinism requirement — two identically-seeded
+//! runs export byte-identical JSONL.
+
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{
+    Cluster, ClusterBuilder, DeferAll, HighestVersionWins, JsonlExporter, RingRecorder, TraceEvent,
+    TraceRecord,
+};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SystemMode, Value};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("inv").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("max", Value::Int(100)),
+    )
+}
+
+fn bounded_constraint() -> RegisteredConstraint {
+    RegisteredConstraint::new(
+        ConstraintMeta::new("Bounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+    )
+    .context_class("Counter")
+    .affects("Counter", "setN", ContextPreparation::CalledObject)
+}
+
+fn build() -> Cluster {
+    ClusterBuilder::new(3, app())
+        .constraint(bounded_constraint())
+        .build()
+        .unwrap()
+}
+
+/// The canonical degraded-mode lifecycle: healthy writes, a 1/2 split,
+/// threat-recording writes in the majority-less partition, repair and
+/// two-step reconciliation.
+fn run_lifecycle(cluster: &mut Cluster) {
+    let id = ObjectId::new("Counter", "c1");
+    let node = NodeId(0);
+    let e = id.clone();
+    cluster
+        .run_tx(node, move |c, tx| {
+            c.create(node, tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+
+    assert_eq!(
+        cluster.partition(&[vec![NodeId(0)], vec![NodeId(1), NodeId(2)]]),
+        SystemMode::Degraded
+    );
+    cluster
+        .run_tx(node, |c, tx| c.set_field(node, tx, &id, "n", Value::Int(5)))
+        .unwrap();
+    assert!(
+        !cluster.threats().is_empty(),
+        "degraded write records threat"
+    );
+
+    assert_eq!(cluster.heal(), SystemMode::Reconciliation);
+    let summary = cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert!(summary.constraints.re_evaluated >= 1);
+    assert_eq!(cluster.mode(), SystemMode::Healthy);
+}
+
+#[test]
+fn lifecycle_emits_the_expected_event_stream() {
+    let mut cluster = build();
+    let ring = RingRecorder::new(4096);
+    cluster.telemetry().attach(Box::new(ring.clone()));
+
+    run_lifecycle(&mut cluster);
+
+    // Every stage of the lifecycle is witnessed by a typed event.
+    for kind in [
+        "invocation_start",
+        "invocation_end",
+        "trigger_point",
+        "constraint_validated",
+        "tx_begin",
+        "tx_commit",
+        "threat_recorded",
+        "mode_transition",
+        "reconcile_replica_phase",
+        "reconcile_constraint_phase",
+    ] {
+        assert!(
+            !ring.records_of_kind(kind).is_empty(),
+            "expected at least one '{kind}' event; got kinds {:?}",
+            ring.kinds()
+        );
+    }
+
+    // The mode walks Figure 1.4: Healthy → Degraded → Reconciliation →
+    // Healthy, each edge announced exactly once.
+    let modes: Vec<(SystemMode, SystemMode)> = ring
+        .records_of_kind("mode_transition")
+        .iter()
+        .map(|r| match r.event {
+            TraceEvent::ModeTransition { from, to } => (from, to),
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(
+        modes,
+        vec![
+            (SystemMode::Healthy, SystemMode::Degraded),
+            (SystemMode::Degraded, SystemMode::Reconciliation),
+            (SystemMode::Reconciliation, SystemMode::Healthy),
+        ]
+    );
+
+    // Constraint reconciliation found the accepted threat satisfied.
+    let recon = ring.records_of_kind("reconcile_constraint_phase");
+    assert_eq!(recon.len(), 1);
+    match recon[0].event {
+        TraceEvent::ReconcileConstraintPhase {
+            re_evaluated,
+            satisfied_removed,
+            ..
+        } => {
+            assert!(re_evaluated >= 1);
+            assert!(satisfied_removed >= 1);
+        }
+        _ => unreachable!(),
+    }
+
+    // Sequence numbers are gapless and monotonic — the bus stamps them.
+    let records = ring.records();
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "seq gap at index {i}");
+    }
+
+    // The unified snapshot agrees with the bus and serializes cleanly.
+    let stats = cluster.stats();
+    assert_eq!(stats.events_emitted, records.len() as u64);
+    assert_eq!(stats.mode, SystemMode::Healthy);
+    assert!(stats.cluster.invocations >= 1);
+    assert_eq!(stats.cluster.creates, 1);
+    let json = serde_json::to_string(&stats).unwrap();
+    assert!(json.contains("\"mode\""), "{json}");
+}
+
+/// A `Write` target the test keeps a handle to after the exporter (and
+/// the cluster owning it) is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn export_lifecycle() -> Vec<u8> {
+    let buf = SharedBuf::default();
+    {
+        let mut cluster = build();
+        cluster
+            .telemetry()
+            .attach(Box::new(JsonlExporter::new(Box::new(buf.clone()))));
+        run_lifecycle(&mut cluster);
+        // Dropping the cluster drops the exporter, which flushes.
+    }
+    let bytes = buf.0.lock().unwrap().clone();
+    bytes
+}
+
+#[test]
+fn same_seed_exports_byte_identical_jsonl() {
+    let first = export_lifecycle();
+    let second = export_lifecycle();
+    assert!(!first.is_empty(), "exporter wrote nothing");
+    assert_eq!(first, second, "trace streams diverged between runs");
+
+    // Each line round-trips as a typed record and the stream covers a
+    // representative slice of the event vocabulary.
+    let text = String::from_utf8(first).unwrap();
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut expected_seq = 0u64;
+    for line in text.lines() {
+        let record: TraceRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(record.seq, expected_seq);
+        expected_seq += 1;
+        kinds.insert(record.event.kind());
+    }
+    assert!(
+        kinds.len() >= 8,
+        "expected >= 8 distinct event kinds, got {kinds:?}"
+    );
+}
