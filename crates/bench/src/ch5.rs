@@ -9,6 +9,7 @@ use dedisys_constraints::{
 };
 use dedisys_core::{
     Cluster, ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy, JsonlExporter,
+    ReconcileStrategy,
 };
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState, MethodDescriptor, MethodKind};
 use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SimDuration, Value};
@@ -442,11 +443,15 @@ pub struct ReconRow {
 /// Figure 5.6 — time for missed-update propagation and threat
 /// re-evaluation, under the identical-once vs full-history policies
 /// (1000 degraded operations over 200 objects → 200 vs 1000 records).
+/// The third row stores the full history but folds duplicate records
+/// in the background ([`HistoryPolicy::Reduced`]) — heal-time storage
+/// lands near the identical-once figure.
 pub fn fig5_6() -> Vec<ReconRow> {
     let mut out = Vec::new();
     for (policy, label) in [
         (HistoryPolicy::IdenticalOnce, "Identical threats once"),
         (HistoryPolicy::FullHistory, "Full threat history"),
+        (HistoryPolicy::Reduced, "Reduced (compacted)"),
     ] {
         let mut cluster = builder(2).threat_policy(policy).build_traced();
         let node = NodeId(0);
@@ -469,6 +474,94 @@ pub fn fig5_6() -> Vec<ReconRow> {
             replica: summary.replica_duration,
             constraint: summary.constraint_duration,
         });
+    }
+    out
+}
+
+/// One row of the incremental-vs-full-scan reconciliation comparison.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// Strategy + scenario label.
+    pub label: String,
+    /// Threat identities produced in the partition that stays away.
+    pub away: usize,
+    /// Threat identities actually re-evaluated.
+    pub re_evaluated: usize,
+    /// Threat identities skipped without re-evaluation.
+    pub skipped: usize,
+    /// Threats whose constraints were satisfied (removed).
+    pub satisfied_removed: usize,
+    /// Actual violations detected.
+    pub violations: usize,
+    /// Violations deferred to application-driven cleanup.
+    pub deferred: usize,
+    /// Threats still threatened after the partial merge.
+    pub postponed: usize,
+    /// Virtual time of the constraint phase.
+    pub constraint: SimDuration,
+}
+
+/// Figure 5.6 (incremental) — constraint reconciliation after a
+/// *partial* re-unification, full scan vs the object-indexed
+/// incremental engine.
+///
+/// Three-way split: partition `{0}` produces 50 threats on a "touch"
+/// pool, partition `{2}` produces `away` threats on a separate pool.
+/// Then `{0, 1}` re-unify while `{2}` stays away and node 0 observes a
+/// partial reconciliation. The full scan re-evaluates *every* stored
+/// identity, so its constraint phase scales with `away`; the
+/// incremental engine only re-evaluates identities touching the dirty
+/// set (the touch pool) and skips the rest (still degraded-tracked) —
+/// its cost is flat in `away`. Outcomes are identical by construction
+/// (skipped identities would re-validate to a threat degree anyway).
+pub fn fig5_6_incremental() -> Vec<IncrementalRow> {
+    const TOUCH: usize = 50;
+    let mut out = Vec::new();
+    for away in [200usize, 600, 1000] {
+        for (strategy, label) in [
+            (ReconcileStrategy::FullScan, "full scan"),
+            (ReconcileStrategy::Incremental, "incremental"),
+        ] {
+            let mut cluster = builder(3).reconcile_strategy(strategy).build_traced();
+            let node = NodeId(0);
+            let touch = create_pool_prefixed(&mut cluster, node, "Guarded", "touch", TOUCH);
+            let away_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "away", away);
+            cluster.partition_raw(&[&[0], &[1], &[2]]);
+            // Threat-producing writes near the future observer…
+            for id in &touch {
+                let id = id.clone();
+                cluster
+                    .run_tx(node, move |c, tx| {
+                        c.set_field(node, tx, &id, "value", Value::from("near"))
+                    })
+                    .expect("near write");
+            }
+            // …and in the partition that stays away after the merge.
+            let far = NodeId(2);
+            for id in &away_pool {
+                let id = id.clone();
+                cluster
+                    .run_tx(far, move |c, tx| {
+                        c.set_field(far, tx, &id, "value", Value::from("far"))
+                    })
+                    .expect("far write");
+            }
+            // Partial re-unification: {0, 1} merge, {2} stays away.
+            cluster.partition_raw(&[&[0, 1], &[2]]);
+            let summary = cluster.reconcile_partial(node, &mut HighestVersionWins, &mut DeferAll);
+            let c = &summary.constraints;
+            out.push(IncrementalRow {
+                label: format!("{label}, {away} away"),
+                away,
+                re_evaluated: c.re_evaluated,
+                skipped: c.skipped,
+                satisfied_removed: c.satisfied_removed,
+                violations: c.violations,
+                deferred: c.deferred,
+                postponed: c.postponed,
+                constraint: summary.constraint_duration,
+            });
+        }
     }
     out
 }
@@ -831,6 +924,26 @@ pub fn run(id: &str) {
                 &rows,
             );
             println!("  paper shape: replica phase dominates and scales with the record count");
+            let rows: Vec<Vec<String>> = fig5_6_incremental()
+                .into_iter()
+                .map(|r| {
+                    vec![
+                        r.label,
+                        r.re_evaluated.to_string(),
+                        r.skipped.to_string(),
+                        r.postponed.to_string(),
+                        format!("{}", r.constraint),
+                    ]
+                })
+                .collect();
+            print_table(
+                "Figure 5.6 (incremental) — partial merge, full scan vs object-indexed engine",
+                &["strategy", "re-evaluated", "skipped", "postponed", "constraint recon"],
+                &rows,
+            );
+            println!(
+                "  shape: full scan grows with the away-partition threat count; incremental stays flat"
+            );
         }
         "fig5-8" => {
             let rows: Vec<Vec<String>> = fig5_8()
@@ -1000,16 +1113,76 @@ mod tests {
     }
 
     /// Figure 5.6: the full-history policy is slower in both
-    /// reconciliation phases.
+    /// reconciliation phases; the reduced policy folds duplicates back
+    /// towards the identical-once storage figure.
     #[test]
     fn fig5_6_full_history_reconciles_slower() {
         let rows = fig5_6();
         let once = &rows[0];
         let full = &rows[1];
+        let reduced = &rows[2];
         assert_eq!(once.stored_threats, 200);
         assert_eq!(full.stored_threats, 1000);
         assert!(full.replica > once.replica);
         assert!(full.constraint > once.constraint);
+        // Background compaction keeps the reduced store close to the
+        // identical-once figure — and far below the full history.
+        assert!(
+            reduced.stored_threats < full.stored_threats / 2,
+            "reduced stored {} vs full {}",
+            reduced.stored_threats,
+            full.stored_threats
+        );
+        assert!(reduced.replica < full.replica);
+    }
+
+    /// Figure 5.6 (incremental): the object-indexed engine re-evaluates
+    /// strictly fewer identities than the full scan in the
+    /// multi-partition scenario, with identical outcomes, and its
+    /// constraint-phase cost does not scale with the away-partition
+    /// threat count.
+    #[test]
+    fn fig5_6_incremental_skips_unreachable_threats() {
+        let rows = fig5_6_incremental();
+        assert_eq!(rows.len(), 6);
+        for pair in rows.chunks(2) {
+            let full = &pair[0];
+            let incr = &pair[1];
+            assert_eq!(full.away, incr.away);
+            // Full scan touches everything; incremental only the dirty set.
+            assert_eq!(full.skipped, 0, "{}", full.label);
+            assert!(
+                incr.skipped >= full.away,
+                "{}: skipped {}",
+                incr.label,
+                incr.skipped
+            );
+            assert!(
+                incr.re_evaluated < full.re_evaluated,
+                "{}: {} vs {}",
+                incr.label,
+                incr.re_evaluated,
+                full.re_evaluated
+            );
+            // Identical reconciliation outcomes (§3.3 correctness).
+            assert_eq!(
+                full.satisfied_removed, incr.satisfied_removed,
+                "{}",
+                incr.label
+            );
+            assert_eq!(full.violations, incr.violations, "{}", incr.label);
+            assert_eq!(full.deferred, incr.deferred, "{}", incr.label);
+            assert_eq!(full.postponed, incr.postponed, "{}", incr.label);
+            assert!(incr.constraint < full.constraint, "{}", incr.label);
+        }
+        // The incremental constraint phase is flat in the away count
+        // while the full scan grows.
+        let incr_small = &rows[1];
+        let incr_large = &rows[5];
+        let full_small = &rows[0];
+        let full_large = &rows[4];
+        assert!(full_large.constraint > full_small.constraint);
+        assert_eq!(incr_small.re_evaluated, incr_large.re_evaluated);
     }
 
     /// Abstract conclusion: replication pays off only for read-heavy

@@ -10,6 +10,7 @@
 
 use crate::ccm::{CallInfo, Ccm, NegotiationTiming, PendingCheck, ReplicaAccess};
 use crate::negotiation::NegotiationHandler;
+use crate::reconciliation::ReconcileStrategy;
 use crate::threat::{HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore};
 use crate::CostModel;
 use dedisys_constraints::{
@@ -102,6 +103,8 @@ pub struct ClusterBuilder {
     threat_policy: HistoryPolicy,
     negotiation_timing: NegotiationTiming,
     reduced_replica_history: bool,
+    reconcile_strategy: ReconcileStrategy,
+    compaction_threshold: usize,
     ccm_enabled: bool,
     replication_enabled: bool,
     app: AppDescriptor,
@@ -135,6 +138,8 @@ impl ClusterBuilder {
             threat_policy: HistoryPolicy::IdenticalOnce,
             negotiation_timing: NegotiationTiming::Immediate,
             reduced_replica_history: false,
+            reconcile_strategy: ReconcileStrategy::default(),
+            compaction_threshold: 32,
             ccm_enabled: true,
             replication_enabled: true,
             app,
@@ -184,6 +189,20 @@ impl ClusterBuilder {
     /// Uses the reduced replica state history (latest state only).
     pub fn reduced_replica_history(mut self, reduced: bool) -> Self {
         self.reduced_replica_history = reduced;
+        self
+    }
+
+    /// Selects how constraint reconciliation picks the threats to
+    /// re-evaluate (default: the object-indexed incremental engine).
+    pub fn reconcile_strategy(mut self, strategy: ReconcileStrategy) -> Self {
+        self.reconcile_strategy = strategy;
+        self
+    }
+
+    /// Number of duplicate threat records tolerated before the
+    /// [`HistoryPolicy::Reduced`] store folds them (default: 32).
+    pub fn compaction_threshold(mut self, records: usize) -> Self {
+        self.compaction_threshold = records.max(1);
         self
     }
 
@@ -306,6 +325,8 @@ impl ClusterBuilder {
             metrics: ClusterMetrics::default(),
             inv_cost: CostBreakdown::default(),
             hooks: InterceptorChain::new(),
+            reconcile_strategy: self.reconcile_strategy,
+            compaction_threshold: self.compaction_threshold,
             ccm_enabled: self.ccm_enabled,
             replication_enabled: self.replication_enabled,
         })
@@ -335,6 +356,8 @@ pub struct Cluster {
     /// Scratch R1–R5 breakdown of the invocation in flight.
     inv_cost: CostBreakdown,
     hooks: InterceptorChain<HookInfo>,
+    reconcile_strategy: ReconcileStrategy,
+    compaction_threshold: usize,
     ccm_enabled: bool,
     replication_enabled: bool,
 }
@@ -437,6 +460,27 @@ impl Cluster {
     /// The stored consistency threats.
     pub fn threats(&self) -> &ThreatStore {
         self.ccm.threat_store()
+    }
+
+    /// The constraint-reconciliation strategy in force.
+    pub fn reconcile_strategy(&self) -> ReconcileStrategy {
+        self.reconcile_strategy
+    }
+
+    /// Switches the constraint-reconciliation strategy at runtime
+    /// (e.g. to compare full-scan vs incremental on one cluster).
+    pub fn set_reconcile_strategy(&mut self, strategy: ReconcileStrategy) {
+        self.reconcile_strategy = strategy;
+    }
+
+    /// Folds duplicate threat records now, regardless of policy or
+    /// threshold (the automatic path runs under
+    /// [`HistoryPolicy::Reduced`] whenever the duplicate volume
+    /// crosses the configured threshold). Returns the report.
+    pub fn compact_threats(&mut self) -> crate::threat::CompactionReport {
+        let report = self.ccm.threat_store_mut().compact();
+        self.charge_compaction(report);
+        report
     }
 
     /// Mutable CCM access for crash-recovery scenarios and tests.
@@ -1310,7 +1354,7 @@ impl Cluster {
     }
 
     pub(crate) fn charge_threat_storage(&mut self, outcome: StoreOutcome) {
-        let identities = self.ccm.threat_store().identities().len() as u64;
+        let identities = self.ccm.threat_store().identity_count() as u64;
         match outcome {
             StoreOutcome::Stored => {
                 self.clock.advance(self.costs.threat_new_fixed);
@@ -1321,11 +1365,46 @@ impl Cluster {
                 self.clock.advance(self.costs.threat_link_fixed);
                 self.clock
                     .advance(self.costs.threat_scan_per_identity * identities.saturating_sub(1));
+                self.maybe_compact_threats();
             }
             StoreOutcome::Deduplicated => {
                 self.clock.advance(self.costs.threat_dedup_read);
             }
         }
+    }
+
+    /// Folds duplicate threat records *during* degraded mode under
+    /// [`HistoryPolicy::Reduced`], once the duplicate volume crosses
+    /// the threshold — so heal-time reconciliation ships one folded
+    /// record per identity instead of the occurrence history (§5.5.1).
+    fn maybe_compact_threats(&mut self) {
+        if self.ccm.threat_store().policy() != HistoryPolicy::Reduced {
+            return;
+        }
+        if self.ccm.threat_store().duplicate_records() < self.compaction_threshold {
+            return;
+        }
+        let report = self.ccm.threat_store_mut().compact();
+        self.charge_compaction(report);
+    }
+
+    fn charge_compaction(&mut self, report: crate::threat::CompactionReport) {
+        if report.folded == 0 {
+            return;
+        }
+        // One batched rewrite per folded identity group, plus the
+        // marginal scan cost per removed record.
+        self.clock.advance(
+            self.costs.db_write * report.retained
+                + self.costs.threat_scan_per_identity * report.folded,
+        );
+        self.telemetry
+            .metrics()
+            .add("reconcile.threats_folded", report.folded);
+        self.telemetry.emit(|| TraceEvent::ThreatCompaction {
+            folded: report.folded,
+            retained: report.retained,
+        });
     }
 
     // ------------------------------------------------------------------

@@ -85,11 +85,11 @@ pub use costs::CostModel;
 pub use negotiation::{negotiate, NegotiationHandler, NegotiationPath, ThreatDecision};
 pub use reconciliation::{
     ConstraintReconcileReport, ConstraintReconciliationHandler, DeferAll, ReconOps,
-    ReconciliationSummary, ViolationReport,
+    ReconcileStrategy, ReconciliationSummary, ViolationReport,
 };
 pub use threat::{
-    ConsistencyThreat, HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatIdentity,
-    ThreatStore,
+    CompactionReport, ConsistencyThreat, HistoryPolicy, ReconcileInstructions, StoreOutcome,
+    ThreatIdentity, ThreatStore,
 };
 
 // Re-export the pieces users need to assemble a cluster.

@@ -128,7 +128,27 @@ where
     }
 }
 
+/// How constraint reconciliation selects the threats to re-evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconcileStrategy {
+    /// Re-evaluate every stored threat identity — the dissertation's
+    /// baseline, whose cost grows with the total threat volume
+    /// (Figure 5.6).
+    FullScan,
+    /// Object-indexed incremental engine (§5.5.1): re-evaluate only
+    /// threats whose objects are in the replica-reconciliation dirty
+    /// set or became fully checkable; postpone the rest without a
+    /// database read. Outcome-equivalent to [`ReconcileStrategy::FullScan`]
+    /// (skipped threats would re-validate to a threat degree anyway).
+    #[default]
+    Incremental,
+}
+
 /// Outcome counters of the constraint-reconciliation step.
+///
+/// Invariants (enforced by a debug assertion and the property tests):
+/// `violations == resolved_by_rollback + resolved_by_handler + deferred`
+/// and `skipped <= postponed`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ConstraintReconcileReport {
     /// Distinct threat identities re-evaluated.
@@ -144,7 +164,12 @@ pub struct ConstraintReconcileReport {
     /// Violations deferred to later application-driven cleanup.
     pub deferred: usize,
     /// Threats still threatened (postponed — partitions remain).
+    /// Includes the skipped ones.
     pub postponed: usize,
+    /// Threat identities the incremental engine postponed *without*
+    /// re-evaluating (not dirty, not yet checkable). Always zero under
+    /// [`ReconcileStrategy::FullScan`].
+    pub skipped: usize,
     /// Replica-conflict notifications delivered for satisfied
     /// constraints.
     pub conflict_notifications: usize,
@@ -231,10 +256,15 @@ impl Cluster {
         // Missed updates *include the consistency threats* gathered in
         // the other partitions (§4.4): every stored threat record is
         // synchronized, which is why replica reconciliation scales
-        // worse under the full-history policy (Figure 5.6).
+        // worse under the full-history policy (Figure 5.6). Shipping
+        // is batched per identity group — one network round per group,
+        // per-record database volume — instead of a full
+        // write-plus-round per record.
         let threat_records = self.ccm.threat_store().len() as u64;
-        self.clock()
-            .advance((self.costs().db_write + self.costs().net_hop * 2) * threat_records);
+        let threat_groups = self.ccm.threat_store().identity_count() as u64;
+        self.clock().advance(
+            self.costs().db_write * threat_records + self.costs().net_hop * 2 * threat_groups,
+        );
         summary.replica_duration = self.clock().now().since(t0);
         self.telemetry().emit(|| TraceEvent::ReconcileReplicaPhase {
             missed_updates: replica_report.missed_updates,
@@ -259,8 +289,13 @@ impl Cluster {
                 resolved_by_handler: constraints.resolved_by_handler as u64,
                 deferred: constraints.deferred as u64,
                 postponed: constraints.postponed as u64,
+                skipped: constraints.skipped as u64,
                 duration_ns,
             });
+        let metrics = self.telemetry().metrics();
+        metrics.add("reconcile.re_evaluated", constraints.re_evaluated as u64);
+        metrics.add("reconcile.postponed", constraints.postponed as u64);
+        metrics.add("reconcile.deferred", constraints.deferred as u64);
 
         // Fully healed: drop the degraded bookkeeping and return to
         // healthy. After a partial re-unification the system stays
@@ -282,8 +317,36 @@ impl Cluster {
     ) -> ConstraintReconcileReport {
         let mut report = ConstraintReconcileReport::default();
         let recon_tx = self.begin(observer);
+        let strategy = self.reconcile_strategy();
+        // Object-indexed lookup: the threat identities touched by the
+        // dirty set reported from replica reconciliation.
+        let dirty_touched = self
+            .ccm
+            .threat_store()
+            .identities_touching(replica_report.dirty.iter());
         let identities = self.ccm.threat_store().identities();
         for identity in identities {
+            // Incremental engine: a threat must be re-evaluated when
+            // the replica step changed one of its objects (dirty) or
+            // when all its objects are checkable from the observer —
+            // reachable, current and no longer awaiting replica
+            // reconciliation — since its verdict can now change.
+            // Anything else would re-validate to a threat degree and
+            // be postponed, so it is postponed directly, without the
+            // per-identity database read (§5.5.1).
+            if strategy == ReconcileStrategy::Incremental
+                && !dirty_touched.contains(&identity)
+                && !self.identity_checkable(observer, &identity)
+            {
+                report.postponed += 1;
+                report.skipped += 1;
+                self.telemetry().metrics().incr("reconcile.skipped");
+                self.telemetry().emit(|| TraceEvent::ReconcileSkipped {
+                    constraint: identity.constraint.to_string(),
+                    context: identity.context_object.as_ref().map(|o| o.to_string()),
+                });
+                continue;
+            }
             report.re_evaluated += 1;
             // Load the threat record (database read).
             self.clock().advance(self.costs().db_read);
@@ -299,19 +362,30 @@ impl Cluster {
             match degree {
                 SatisfactionDegree::Satisfied => {
                     report.satisfied_removed += 1;
+                    // Capture the notification flag and the affected
+                    // objects *before* the store is purged — the old
+                    // order consulted `any_wants_conflict_notification`
+                    // after `remove_identity`, silently dropping
+                    // per-record notify flags beyond the first.
+                    let wants_notify = first.instructions.notify_on_replica_conflict
+                        || self
+                            .ccm
+                            .threat_store()
+                            .any_wants_conflict_notification(&identity);
+                    let affected = self.ccm.threat_store().objects_of(&identity);
                     let removed = self.ccm.threat_store_mut().remove_identity(&identity);
-                    // One database delete per stored record.
-                    self.clock()
-                        .advance(self.costs().db_write * removed.max(1) as u64);
+                    // Batched delete: one database write for the
+                    // identity group plus the marginal scan cost per
+                    // additional record.
+                    self.clock().advance(
+                        self.costs().db_write
+                            + self.costs().threat_scan_per_identity
+                                * removed.saturating_sub(1) as u64,
+                    );
                     // Notify about replica conflicts if requested.
-                    if self
-                        .ccm
-                        .threat_store()
-                        .any_wants_conflict_notification(&identity)
-                        || first.instructions.notify_on_replica_conflict
-                    {
+                    if wants_notify {
                         for (conflict, _) in &replica_report.conflicts {
-                            if first.affected_objects.contains(&conflict.object) {
+                            if affected.contains(&conflict.object) {
                                 report.conflict_notifications += 1;
                                 handler.on_replica_conflict(&identity, conflict);
                             }
@@ -336,6 +410,7 @@ impl Cluster {
                             identity: identity.clone(),
                             threat: first.clone(),
                         };
+                        let mut deferred = false;
                         for _attempt in 0..3 {
                             let immediate = {
                                 let node_count = self.node_count();
@@ -349,7 +424,7 @@ impl Cluster {
                                 handler.reconcile(&violation, &mut ops)
                             };
                             if !immediate {
-                                report.deferred += 1;
+                                deferred = true;
                                 break;
                             }
                             if self.revalidate(observer, recon_tx, &constraint, &identity)
@@ -360,10 +435,24 @@ impl Cluster {
                                 break;
                             }
                         }
+                        // A handler that claims immediate success three
+                        // times without the constraint ever becoming
+                        // satisfied exhausts its retries: account the
+                        // violation as deferred so the invariant
+                        // `violations == rollback + handler + deferred`
+                        // holds (previously such violations vanished
+                        // from every counter).
+                        if deferred || !resolved {
+                            report.deferred += 1;
+                        }
                     }
                     if resolved {
-                        self.ccm.threat_store_mut().remove_identity(&identity);
-                        self.clock().advance(self.costs().db_write);
+                        let removed = self.ccm.threat_store_mut().remove_identity(&identity);
+                        self.clock().advance(
+                            self.costs().db_write
+                                + self.costs().threat_scan_per_identity
+                                    * removed.saturating_sub(1) as u64,
+                        );
                     }
                 }
                 _ => {
@@ -375,7 +464,29 @@ impl Cluster {
             }
         }
         let _ = self.rollback(recon_tx);
+        debug_assert_eq!(
+            report.violations,
+            report.resolved_by_rollback + report.resolved_by_handler + report.deferred,
+            "violation accounting must balance (§4.4)"
+        );
         report
+    }
+
+    /// Whether every object of `identity`'s threats is fully checkable
+    /// from `observer`: reachable, not possibly stale, and not awaiting
+    /// further replica reconciliation. Checkable threats are
+    /// re-evaluated even when untouched by the dirty set — a full scan
+    /// would resolve them too, and skipping them would diverge.
+    fn identity_checkable(&self, observer: NodeId, identity: &ThreatIdentity) -> bool {
+        let objects = self.ccm.threat_store().objects_of(identity);
+        let topology = self.topology();
+        objects.iter().all(|obj| {
+            self.replication.is_reachable(obj, observer, topology)
+                && !self
+                    .replication
+                    .is_possibly_stale_quiet(obj, observer, topology)
+                && !self.replication.is_degraded_tracked(obj)
+        })
     }
 
     fn revalidate(
@@ -415,15 +526,30 @@ impl Cluster {
         threat: &ConsistencyThreat,
     ) -> bool {
         let node_count = self.node_count();
+        // Scope everything to the observer's partition: reading the
+        // restore-on-failure state from a hardcoded `NodeId(0)` is
+        // wrong (or yields nothing) during `reconcile_partial` when
+        // node 0 sits in an unmerged partition, and installing
+        // candidates across the partition boundary would overwrite
+        // states the unreachable side still relies on.
+        let reachable: Vec<NodeId> = self
+            .topology()
+            .partition_of(observer)
+            .iter()
+            .copied()
+            .collect();
         for object in &threat.affected_objects {
-            // Current (post-replica-reconciliation) state, to restore
-            // on failure.
-            let original = self.entity_on(NodeId(0), object).cloned();
+            // Current (post-replica-reconciliation) state within the
+            // observer's partition, to restore on failure.
+            let original = reachable
+                .iter()
+                .find_map(|&n| self.entity_on(n, object))
+                .cloned();
             for pkey in 0..node_count {
                 let states: Vec<EntityState> = { self.replication.partition_history(object, pkey) };
                 for candidate in states.iter().rev() {
                     self.clock().advance(self.costs().db_read);
-                    self.install_everywhere(candidate.clone());
+                    self.install_reachable(&reachable, candidate.clone());
                     if self.revalidate(observer, recon_tx, constraint, identity)
                         == SatisfactionDegree::Satisfied
                     {
@@ -432,16 +558,20 @@ impl Cluster {
                 }
             }
             if let Some(original) = original {
-                self.install_everywhere(original);
+                self.install_reachable(&reachable, original);
             }
         }
         false
     }
 
-    fn install_everywhere(&mut self, state: EntityState) {
+    /// Installs `state` on every reachable node already holding the
+    /// object (the rollback search never crosses the partition
+    /// boundary).
+    fn install_reachable(&mut self, nodes: &[NodeId], state: EntityState) {
         self.clock().advance(self.costs().db_write);
         let (_, containers) = self.replication_and_containers();
-        for c in containers.iter_mut() {
+        for &node in nodes {
+            let c = &mut containers[node.index()];
             if c.committed_entity(state.id()).is_some() {
                 c.install_committed(state.clone());
             }

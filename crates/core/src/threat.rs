@@ -2,7 +2,7 @@
 
 use dedisys_types::{ConstraintName, ObjectId, SatisfactionDegree, SimTime, TxId, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Reconciliation instructions attached to an accepted threat
 /// (§3.2.2): whether rollback may be used, and whether the application
@@ -71,6 +71,11 @@ pub enum HistoryPolicy {
     /// Store every occurrence (needed for rollback/undo to
     /// intermediate states).
     FullHistory,
+    /// Store every occurrence, but fold identical records together
+    /// *during* degraded mode ([`ThreatStore::compact`]) so the heal-time
+    /// reconciliation ships one folded record per identity instead of
+    /// the full occurrence history (§5.5.1 reduced-history proposal).
+    Reduced,
 }
 
 /// Outcome of storing a threat — drives the persistence cost charged
@@ -99,9 +104,28 @@ pub enum StoreOutcome {
 pub struct ThreatStore {
     policy: HistoryPolicy,
     threats: Vec<ConsistencyThreat>,
+    /// Secondary index: object → identities of threats touching it
+    /// (context object and every affected object). Maintained on every
+    /// insert/removal so incremental reconciliation can map a dirty
+    /// object set to the threats that need re-evaluation without a
+    /// full scan.
+    object_index: BTreeMap<ObjectId, BTreeSet<ThreatIdentity>>,
+    /// Distinct identities in first-occurrence order, maintained
+    /// incrementally (replaces the former O(n²) scan).
+    identity_order: Vec<ThreatIdentity>,
     table: dedisys_store::TableStore,
     wal: dedisys_store::WriteAheadLog,
     next_record: u64,
+}
+
+/// Result of folding duplicate threat records under
+/// [`HistoryPolicy::Reduced`] ([`ThreatStore::compact`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionReport {
+    /// Duplicate records removed (folded into their first occurrence).
+    pub folded: u64,
+    /// Identities whose histories were folded.
+    pub retained: u64,
 }
 
 /// Table name of the persisted threat records.
@@ -113,6 +137,8 @@ impl ThreatStore {
         Self {
             policy,
             threats: Vec::new(),
+            object_index: BTreeMap::new(),
+            identity_order: Vec::new(),
             table: dedisys_store::TableStore::new(),
             wal: dedisys_store::WriteAheadLog::new(),
             next_record: 0,
@@ -127,20 +153,63 @@ impl ThreatStore {
     /// Stores an accepted threat per the policy.
     pub fn store(&mut self, threat: ConsistencyThreat) -> StoreOutcome {
         let identity = threat.identity();
-        let exists = self.threats.iter().any(|t| t.identity() == identity);
+        let exists = self.identity_order.contains(&identity);
         match (exists, self.policy) {
             (false, _) => {
                 self.persist(&threat);
+                self.index_threat(&threat);
+                self.identity_order.push(identity);
                 self.threats.push(threat);
                 StoreOutcome::Stored
             }
-            (true, HistoryPolicy::FullHistory) => {
+            (true, HistoryPolicy::FullHistory) | (true, HistoryPolicy::Reduced) => {
                 self.persist(&threat);
+                self.index_threat(&threat);
                 self.threats.push(threat);
                 StoreOutcome::LinkedOccurrence
             }
             (true, HistoryPolicy::IdenticalOnce) => StoreOutcome::Deduplicated,
         }
+    }
+
+    /// Adds `threat`'s objects to the secondary object index.
+    fn index_threat(&mut self, threat: &ConsistencyThreat) {
+        let identity = threat.identity();
+        if let Some(ctx) = &threat.context_object {
+            self.object_index
+                .entry(ctx.clone())
+                .or_default()
+                .insert(identity.clone());
+        }
+        for obj in &threat.affected_objects {
+            self.object_index
+                .entry(obj.clone())
+                .or_default()
+                .insert(identity.clone());
+        }
+    }
+
+    /// Drops `identity` from the secondary object index.
+    fn unindex_identity(&mut self, identity: &ThreatIdentity) {
+        self.object_index.retain(|_, ids| {
+            ids.remove(identity);
+            !ids.is_empty()
+        });
+    }
+
+    /// Rebuilds the derived indexes from `threats` (recovery path).
+    fn rebuild_indexes(&mut self) {
+        self.object_index.clear();
+        self.identity_order.clear();
+        let threats = std::mem::take(&mut self.threats);
+        for threat in &threats {
+            let identity = threat.identity();
+            if !self.identity_order.contains(&identity) {
+                self.identity_order.push(identity);
+            }
+            self.index_threat(threat);
+        }
+        self.threats = threats;
     }
 
     fn persist(&mut self, threat: &ConsistencyThreat) {
@@ -180,6 +249,7 @@ impl ThreatStore {
                 self.threats.push(threat);
             }
         }
+        self.rebuild_indexes();
         self.threats.len()
     }
 
@@ -190,16 +260,131 @@ impl ThreatStore {
 
     /// Distinct threat identities, in first-occurrence order
     /// (identical threats re-evaluate identically, §5.2, so
-    /// reconciliation iterates identities).
+    /// reconciliation iterates identities). Served from the maintained
+    /// order index — O(identities), not O(records²).
     pub fn identities(&self) -> Vec<ThreatIdentity> {
-        let mut seen = Vec::new();
-        for t in &self.threats {
-            let id = t.identity();
-            if !seen.contains(&id) {
-                seen.push(id);
+        self.identity_order.clone()
+    }
+
+    /// Number of distinct identities, without materialising them.
+    pub fn identity_count(&self) -> usize {
+        self.identity_order.len()
+    }
+
+    /// Identities of threats touching `object` (as context object or
+    /// affected object), from the secondary index.
+    pub fn identities_for_object(&self, object: &ObjectId) -> Option<&BTreeSet<ThreatIdentity>> {
+        self.object_index.get(object)
+    }
+
+    /// Union of identities touching any object of `objects` — the
+    /// entry point of incremental reconciliation: map a dirty object
+    /// set to the threats that need re-evaluation.
+    pub fn identities_touching<'a>(
+        &self,
+        objects: impl IntoIterator<Item = &'a ObjectId>,
+    ) -> BTreeSet<ThreatIdentity> {
+        let mut out = BTreeSet::new();
+        for obj in objects {
+            if let Some(ids) = self.object_index.get(obj) {
+                out.extend(ids.iter().cloned());
             }
         }
-        seen
+        out
+    }
+
+    /// Every object touched by threats of `identity` (context object
+    /// plus affected objects, across all stored occurrences).
+    pub fn objects_of(&self, identity: &ThreatIdentity) -> BTreeSet<ObjectId> {
+        let mut out = BTreeSet::new();
+        for t in self.threats.iter().filter(|t| &t.identity() == identity) {
+            if let Some(ctx) = &t.context_object {
+                out.insert(ctx.clone());
+            }
+            out.extend(t.affected_objects.iter().cloned());
+        }
+        out
+    }
+
+    /// Records beyond the first occurrence of their identity
+    /// (compaction candidates under [`HistoryPolicy::Reduced`]).
+    pub fn duplicate_records(&self) -> usize {
+        self.threats.len() - self.identity_order.len()
+    }
+
+    /// Folds duplicate records of each identity into the first
+    /// occurrence: affected objects are unioned and the reconciliation
+    /// instructions OR-ed so no rollback permission or notification
+    /// request is lost; the surviving persisted record is rewritten and
+    /// the duplicates durably deleted. Intended for
+    /// [`HistoryPolicy::Reduced`] during degraded mode, so heal-time
+    /// reconciliation ships one record per identity (§5.5.1).
+    pub fn compact(&mut self) -> CompactionReport {
+        let mut report = CompactionReport::default();
+        for identity in self.identity_order.clone() {
+            let indices: Vec<usize> = self
+                .threats
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.identity() == identity)
+                .map(|(i, _)| i)
+                .collect();
+            if indices.len() < 2 {
+                continue;
+            }
+            report.retained += 1;
+            report.folded += (indices.len() - 1) as u64;
+
+            let mut merged_objects = BTreeSet::new();
+            let mut allow_rollback = false;
+            let mut notify = false;
+            for &i in &indices {
+                merged_objects.extend(self.threats[i].affected_objects.iter().cloned());
+                allow_rollback |= self.threats[i].instructions.allow_rollback;
+                notify |= self.threats[i].instructions.notify_on_replica_conflict;
+            }
+            let first = indices[0];
+            self.threats[first].affected_objects = merged_objects;
+            self.threats[first].instructions.allow_rollback = allow_rollback;
+            self.threats[first].instructions.notify_on_replica_conflict = notify;
+            let folded = self.threats[first].clone();
+
+            // Drop every occurrence beyond the first from memory.
+            let mut kept_first = false;
+            self.threats.retain(|t| {
+                if t.identity() == identity {
+                    if kept_first {
+                        false
+                    } else {
+                        kept_first = true;
+                        true
+                    }
+                } else {
+                    true
+                }
+            });
+
+            // Durably delete the duplicates and rewrite the survivor
+            // with the folded record.
+            let suffix = format!("|{}", storage_key(&identity));
+            let keys: Vec<String> = self
+                .table
+                .scan(THREAT_TABLE)
+                .filter(|(k, _)| k.ends_with(&suffix))
+                .map(|(k, _)| k.to_owned())
+                .collect();
+            if let Some((first_key, rest)) = keys.split_first() {
+                for key in rest {
+                    self.wal.append_delete(THREAT_TABLE, key);
+                    self.table.delete(THREAT_TABLE, key);
+                }
+                if let Ok(json) = serde_json::to_string(&folded) {
+                    self.wal.append_put(THREAT_TABLE, first_key, json.clone());
+                    self.table.put(THREAT_TABLE, first_key.clone(), json);
+                }
+            }
+        }
+        report
     }
 
     /// The first stored threat with `identity`.
@@ -230,6 +415,8 @@ impl ThreatStore {
     pub fn remove_identity(&mut self, identity: &ThreatIdentity) -> usize {
         let before = self.threats.len();
         self.threats.retain(|t| &t.identity() != identity);
+        self.identity_order.retain(|id| id != identity);
+        self.unindex_identity(identity);
         let suffix = format!("|{}", storage_key(identity));
         let keys: Vec<String> = self
             .table
@@ -257,6 +444,8 @@ impl ThreatStore {
     /// Drops everything (test support).
     pub fn clear(&mut self) {
         self.threats.clear();
+        self.object_index.clear();
+        self.identity_order.clear();
         self.table.clear_table(THREAT_TABLE);
     }
 }
@@ -381,6 +570,104 @@ mod tests {
         store.recover();
         assert_eq!(store.len(), 1);
         assert_eq!(store.threats()[0].constraint, ConstraintName::from("D"));
+    }
+
+    #[test]
+    fn object_index_tracks_inserts_and_removals() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        let mut a = threat("C", "F1");
+        a.affected_objects.insert(ObjectId::new("Seat", "S1"));
+        store.store(a);
+        store.store(threat("D", "F1"));
+        let f1 = ObjectId::new("Flight", "F1");
+        let s1 = ObjectId::new("Seat", "S1");
+        assert_eq!(store.identities_for_object(&f1).map(BTreeSet::len), Some(2));
+        assert_eq!(store.identities_for_object(&s1).map(BTreeSet::len), Some(1));
+        let touched = store.identities_touching([&s1]);
+        assert_eq!(touched.len(), 1);
+        assert!(touched
+            .iter()
+            .all(|id| id.constraint == ConstraintName::from("C")));
+        assert_eq!(store.objects_of(&threat("C", "F1").identity()).len(), 2);
+
+        store.remove_identity(&threat("C", "F1").identity());
+        assert!(store.identities_for_object(&s1).is_none());
+        assert_eq!(store.identities_for_object(&f1).map(BTreeSet::len), Some(1));
+        assert_eq!(store.identity_count(), 1);
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_object_index() {
+        let mut store = ThreatStore::new(HistoryPolicy::FullHistory);
+        let mut a = threat("C", "F1");
+        a.affected_objects.insert(ObjectId::new("Seat", "S1"));
+        store.store(a);
+        store.store(threat("D", "F2"));
+        store.recover();
+        assert_eq!(store.identity_count(), 2);
+        assert_eq!(
+            store
+                .identities_for_object(&ObjectId::new("Seat", "S1"))
+                .map(BTreeSet::len),
+            Some(1)
+        );
+        assert_eq!(store.identities()[0].constraint, ConstraintName::from("C"));
+    }
+
+    #[test]
+    fn compaction_folds_duplicates_preserving_first_occurrence() {
+        let mut store = ThreatStore::new(HistoryPolicy::Reduced);
+        let mut first = threat("C", "F1");
+        first.affected_objects.insert(ObjectId::new("Seat", "S1"));
+        first.occurred_at = SimTime::ZERO;
+        store.store(first);
+        let mut second = threat("C", "F1");
+        second.affected_objects.insert(ObjectId::new("Seat", "S2"));
+        second.instructions.allow_rollback = true;
+        store.store(second);
+        let mut third = threat("C", "F1");
+        third.instructions.notify_on_replica_conflict = true;
+        assert_eq!(store.store(third), StoreOutcome::LinkedOccurrence);
+        store.store(threat("D", "F2"));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.duplicate_records(), 2);
+
+        let report = store.compact();
+        assert_eq!(report.folded, 2);
+        assert_eq!(report.retained, 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.duplicate_records(), 0);
+        assert_eq!(store.persisted_records(), 2);
+
+        // The survivor is the first occurrence, carrying the union of
+        // affected objects and the OR of the instruction flags.
+        let folded = store.first_of(&threat("C", "F1").identity()).unwrap();
+        assert_eq!(folded.occurred_at, SimTime::ZERO);
+        assert_eq!(folded.tx, TxId::new(NodeId(0), 1));
+        assert_eq!(folded.affected_objects.len(), 2);
+        assert!(folded.instructions.allow_rollback);
+        assert!(folded.instructions.notify_on_replica_conflict);
+        assert!(store.any_allows_rollback(&threat("C", "F1").identity()));
+        assert!(store.any_wants_conflict_notification(&threat("C", "F1").identity()));
+
+        // The folded record is durable: a crash recovers it unchanged.
+        store.recover();
+        assert_eq!(store.len(), 2);
+        let folded = store.first_of(&threat("C", "F1").identity()).unwrap();
+        assert_eq!(folded.affected_objects.len(), 2);
+        assert!(folded.instructions.allow_rollback);
+        assert!(folded.instructions.notify_on_replica_conflict);
+    }
+
+    #[test]
+    fn compaction_is_a_noop_without_duplicates() {
+        let mut store = ThreatStore::new(HistoryPolicy::Reduced);
+        store.store(threat("C", "F1"));
+        store.store(threat("D", "F2"));
+        let report = store.compact();
+        assert_eq!(report, CompactionReport::default());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.persisted_records(), 2);
     }
 
     #[test]

@@ -186,16 +186,7 @@ impl ReplicationManager {
         requester: NodeId,
         topology: &Topology,
     ) -> bool {
-        let stale = match self.placements.get(object) {
-            None => false,
-            Some(p) => self.protocol.is_possibly_stale(
-                requester,
-                &p.replicas,
-                p.primary,
-                topology,
-                &self.weights,
-            ),
-        };
+        let stale = self.is_possibly_stale_quiet(object, requester, topology);
         if stale {
             if let Some(t) = &self.telemetry {
                 t.metrics().incr("replication.staleness_hits");
@@ -206,6 +197,36 @@ impl ReplicationManager {
             }
         }
         stale
+    }
+
+    /// Staleness probe without telemetry: same predicate as
+    /// [`ReplicationManager::is_possibly_stale`], but intended for
+    /// *planning* decisions (e.g. the incremental reconciler's skip
+    /// check) that must not pollute the `staleness_hit` trace stream
+    /// reserved for actual validation reads.
+    pub fn is_possibly_stale_quiet(
+        &self,
+        object: &ObjectId,
+        requester: NodeId,
+        topology: &Topology,
+    ) -> bool {
+        match self.placements.get(object) {
+            None => false,
+            Some(p) => self.protocol.is_possibly_stale(
+                requester,
+                &p.replicas,
+                p.primary,
+                topology,
+                &self.weights,
+            ),
+        }
+    }
+
+    /// Whether `object` still has unreconciled degraded-mode writes
+    /// (its committed state may change once the remaining writer
+    /// partitions become reachable).
+    pub fn is_degraded_tracked(&self, object: &ObjectId) -> bool {
+        self.degraded_writes.contains_key(object)
     }
 
     /// Whether any replica of `object` is reachable from `requester`

@@ -11,6 +11,7 @@ use crate::manager::{history_key, ReplicationManager};
 use dedisys_net::Topology;
 use dedisys_object::{EntityContainer, EntityState};
 use dedisys_types::{NodeId, ObjectId};
+use std::collections::BTreeSet;
 
 /// A write-write replica conflict: divergent states of the same logical
 /// object from different partitions.
@@ -68,6 +69,13 @@ pub struct ReconcileReport {
     pub missed_updates: u64,
     /// Point-to-point messages exchanged.
     pub messages: u64,
+    /// The *dirty set*: objects whose committed state on at least one
+    /// reachable replica actually changed during this reconciliation
+    /// (missed-update install or conflict resolution). Incremental
+    /// constraint reconciliation re-evaluates only threats touching
+    /// these objects (plus newly checkable ones) instead of scanning
+    /// every stored identity.
+    pub dirty: BTreeSet<ObjectId>,
 }
 
 impl ReconcileReport {
@@ -221,6 +229,12 @@ impl ReplicationManager {
         report.messages += messages;
         self.count_missed_updates(1, messages);
         for node in replicas {
+            // Dirty-set detection: the object only counts as dirty if
+            // the install actually changes some replica's committed
+            // state (an idempotent re-install is not a change).
+            if containers[node.index()].committed_entity(object) != winner.as_ref() {
+                report.dirty.insert(object.clone());
+            }
             match &winner {
                 Some(state) => containers[node.index()].install_committed(state.clone()),
                 None => {
@@ -367,6 +381,22 @@ mod tests {
         assert_eq!(report.conflicts.len(), 1);
         // HighestVersionWins prefers the live state.
         assert!(cs[0].committed_entity(&obj()).is_some());
+    }
+
+    #[test]
+    fn dirty_set_reports_only_actually_changed_objects() {
+        let (mut m, mut cs, mut topo) = setup(3);
+        topo.split(&[&[0], &[1, 2]]);
+        write_on(&mut m, &mut cs, &topo, 1, 7, 1);
+        topo.heal();
+        let report = m.reconcile_replicas(&topo, &mut cs, &mut HighestVersionWins);
+        // Node 0 missed the update: the object is dirty.
+        assert!(report.dirty.contains(&obj()));
+        assert_eq!(report.dirty.len(), 1);
+        // A second reconciliation has no degraded writes left and must
+        // report an empty dirty set.
+        let report = m.reconcile_replicas(&topo, &mut cs, &mut HighestVersionWins);
+        assert!(report.dirty.is_empty());
     }
 
     #[test]

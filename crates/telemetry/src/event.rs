@@ -253,8 +253,28 @@ pub enum TraceEvent {
         deferred: u64,
         /// Threats postponed (partitions remain).
         postponed: u64,
+        /// Threat identities skipped by the incremental engine (their
+        /// objects were neither dirty nor newly checkable).
+        skipped: u64,
         /// Virtual time the step took.
         duration_ns: u64,
+    },
+    /// The incremental reconciliation engine postponed a threat
+    /// without re-evaluating it: none of its objects were in the dirty
+    /// set and the threat was not yet fully checkable.
+    ReconcileSkipped {
+        /// Constraint name.
+        constraint: String,
+        /// Context object, if any.
+        context: Option<String>,
+    },
+    /// Duplicate threat records were folded during degraded mode
+    /// (`HistoryPolicy::Reduced`).
+    ThreatCompaction {
+        /// Duplicate records removed.
+        folded: u64,
+        /// Identities whose histories were folded.
+        retained: u64,
     },
 }
 
@@ -279,6 +299,8 @@ impl TraceEvent {
             TraceEvent::ModeTransition { .. } => "mode_transition",
             TraceEvent::ReconcileReplicaPhase { .. } => "reconcile_replica_phase",
             TraceEvent::ReconcileConstraintPhase { .. } => "reconcile_constraint_phase",
+            TraceEvent::ReconcileSkipped { .. } => "reconcile_skipped",
+            TraceEvent::ThreatCompaction { .. } => "threat_compaction",
         }
     }
 }

@@ -291,7 +291,9 @@ mod tests {
     #[test]
     fn list_and_ref_conversions() {
         let id = ObjectId::new("A", "1");
-        let v: Value = vec![Value::Ref(id.clone()), Value::Null].into_iter().collect();
+        let v: Value = vec![Value::Ref(id.clone()), Value::Null]
+            .into_iter()
+            .collect();
         assert_eq!(v.as_list().unwrap().len(), 2);
         assert_eq!(v.as_list().unwrap()[0].as_ref_id(), Some(&id));
     }

@@ -161,6 +161,59 @@ fn rollback_based_reconciliation_restores_a_consistent_state() {
     assert!(cluster.threats().is_empty());
 }
 
+/// Regression — violation accounting when the handler exhausts its
+/// retries. A handler may claim immediate success without actually
+/// repairing the state; after three failed re-validations the CCMgr
+/// gives up. Such violations used to vanish from every counter —
+/// they must be accounted as deferred so that
+/// `violations == resolved_by_rollback + resolved_by_handler + deferred`.
+#[test]
+fn exhausted_handler_retries_are_accounted_as_deferred() {
+    let mut cluster = ClusterBuilder::new(2, app())
+        .constraint(bounded_constraint())
+        .build()
+        .unwrap();
+    let id = seed(&mut cluster);
+    cluster.partition_raw(&[&[0], &[1]]);
+    for node in [NodeId(0), NodeId(1)] {
+        let id = id.clone();
+        cluster
+            .run_tx(node, move |c, tx| {
+                c.set_field(node, tx, &id, "n", Value::Int(75))
+            })
+            .unwrap();
+    }
+    cluster.heal();
+    let mut additive = |conflict: &dedisys_core::ReplicaConflict| {
+        let mut merged = conflict.candidates[0].1.clone().unwrap();
+        merged.set_field("n", Value::Int(110), dedisys_types::SimTime::ZERO);
+        Some(merged)
+    };
+    // The handler lies: it reports the violation as resolved but never
+    // touches the state, so every re-validation still sees 110 > 100.
+    let mut calls = 0usize;
+    let mut lying = |_v: &dedisys_core::ViolationReport, _ops: &mut dedisys_core::ReconOps<'_>| {
+        calls += 1;
+        true
+    };
+    let summary = cluster.reconcile(&mut additive, &mut lying);
+    assert_eq!(calls, 3, "bounded retries (§4.4)");
+    let c = &summary.constraints;
+    assert_eq!(c.violations, 1);
+    assert_eq!(c.resolved_by_handler, 0);
+    assert_eq!(c.resolved_by_rollback, 0);
+    assert_eq!(
+        c.deferred, 1,
+        "exhausted retries must surface as deferred, not disappear"
+    );
+    assert_eq!(
+        c.violations,
+        c.resolved_by_rollback + c.resolved_by_handler + c.deferred
+    );
+    // The unresolved threat is retained for later reconciliation runs.
+    assert!(!cluster.threats().is_empty());
+}
+
 #[test]
 fn full_history_policy_stores_every_occurrence() {
     for (policy, expected_records) in [

@@ -4,8 +4,9 @@
 
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+    ValidationContext,
 };
-use dedisys_core::{ClusterBuilder, DeferAll, HighestVersionWins};
+use dedisys_core::{ClusterBuilder, DeferAll, HighestVersionWins, ReconcileInstructions};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SystemMode, Value};
 use std::sync::Arc;
@@ -146,4 +147,117 @@ fn partial_merge_with_all_writers_reachable_resolves_threats() {
         cluster.entity_on(NodeId(2), &id).unwrap().field("n"),
         &Value::Int(6)
     );
+}
+
+/// Regression — rollback scoping during partial reconciliation
+/// observed from a node other than `NodeId(0)`.
+///
+/// `try_rollback` used to read the restore-on-failure state through a
+/// hardcoded `NodeId(0)`. For objects bound to replicas `{2, 3}` that
+/// read yields nothing, so a failed rollback search over one affected
+/// object silently left the last *rejected* candidate installed
+/// instead of restoring the merged state. The search must be scoped to
+/// the observer's partition.
+#[test]
+fn rollback_during_partial_merge_scopes_to_the_observer() {
+    let a_id = ObjectId::new("Counter", "a1");
+    let c_id = ObjectId::new("Counter", "c1");
+    // SumBounded: a1.n + c1.n ≤ 160 — evaluated on every Counter write.
+    let (a, c) = (a_id.clone(), c_id.clone());
+    let sum_bounded = RegisteredConstraint::new(
+        ConstraintMeta::new("SumBounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(move |ctx: &mut ValidationContext<'_>| {
+            let left = ctx.field(&a, "n")?.as_int().unwrap_or(0);
+            let right = ctx.field(&c, "n")?.as_int().unwrap_or(0);
+            Ok(left + right <= 160)
+        }),
+    )
+    .context_class("Counter")
+    .affects("Counter", "setN", ContextPreparation::CalledObject);
+
+    let mut cluster = ClusterBuilder::new(4, app())
+        .constraint(sum_bounded)
+        .default_instructions(ReconcileInstructions {
+            allow_rollback: true,
+            notify_on_replica_conflict: false,
+        })
+        .build()
+        .unwrap();
+    // Both objects live only on nodes {2, 3}, primary 2 — NodeId(0)
+    // never holds a replica.
+    let owner = NodeId(2);
+    for id in [&a_id, &c_id] {
+        let e = id.clone();
+        cluster
+            .run_tx(owner, move |cl, tx| {
+                let entity = EntityState::for_class(cl.app(), &e)?;
+                cl.create_bound(owner, tx, entity, vec![NodeId(2), NodeId(3)], owner)
+            })
+            .unwrap();
+    }
+    for (id, value) in [(&a_id, 20i64), (&c_id, 60)] {
+        let id = id.clone();
+        cluster
+            .run_tx(owner, move |cl, tx| {
+                cl.set_field(owner, tx, &id, "n", Value::Int(value))
+            })
+            .unwrap();
+    }
+
+    // Three-way split: {2} and {3} write independently.
+    cluster.partition_raw(&[&[0, 1], &[2], &[3]]);
+    for (node, id, value) in [
+        (NodeId(2), &a_id, 30i64), // a1 history in {2}: 30, then 50
+        (NodeId(2), &a_id, 50),
+        (NodeId(2), &c_id, 70), // c1 diverges: 70 in {2} …
+        (NodeId(3), &c_id, 70), // … and 70 in {3}
+    ] {
+        let id = id.clone();
+        cluster
+            .run_tx(node, move |cl, tx| {
+                cl.set_field(node, tx, &id, "n", Value::Int(value))
+            })
+            .unwrap();
+    }
+
+    // {2, 3} re-unify; {0, 1} stays away. Node 2 observes. The additive
+    // merge drives c1 to 140, so a1.n + c1.n = 190 > 160 — an actual
+    // violation whose rollback search runs entirely inside {2, 3}.
+    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    let mut additive = |conflict: &dedisys_core::ReplicaConflict| {
+        let total: i64 = conflict
+            .candidates
+            .iter()
+            .filter_map(|(_, s)| s.as_ref())
+            .filter_map(|s| s.field("n").as_int())
+            .sum();
+        let mut merged = conflict.candidates[0].1.clone().unwrap();
+        merged.set_field("n", Value::Int(total), dedisys_types::SimTime::ZERO);
+        Some(merged)
+    };
+    let summary = cluster.reconcile_partial(owner, &mut additive, &mut DeferAll);
+
+    assert_eq!(summary.replica.conflicts.len(), 1, "c1 diverged");
+    assert_eq!(summary.constraints.violations, 1);
+    assert_eq!(summary.constraints.resolved_by_rollback, 1);
+    assert_eq!(summary.constraints.deferred, 0);
+    // No a1 history state satisfies the constraint against c1 = 140,
+    // so a1 must be *restored* to its merged state (50) before the c1
+    // candidate (70) resolves the violation. The old NodeId(0) read
+    // found no state and left a1 at the rejected candidate 30.
+    for node in [NodeId(2), NodeId(3)] {
+        assert_eq!(
+            cluster.entity_on(node, &a_id).unwrap().field("n"),
+            &Value::Int(50),
+            "a1 restored on {node:?}"
+        );
+        assert_eq!(
+            cluster.entity_on(node, &c_id).unwrap().field("n"),
+            &Value::Int(70),
+            "c1 rolled back on {node:?}"
+        );
+    }
+    // The away partition never held the bound objects.
+    assert!(cluster.entity_on(NodeId(0), &a_id).is_none());
+    assert!(cluster.threats().is_empty(), "both threats resolved");
 }

@@ -229,6 +229,153 @@ mod expr_roundtrip {
     }
 }
 
+mod reconciliation_accounting {
+    use super::*;
+    use dedisys_constraints::{
+        expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+    };
+    use dedisys_core::{
+        ClusterBuilder, ConstraintReconcileReport, DeferAll, ReconcileStrategy, ReplicaConflict,
+    };
+    use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+    use dedisys_types::SimTime;
+    use std::sync::Arc;
+
+    fn app() -> AppDescriptor {
+        AppDescriptor::new("inv").with_class(
+            ClassDescriptor::new("Counter")
+                .with_field("n", Value::Int(0))
+                .with_field("max", Value::Int(100)),
+        )
+    }
+
+    fn constraint() -> RegisteredConstraint {
+        RegisteredConstraint::new(
+            ConstraintMeta::new("Bounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+            Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+        )
+        .context_class("Counter")
+        .affects("Counter", "setN", ContextPreparation::CalledObject)
+    }
+
+    /// The §4.4 accounting identities every reconciliation run must
+    /// satisfy, regardless of schedule or strategy.
+    fn check_counters(
+        c: &ConstraintReconcileReport,
+        identities_before: usize,
+        incremental: bool,
+    ) -> Result<(), TestCaseError> {
+        prop_assert_eq!(
+            c.violations,
+            c.resolved_by_rollback + c.resolved_by_handler + c.deferred,
+            "violations must balance: {:?}",
+            c
+        );
+        prop_assert_eq!(
+            c.re_evaluated + c.skipped,
+            identities_before,
+            "every identity is re-evaluated or skipped: {:?}",
+            c
+        );
+        prop_assert!(c.postponed >= c.skipped, "skipped ⊆ postponed: {c:?}");
+        prop_assert_eq!(
+            c.re_evaluated,
+            c.satisfied_removed + c.violations + (c.postponed - c.skipped),
+            "re-evaluations partition into outcomes: {:?}",
+            c
+        );
+        if !incremental {
+            prop_assert_eq!(c.skipped, 0, "full scan never skips");
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Across random partition/write/heal schedules — under both
+        /// reconciliation strategies — the counter identities of
+        /// [`ConstraintReconcileReport`] always balance (the
+        /// handler-retry accounting bug made `violations` exceed the
+        /// sum of its resolutions).
+        #[test]
+        fn reconciliation_counters_balance(
+            incremental in any::<bool>(),
+            schedule in prop::collection::vec(
+                (0u32..3, 0usize..4, 0i64..80, any::<bool>()),
+                1..8,
+            ),
+        ) {
+            let strategy = if incremental {
+                ReconcileStrategy::Incremental
+            } else {
+                ReconcileStrategy::FullScan
+            };
+            let mut cluster = ClusterBuilder::new(3, app())
+                .constraint(constraint())
+                .reconcile_strategy(strategy)
+                .build()
+                .unwrap();
+            let objects: Vec<ObjectId> = (0..4)
+                .map(|i| ObjectId::new("Counter", format!("c{i}")))
+                .collect();
+            for id in &objects {
+                let e = id.clone();
+                cluster
+                    .run_tx(NodeId(0), move |c, tx| {
+                        c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+                    })
+                    .unwrap();
+            }
+            // Divergent replicas merge additively (sum of the copies),
+            // so individually accepted degraded writes can combine
+            // into actual violations at reconciliation time (§1.3).
+            let mut merge = |conflict: &ReplicaConflict| {
+                let total: i64 = conflict
+                    .candidates
+                    .iter()
+                    .filter_map(|(_, s)| s.as_ref())
+                    .filter_map(|s| s.field("n").as_int())
+                    .sum();
+                let mut merged = conflict
+                    .candidates
+                    .iter()
+                    .find_map(|(_, s)| s.clone())
+                    .expect("live candidate");
+                merged.set_field("n", Value::Int(total), SimTime::ZERO);
+                Some(merged)
+            };
+            for (writer, obj, value, full_heal) in schedule {
+                cluster.partition_raw(&[&[0], &[1], &[2]]);
+                let node = NodeId(writer);
+                let id = objects[obj].clone();
+                // Degraded writes may abort (e.g. negotiation refuses);
+                // the accounting must hold either way.
+                let _ = cluster.run_tx(node, move |c, tx| {
+                    c.set_field(node, tx, &id, "n", Value::Int(value))
+                });
+                let identities_before = cluster.threats().identities().len();
+                let summary = if full_heal {
+                    cluster.heal();
+                    cluster.reconcile(&mut merge, &mut DeferAll)
+                } else {
+                    // Partial re-unification: {0,1} merge, {2} away.
+                    cluster.partition_raw(&[&[0, 1], &[2]]);
+                    cluster.reconcile_partial(NodeId(0), &mut merge, &mut DeferAll)
+                };
+                check_counters(&summary.constraints, identities_before, incremental)?;
+            }
+            // Drain: after a full heal the two strategies converge —
+            // nothing is skipped because everything is checkable.
+            cluster.heal();
+            let identities_before = cluster.threats().identities().len();
+            let summary = cluster.reconcile(&mut merge, &mut DeferAll);
+            check_counters(&summary.constraints, identities_before, incremental)?;
+            prop_assert_eq!(summary.constraints.skipped, 0);
+        }
+    }
+}
+
 #[test]
 fn degree_lattice_is_total_order() {
     for (i, a) in SatisfactionDegree::ALL.iter().enumerate() {
