@@ -11,12 +11,17 @@
 //! fig5-6, fig5-8, tab5-async, tab5-psc. See DESIGN.md for the
 //! per-experiment index and EXPERIMENTS.md for a recorded run.
 //!
+//! `repro chaos-soak [--seed S] [--nodes N] [--ops O] [--faults F]
+//! [--sweep K] [--trace <path>]` runs the seeded chaos engine instead:
+//! one reproducible fault-injection run (optionally traced to JSONL),
+//! or a sweep over seeds `0..K`. Exits 1 on any invariant violation.
+//!
 //! `--trace <path>` exports the typed telemetry stream of every cluster
 //! the Chapter 5 experiments build as JSONL — one `{seq, at, event}`
 //! object per line, stamped in virtual time only, so two runs of the
 //! same experiment write byte-identical files.
 
-use dedisys_bench::{ch2, ch5};
+use dedisys_bench::{ch2, ch5, chaos_soak};
 use std::path::PathBuf;
 
 const CH2: &[&str] = &[
@@ -44,6 +49,10 @@ const CH5: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!("usage: repro <experiment>|ch2|ch5|all [--trace <path>]");
+    eprintln!(
+        "       repro chaos-soak [--seed S] [--nodes N] [--ops O] [--faults F] \
+         [--sweep K] [--trace <path>]"
+    );
     eprintln!(
         "experiments: {}",
         CH2.iter()
@@ -76,6 +85,10 @@ fn main() {
     if args.is_empty() {
         usage();
     }
+    if args[0] == "chaos-soak" {
+        chaos_soak_main(&args[1..], trace);
+        return;
+    }
     if let Some(path) = &trace {
         // Truncate once; each cluster's exporter then appends, so one
         // file accumulates the traces of every experiment requested.
@@ -98,6 +111,50 @@ fn main() {
         ch5::set_trace_path(None);
         eprintln!("trace written to {}", path.display());
     }
+}
+
+fn chaos_soak_main(args: &[String], trace: Option<PathBuf>) {
+    let mut opts = chaos_soak::SoakOptions {
+        trace,
+        ..chaos_soak::SoakOptions::default()
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 2;
+        match args.get(*i - 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} needs a value");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => opts.seed = value(&mut i, "--seed").parse().expect("--seed: u64"),
+            "--nodes" => opts.nodes = value(&mut i, "--nodes").parse().expect("--nodes: u32"),
+            "--ops" => opts.ops = value(&mut i, "--ops").parse().expect("--ops: u64"),
+            "--faults" => {
+                opts.faults = value(&mut i, "--faults").parse().expect("--faults: usize");
+            }
+            "--sweep" => {
+                opts.sweep = Some(value(&mut i, "--sweep").parse().expect("--sweep: u64"));
+            }
+            other => {
+                eprintln!("unknown chaos-soak flag '{other}'");
+                usage();
+            }
+        }
+    }
+    if opts.sweep.is_some() && opts.trace.is_some() {
+        eprintln!("--trace applies to single runs only, not sweeps");
+        usage();
+    }
+    if let Some(path) = &opts.trace {
+        // Truncate once; the engine's exporter appends.
+        std::fs::File::create(path).expect("create trace file");
+    }
+    chaos_soak::run(&opts);
 }
 
 fn dispatch(id: &str) {

@@ -11,7 +11,11 @@
 //! * [`ch5`] — the middleware evaluation (Figures 5.1–5.4, 5.6, 5.8
 //!   and the §5.5 improvement studies), measured in deterministic
 //!   virtual time.
+//! * [`chaos_soak`] — the seeded chaos soak (`repro chaos-soak`):
+//!   random fault schedules against the full middleware stack with
+//!   invariant checking after every injected fault.
 
 pub mod ch2;
 pub mod ch5;
+pub mod chaos_soak;
 pub mod table;

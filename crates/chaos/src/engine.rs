@@ -1,0 +1,458 @@
+//! The chaos engine: interleaves a seeded fault schedule with a
+//! seeded workload on the virtual clock, checks invariants after
+//! every fault, and finishes with the full repair sequence
+//! (restart → heal → resolve in-doubt → reconcile → convergence
+//! check).
+//!
+//! Everything is derived from [`ChaosConfig::seed`]: the fault plan,
+//! the workload mix, the gossip traffic. Two runs with the same
+//! config produce the same virtual-time trajectory and — with a JSONL
+//! exporter attached — byte-identical trace files.
+
+use crate::invariant::{InvariantChecker, InvariantViolation};
+use crate::plan::{FaultPlan, FaultStep};
+use crate::rng::ChaosRng;
+use dedisys_core::{Cluster, ClusterBuilder, DeferAll, HighestVersionWins, StatsSnapshot};
+use dedisys_net::{LatencyModel, Router, Topology};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_telemetry::TraceEvent;
+use dedisys_types::{NodeId, ObjectId, Result, SimDuration, TxId, Value};
+
+/// Gossip-fabric base latency (per hop) outside latency spikes.
+const GOSSIP_BASE_MICROS: u64 = 500;
+
+/// Configuration of one chaos-soak run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Cluster size (at least 2).
+    pub nodes: u32,
+    /// Workload operations to run.
+    pub ops: u64,
+    /// Fault steps to schedule across the run.
+    pub faults: usize,
+    /// Master seed: fixes plan, workload and gossip traffic.
+    pub seed: u64,
+    /// Entities created up front as the workload's working set.
+    pub item_pool: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            ops: 300,
+            faults: 24,
+            seed: 0,
+            item_pool: 12,
+        }
+    }
+}
+
+/// Outcome of a chaos-soak run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The seed the run was derived from.
+    pub seed: u64,
+    /// Workload operations that succeeded.
+    pub ops_ok: u64,
+    /// Workload operations that failed (availability, locks, vetoes —
+    /// expected under faults).
+    pub ops_failed: u64,
+    /// Fault steps applied.
+    pub faults_applied: u64,
+    /// Fault steps skipped (inapplicable when reached).
+    pub faults_skipped: u64,
+    /// In-doubt transactions resolved by presumed abort.
+    pub in_doubt_resolved: u64,
+    /// Every invariant violation observed (must be empty).
+    pub violations: Vec<InvariantViolation>,
+    /// Final cluster statistics snapshot.
+    pub final_stats: StatsSnapshot,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held throughout the run.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The minimal soak application: one entity class with an integer
+/// field, conventional accessors dispatched by the method table.
+fn chaos_app() -> AppDescriptor {
+    AppDescriptor::new("chaos-soak")
+        .with_class(ClassDescriptor::new("Item").with_field("n", Value::Int(0)))
+}
+
+/// Drives one seeded chaos run against a dedicated cluster.
+pub struct ChaosEngine {
+    config: ChaosConfig,
+    cluster: Cluster,
+    /// Workload RNG — a distinct stream from the plan generator so
+    /// adding plan entropy does not shift the workload.
+    rng: ChaosRng,
+    /// Side-channel gossip fabric for link-loss and latency faults;
+    /// mirrors the cluster topology and shares its virtual clock.
+    gossip: Router<u64>,
+    items: Vec<ObjectId>,
+    created: u64,
+    open_prepared: Vec<TxId>,
+    ops_ok: u64,
+    ops_failed: u64,
+    faults_applied: u64,
+    faults_skipped: u64,
+    in_doubt_resolved: u64,
+    violations: Vec<InvariantViolation>,
+}
+
+impl ChaosEngine {
+    /// Builds the soak cluster and seeds the working set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster-construction and seeding failures.
+    pub fn new(config: ChaosConfig) -> Result<Self> {
+        assert!(config.nodes >= 2, "chaos needs at least two nodes");
+        let cluster = ClusterBuilder::new(config.nodes, chaos_app()).build()?;
+        let gossip = Router::new(
+            Topology::fully_connected(config.nodes),
+            LatencyModel::uniform_micros(GOSSIP_BASE_MICROS),
+            cluster.clock().clone(),
+        );
+        Ok(Self {
+            rng: ChaosRng::new(config.seed ^ 0xC0FF_EE00_C0FF_EE00),
+            gossip,
+            cluster,
+            items: Vec::new(),
+            created: 0,
+            open_prepared: Vec::new(),
+            ops_ok: 0,
+            ops_failed: 0,
+            faults_applied: 0,
+            faults_skipped: 0,
+            in_doubt_resolved: 0,
+            violations: Vec::new(),
+            config,
+        })
+    }
+
+    /// The cluster under test — attach telemetry sinks here *before*
+    /// [`ChaosEngine::run`] to capture the trace.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs the seed-derived random plan to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-seeding failures; fault application and
+    /// workload errors are absorbed into the report.
+    pub fn run(mut self) -> Result<ChaosReport> {
+        let plan = FaultPlan::random(
+            self.config.seed,
+            self.config.nodes,
+            self.config.ops,
+            self.config.faults,
+        );
+        self.run_plan(&plan)
+    }
+
+    /// Runs an explicit fault plan to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-seeding failures.
+    pub fn run_plan(mut self, plan: &FaultPlan) -> Result<ChaosReport> {
+        self.seed_items()?;
+        let mut steps = plan.steps().iter().peekable();
+        let mut step_no: u32 = 0;
+        for op in 0..self.config.ops {
+            while steps.peek().is_some_and(|p| p.at_op <= op) {
+                let planned = steps.next().expect("peeked");
+                self.apply_step(step_no, &planned.step);
+                step_no += 1;
+                self.violations
+                    .extend(InvariantChecker::check_running(&self.cluster));
+            }
+            self.one_op();
+            self.in_doubt_resolved += self.cluster.resolve_in_doubt() as u64;
+        }
+        for planned in steps {
+            self.apply_step(step_no, &planned.step);
+            step_no += 1;
+            self.violations
+                .extend(InvariantChecker::check_running(&self.cluster));
+        }
+        self.finish();
+        let final_stats = self.cluster.stats();
+        Ok(ChaosReport {
+            seed: self.config.seed,
+            ops_ok: self.ops_ok,
+            ops_failed: self.ops_failed,
+            faults_applied: self.faults_applied,
+            faults_skipped: self.faults_skipped,
+            in_doubt_resolved: self.in_doubt_resolved,
+            violations: self.violations,
+            final_stats,
+        })
+    }
+
+    fn seed_items(&mut self) -> Result<()> {
+        for i in 0..self.config.item_pool {
+            let node = NodeId((i as u32) % self.config.nodes);
+            let id = ObjectId::new("Item", format!("I-{i}"));
+            let entity_id = id.clone();
+            self.cluster.run_tx(node, move |c, tx| {
+                c.create(node, tx, EntityState::for_class(c.app(), &entity_id)?)
+            })?;
+            self.items.push(id);
+        }
+        Ok(())
+    }
+
+    fn live_nodes(&self) -> Vec<NodeId> {
+        self.cluster
+            .topology()
+            .nodes()
+            .filter(|n| !self.cluster.is_crashed(*n))
+            .collect()
+    }
+
+    fn one_op(&mut self) {
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return;
+        }
+        let node = *self.rng.pick(&live);
+        let roll = self.rng.below(100);
+        let result: Result<()> = if roll < 10 {
+            // Start an explicit 2PC and leave it hanging in prepared
+            // state — a later crash of `node` makes it in-doubt.
+            let tx = self.cluster.begin(node);
+            let id = self.rng.pick(&self.items).clone();
+            let value = Value::Int(self.rng.below(1_000) as i64);
+            let r = self
+                .cluster
+                .set_field(node, tx, &id, "n", value)
+                .and_then(|()| self.cluster.prepare(tx));
+            match r {
+                Ok(()) => {
+                    self.open_prepared.push(tx);
+                    Ok(())
+                }
+                Err(e) => {
+                    let _ = self.cluster.rollback(tx);
+                    Err(e)
+                }
+            }
+        } else if roll < 25 && !self.open_prepared.is_empty() {
+            // Finish a hanging 2PC: phase 2 commit, or rollback.
+            let idx = self.rng.below(self.open_prepared.len() as u64) as usize;
+            let tx = self.open_prepared.swap_remove(idx);
+            if self.rng.chance(50) {
+                self.cluster.commit(tx)
+            } else {
+                self.cluster.rollback(tx)
+            }
+        } else if roll < 40 {
+            let key = format!("C-{}", self.created);
+            self.created += 1;
+            let id = ObjectId::new("Item", key);
+            let entity_id = id.clone();
+            let r = self.cluster.run_tx(node, move |c, tx| {
+                c.create(node, tx, EntityState::for_class(c.app(), &entity_id)?)
+            });
+            if r.is_ok() {
+                self.items.push(id);
+            }
+            r
+        } else if roll < 75 {
+            let id = self.rng.pick(&self.items).clone();
+            let value = Value::Int(self.rng.below(1_000) as i64);
+            self.cluster
+                .run_tx(node, move |c, tx| c.set_field(node, tx, &id, "n", value))
+        } else {
+            let id = self.rng.pick(&self.items).clone();
+            self.cluster
+                .run_tx(node, move |c, tx| c.get_field(node, tx, &id, "n"))
+                .map(|_| ())
+        };
+        match result {
+            Ok(()) => self.ops_ok += 1,
+            Err(_) => self.ops_failed += 1,
+        }
+    }
+
+    fn apply_step(&mut self, step_no: u32, step: &FaultStep) {
+        let label = step.to_string();
+        self.cluster.telemetry().emit(|| TraceEvent::ChaosFault {
+            step: step_no,
+            fault: label.clone(),
+        });
+        let applied = match step {
+            FaultStep::Crash(node) => {
+                // Never take down the last live node.
+                self.live_nodes().len() > 1 && self.cluster.crash(*node).is_ok()
+            }
+            FaultStep::Restart(node) => self.cluster.restart(*node).is_ok(),
+            FaultStep::Partition(groups) => self.cluster.partition(groups).is_ok(),
+            FaultStep::Heal => {
+                self.cluster.heal();
+                true
+            }
+            FaultStep::LinkLossBurst {
+                per_mille,
+                messages,
+            } => {
+                self.gossip_burst(*per_mille, None, *messages);
+                true
+            }
+            FaultStep::LatencySpike { micros, messages } => {
+                self.gossip_burst(0, Some(*micros), *messages);
+                true
+            }
+            FaultStep::WriteFaultWindow { node, failures } => {
+                self.cluster.inject_write_fault(*node, *failures);
+                true
+            }
+            FaultStep::ReplicaLag { node, updates } => {
+                self.cluster.inject_replica_lag(*node, *updates);
+                true
+            }
+        };
+        if applied {
+            self.faults_applied += 1;
+        } else {
+            self.faults_skipped += 1;
+        }
+    }
+
+    /// Exchanges `messages` gossip heartbeats under a loss window or a
+    /// latency spike, drains the fabric, and checks message
+    /// conservation.
+    fn gossip_burst(&mut self, per_mille: u16, spike_micros: Option<u64>, messages: u32) {
+        self.gossip.set_topology(self.cluster.topology().clone());
+        self.gossip.latency_mut().set_loss_per_mille(per_mille);
+        if let Some(us) = spike_micros {
+            self.set_gossip_latency(SimDuration::from_micros(us));
+        }
+        let nodes = self.config.nodes as u64;
+        for i in 0..messages {
+            let from = NodeId(self.rng.below(nodes) as u32);
+            let to = NodeId(((u64::from(from.0) + 1 + self.rng.below(nodes - 1)) % nodes) as u32);
+            let _ = self.gossip.send(from, to, u64::from(i));
+        }
+        let _ = self.gossip.deliver_all();
+        // Close the window again.
+        self.gossip.latency_mut().set_loss_per_mille(0);
+        if spike_micros.is_some() {
+            self.set_gossip_latency(SimDuration::from_micros(GOSSIP_BASE_MICROS));
+        }
+        self.violations.extend(InvariantChecker::check_net(
+            self.gossip.stats(),
+            self.gossip.in_flight(),
+        ));
+    }
+
+    fn set_gossip_latency(&mut self, latency: SimDuration) {
+        for a in 0..self.config.nodes {
+            for b in (a + 1)..self.config.nodes {
+                self.gossip
+                    .latency_mut()
+                    .set_link(NodeId(a), NodeId(b), latency);
+            }
+        }
+    }
+
+    /// The final repair sequence: drain hanging 2PC transactions,
+    /// restart every crashed node, heal, time out any remaining
+    /// in-doubt transactions, reconcile, and check convergence.
+    fn finish(&mut self) {
+        for tx in std::mem::take(&mut self.open_prepared) {
+            if self.cluster.tx_is_open(tx) {
+                match self.cluster.commit(tx) {
+                    Ok(()) => self.ops_ok += 1,
+                    Err(_) => self.ops_failed += 1,
+                }
+            }
+        }
+        let crashed: Vec<NodeId> = self.cluster.crashed_nodes().collect();
+        for node in crashed {
+            let _ = self.cluster.restart(node);
+        }
+        self.cluster.heal();
+        let timeout = self.cluster.costs().in_doubt_timeout;
+        self.cluster.clock().advance(timeout);
+        self.in_doubt_resolved += self.cluster.resolve_in_doubt() as u64;
+        if self.cluster.needs_reconciliation() {
+            let mut replica_handler = HighestVersionWins;
+            let mut constraint_handler = DeferAll;
+            let _ = self
+                .cluster
+                .reconcile(&mut replica_handler, &mut constraint_handler);
+        }
+        self.violations
+            .extend(InvariantChecker::check_converged(&self.cluster));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultStep;
+
+    fn run_seed(seed: u64) -> ChaosReport {
+        let engine = ChaosEngine::new(ChaosConfig {
+            seed,
+            ops: 200,
+            faults: 16,
+            ..ChaosConfig::default()
+        })
+        .expect("engine");
+        engine.run().expect("run")
+    }
+
+    #[test]
+    fn fixed_seed_is_reproducible() {
+        let a = run_seed(7);
+        let b = run_seed(7);
+        assert_eq!(a.ops_ok, b.ops_ok);
+        assert_eq!(a.ops_failed, b.ops_failed);
+        assert_eq!(a.faults_applied, b.faults_applied);
+        assert_eq!(a.final_stats.now_ns, b.final_stats.now_ns);
+        assert_eq!(a.final_stats.events_emitted, b.final_stats.events_emitted);
+    }
+
+    #[test]
+    fn random_schedules_keep_invariants() {
+        for seed in 0..20 {
+            let report = run_seed(seed);
+            assert!(
+                report.clean(),
+                "seed {seed} violated invariants: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_crash_during_prepare_resolves_in_doubt() {
+        // Hand-written schedule: crash node 1 early and often enough
+        // that a hanging prepared transaction coordinated there goes
+        // in-doubt, then restart and let the run finish.
+        let plan = FaultPlan::new()
+            .at(40, FaultStep::Crash(NodeId(1)))
+            .at(90, FaultStep::Restart(NodeId(1)))
+            .at(120, FaultStep::Crash(NodeId(2)))
+            .at(160, FaultStep::Heal);
+        let engine = ChaosEngine::new(ChaosConfig {
+            seed: 3,
+            ops: 200,
+            ..ChaosConfig::default()
+        })
+        .expect("engine");
+        let report = engine.run_plan(&plan).expect("run");
+        assert!(report.clean(), "violations: {:?}", report.violations);
+    }
+}

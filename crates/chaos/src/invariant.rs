@@ -1,0 +1,200 @@
+//! Safety invariants checked after every chaos step.
+//!
+//! The checker never mutates the cluster: it reads counters and
+//! registries and reports violations as data, so a soak run can
+//! aggregate them and a test can assert the list is empty.
+
+use dedisys_core::Cluster;
+use dedisys_net::NetStats;
+use dedisys_types::SystemMode;
+
+/// One violated invariant, with a human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable name of the invariant (for aggregation).
+    pub invariant: &'static str,
+    /// What exactly went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// Stateless invariant checks over a [`Cluster`] (and the chaos
+/// engine's gossip fabric).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvariantChecker;
+
+impl InvariantChecker {
+    /// Invariants that must hold at *every* point of a run, however
+    /// degraded the system is.
+    pub fn check_running(cluster: &Cluster) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let stats = cluster.stats();
+
+        // Transaction conservation: every begun transaction is
+        // committed, rolled back, or still open (active/prepared).
+        let open = cluster.open_tx_count() as u64;
+        if stats.tx.begun != stats.tx.committed + stats.tx.rolled_back + open {
+            out.push(InvariantViolation {
+                invariant: "tx_conservation",
+                detail: format!(
+                    "begun={} != committed={} + rolled_back={} + open={open}",
+                    stats.tx.begun, stats.tx.committed, stats.tx.rolled_back
+                ),
+            });
+        }
+
+        // No orphaned locks: every lock holder is still open.
+        for (object, tx) in cluster.held_locks() {
+            if !cluster.tx_is_open(tx) {
+                out.push(InvariantViolation {
+                    invariant: "no_orphaned_locks",
+                    detail: format!("lock on {object} held by terminated {tx}"),
+                });
+            }
+        }
+
+        // In-doubt sanity: an in-doubt transaction is still prepared
+        // and its coordinator really is down.
+        for (tx, info) in cluster.in_doubt_txs() {
+            if !cluster.tx_is_open(tx) {
+                out.push(InvariantViolation {
+                    invariant: "in_doubt_open",
+                    detail: format!("in-doubt {tx} is not open"),
+                });
+            }
+            if !cluster.is_crashed(info.coordinator) {
+                out.push(InvariantViolation {
+                    invariant: "in_doubt_coordinator_down",
+                    detail: format!(
+                        "in-doubt {tx} names live coordinator {}",
+                        info.coordinator
+                    ),
+                });
+            }
+        }
+
+        // Crashed nodes are topology singletons and force degradation.
+        for node in cluster.crashed_nodes() {
+            if cluster.topology().partition_of(node).len() != 1 {
+                out.push(InvariantViolation {
+                    invariant: "crashed_isolated",
+                    detail: format!("crashed {node} is reachable from other nodes"),
+                });
+            }
+        }
+        if cluster.crashed_nodes().next().is_some() && cluster.mode() == SystemMode::Healthy {
+            out.push(InvariantViolation {
+                invariant: "crashed_implies_degraded",
+                detail: "mode is healthy while nodes are crashed".into(),
+            });
+        }
+        out
+    }
+
+    /// Message-accounting invariants on the gossip fabric: sent
+    /// messages are conserved and the in-flight gauge matches the
+    /// router queue.
+    pub fn check_net(stats: &NetStats, queued: usize) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        if !stats.is_conserved() {
+            out.push(InvariantViolation {
+                invariant: "net_conservation",
+                detail: format!(
+                    "sent={} < delivered={} + dropped={} + unreachable={}",
+                    stats.sent, stats.delivered, stats.dropped, stats.unreachable
+                ),
+            });
+        }
+        if stats.in_flight() != queued as u64 {
+            out.push(InvariantViolation {
+                invariant: "net_in_flight_gauge",
+                detail: format!(
+                    "in_flight()={} but router queues {queued}",
+                    stats.in_flight()
+                ),
+            });
+        }
+        out
+    }
+
+    /// Invariants that must hold after the final repair sequence
+    /// (restart every crashed node, heal, resolve in-doubt,
+    /// reconcile): the cluster is quiescent and replicas converged.
+    pub fn check_converged(cluster: &Cluster) -> Vec<InvariantViolation> {
+        let mut out = Self::check_running(cluster);
+        if cluster.crashed_nodes().next().is_some() {
+            out.push(InvariantViolation {
+                invariant: "all_restarted",
+                detail: "crashed nodes remain after the repair sequence".into(),
+            });
+        }
+        if !cluster.topology().is_healthy() {
+            out.push(InvariantViolation {
+                invariant: "topology_healthy",
+                detail: format!("topology still split: {}", cluster.topology()),
+            });
+        }
+        if cluster.needs_reconciliation() {
+            out.push(InvariantViolation {
+                invariant: "reconciled",
+                detail: "threats or degraded writes remain after reconcile".into(),
+            });
+        }
+        if cluster.in_doubt_count() != 0 {
+            out.push(InvariantViolation {
+                invariant: "in_doubt_drained",
+                detail: format!("{} transactions still in doubt", cluster.in_doubt_count()),
+            });
+        }
+        if cluster.open_tx_count() != 0 {
+            out.push(InvariantViolation {
+                invariant: "tx_drained",
+                detail: format!("{} transactions still open", cluster.open_tx_count()),
+            });
+        }
+        if !cluster.held_locks().is_empty() {
+            out.push(InvariantViolation {
+                invariant: "locks_drained",
+                detail: format!("{} locks still held", cluster.held_locks().len()),
+            });
+        }
+        // Replica convergence: every node stores the same committed
+        // objects with the same state.
+        let nodes: Vec<_> = cluster.topology().nodes().collect();
+        if let Some((&first, rest)) = nodes.split_first() {
+            let reference = cluster.committed_ids_on(first);
+            for &node in rest {
+                let ids = cluster.committed_ids_on(node);
+                if ids != reference {
+                    out.push(InvariantViolation {
+                        invariant: "replica_convergence",
+                        detail: format!(
+                            "{node} stores {} objects, {first} stores {}",
+                            ids.len(),
+                            reference.len()
+                        ),
+                    });
+                    continue;
+                }
+                for id in &reference {
+                    let a = cluster
+                        .entity_on(first, id)
+                        .and_then(|e| e.to_json().ok());
+                    let b = cluster.entity_on(node, id).and_then(|e| e.to_json().ok());
+                    if a != b {
+                        out.push(InvariantViolation {
+                            invariant: "replica_convergence",
+                            detail: format!("{id} diverges between {first} and {node}"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,265 @@
+//! Seeded fault schedules: what goes wrong, and when.
+//!
+//! A [`FaultPlan`] is a list of [`FaultStep`]s pinned to workload
+//! operation indices — "after op 17, crash node 2". Plans are either
+//! written out explicitly (the DSL: [`FaultPlan::new`] + [`FaultPlan::at`])
+//! or generated reproducibly from a seed ([`FaultPlan::random`]): equal
+//! seeds yield equal schedules, so a failing soak run is replayed
+//! exactly by its seed.
+
+use crate::rng::ChaosRng;
+use dedisys_types::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One injectable fault (or repair) action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultStep {
+    /// Crash a node: volatile state lost, journal kept, topology exit.
+    Crash(NodeId),
+    /// Restart a crashed node: journal replay + GMS rejoin.
+    Restart(NodeId),
+    /// Split the live nodes into the given groups.
+    Partition(Vec<Vec<NodeId>>),
+    /// Repair all connectivity failures (crashed nodes stay down).
+    Heal,
+    /// A window of probabilistic message loss on the gossip fabric:
+    /// `messages` heartbeats are exchanged while links drop
+    /// `per_mille`‰ of traffic.
+    LinkLossBurst {
+        /// Loss rate during the burst (0–1000).
+        per_mille: u16,
+        /// Heartbeat messages exchanged during the burst.
+        messages: u32,
+    },
+    /// A latency spike on the gossip fabric: `messages` heartbeats are
+    /// exchanged while every link runs at `micros` µs.
+    LatencySpike {
+        /// Per-hop latency during the spike, in microseconds.
+        micros: u64,
+        /// Heartbeat messages exchanged during the spike.
+        messages: u32,
+    },
+    /// The next `failures` replica installs on `node` fail (store
+    /// write-failure window) — exercises ship retry/backoff.
+    WriteFaultWindow {
+        /// The faulty backup.
+        node: NodeId,
+        /// Consecutive install failures to inject.
+        failures: u32,
+    },
+    /// `node` lags behind the next `updates` propagated updates.
+    ReplicaLag {
+        /// The lagging backup.
+        node: NodeId,
+        /// Updates the backup misses.
+        updates: u32,
+    },
+}
+
+impl fmt::Display for FaultStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultStep::Crash(n) => write!(f, "crash({n})"),
+            FaultStep::Restart(n) => write!(f, "restart({n})"),
+            FaultStep::Partition(groups) => {
+                write!(f, "partition(")?;
+                for (i, g) in groups.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    for (j, n) in g.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            FaultStep::Heal => write!(f, "heal"),
+            FaultStep::LinkLossBurst {
+                per_mille,
+                messages,
+            } => write!(f, "link_loss({per_mille}‰,{messages}msg)"),
+            FaultStep::LatencySpike { micros, messages } => {
+                write!(f, "latency_spike({micros}us,{messages}msg)")
+            }
+            FaultStep::WriteFaultWindow { node, failures } => {
+                write!(f, "write_fault({node},{failures})")
+            }
+            FaultStep::ReplicaLag { node, updates } => {
+                write!(f, "replica_lag({node},{updates})")
+            }
+        }
+    }
+}
+
+/// A fault step scheduled at a workload-operation index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// The step fires *before* the workload op with this index.
+    pub at_op: u64,
+    /// The fault to inject.
+    pub step: FaultStep,
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    steps: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the DSL entry point).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `step` before workload op `at_op` (builder style).
+    #[must_use]
+    pub fn at(mut self, at_op: u64, step: FaultStep) -> Self {
+        self.steps.push(PlannedFault { at_op, step });
+        self.steps.sort_by_key(|p| p.at_op);
+        self
+    }
+
+    /// The scheduled steps, sorted by op index (stable for ties).
+    pub fn steps(&self) -> &[PlannedFault] {
+        &self.steps
+    }
+
+    /// Number of scheduled steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Generates a reproducible random plan: `faults` steps spread
+    /// over `ops` workload operations against `nodes` nodes. The
+    /// generator tracks which nodes its own schedule has crashed so
+    /// restarts target crashed nodes, crashes target live ones, and at
+    /// least one node always survives.
+    pub fn random(seed: u64, nodes: u32, ops: u64, faults: usize) -> Self {
+        let mut rng = ChaosRng::new(seed);
+        let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+        let mut steps = Vec::with_capacity(faults);
+        let mut indices: Vec<u64> = (0..faults).map(|_| rng.below(ops.max(1))).collect();
+        indices.sort_unstable();
+        for at_op in indices {
+            let live: Vec<NodeId> = (0..nodes)
+                .map(NodeId)
+                .filter(|n| !crashed.contains(n))
+                .collect();
+            let step = match rng.below(100) {
+                // Crash a live node (keep at least one survivor).
+                0..=19 if live.len() > 1 => {
+                    let victim = *rng.pick(&live);
+                    crashed.insert(victim);
+                    FaultStep::Crash(victim)
+                }
+                // Restart a crashed node.
+                20..=37 if !crashed.is_empty() => {
+                    let back: Vec<NodeId> = crashed.iter().copied().collect();
+                    let node = *rng.pick(&back);
+                    crashed.remove(&node);
+                    FaultStep::Restart(node)
+                }
+                // Split the live nodes into two groups.
+                38..=52 if live.len() >= 2 => {
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    for &n in &live {
+                        if rng.chance(50) {
+                            a.push(n);
+                        } else {
+                            b.push(n);
+                        }
+                    }
+                    if a.is_empty() {
+                        a.push(b.pop().expect("live >= 2"));
+                    }
+                    if b.is_empty() {
+                        b.push(a.pop().expect("live >= 2"));
+                    }
+                    FaultStep::Partition(vec![a, b])
+                }
+                53..=64 => FaultStep::Heal,
+                65..=74 => FaultStep::LinkLossBurst {
+                    per_mille: 100 + rng.below(300) as u16,
+                    messages: 20 + rng.below(40) as u32,
+                },
+                75..=84 => FaultStep::LatencySpike {
+                    micros: 1_000 + rng.below(4_000),
+                    messages: 10 + rng.below(20) as u32,
+                },
+                85..=92 => FaultStep::WriteFaultWindow {
+                    node: NodeId(rng.below(u64::from(nodes)) as u32),
+                    failures: 1 + rng.below(5) as u32,
+                },
+                _ => FaultStep::ReplicaLag {
+                    node: NodeId(rng.below(u64::from(nodes)) as u32),
+                    updates: 1 + rng.below(3) as u32,
+                },
+            };
+            steps.push(PlannedFault { at_op, step });
+        }
+        Self { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsl_orders_steps_by_op() {
+        let plan = FaultPlan::new()
+            .at(20, FaultStep::Heal)
+            .at(5, FaultStep::Crash(NodeId(1)))
+            .at(12, FaultStep::Restart(NodeId(1)));
+        let ops: Vec<u64> = plan.steps().iter().map(|p| p.at_op).collect();
+        assert_eq!(ops, vec![5, 12, 20]);
+    }
+
+    #[test]
+    fn random_plans_are_seed_reproducible() {
+        let a = FaultPlan::random(99, 4, 200, 24);
+        let b = FaultPlan::random(99, 4, 200, 24);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(100, 4, 200, 24);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn random_plans_never_crash_the_last_node() {
+        for seed in 0..50 {
+            let plan = FaultPlan::random(seed, 3, 100, 30);
+            let mut crashed = 0u32;
+            for p in plan.steps() {
+                match &p.step {
+                    FaultStep::Crash(_) => {
+                        crashed += 1;
+                        assert!(crashed < 3, "seed {seed} crashed every node");
+                    }
+                    FaultStep::Restart(_) => crashed -= 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = FaultStep::Partition(vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(2)],
+        ]);
+        assert_eq!(s.to_string(), "partition(n0,n1|n2)");
+        assert_eq!(FaultStep::Crash(NodeId(7)).to_string(), "crash(n7)");
+    }
+}

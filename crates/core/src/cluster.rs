@@ -26,6 +26,7 @@ use dedisys_object::{
 use dedisys_replication::{ProtocolKind, ReplicationManager};
 use dedisys_telemetry::{
     CostBreakdown, InvocationOutcome, MetricsSnapshot, Telemetry, TraceEvent, TriggerKind,
+    TwoPcPhase,
 };
 use dedisys_tx::{LockTable, TransactionManager};
 use dedisys_types::{
@@ -91,6 +92,18 @@ struct TxInfo {
     involved: BTreeSet<NodeId>,
     /// Objects created in this tx with their chosen placement.
     created: BTreeMap<ObjectId, (Vec<NodeId>, NodeId)>,
+}
+
+/// A prepared transaction whose coordinator crashed between prepare
+/// and commit (§2PC in-doubt state). Locks and buffers are retained
+/// until the recovery protocol resolves it by presumed abort (timeout
+/// or coordinator restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InDoubtTx {
+    /// The crashed coordinator node.
+    pub coordinator: NodeId,
+    /// Virtual time at which the presumed-abort timeout fires.
+    pub deadline: SimTime,
 }
 
 /// Builder for [`Cluster`] (C-BUILDER).
@@ -314,6 +327,9 @@ impl ClusterBuilder {
             methods: self.methods,
             tx_manager,
             tx_infos: BTreeMap::new(),
+            in_doubt: BTreeMap::new(),
+            in_doubt_resolved: 0,
+            crashed: BTreeSet::new(),
             locks: LockTable::new(),
             replication,
             repository,
@@ -344,6 +360,14 @@ pub struct Cluster {
     methods: MethodTable,
     tx_manager: TransactionManager,
     tx_infos: BTreeMap<TxId, TxInfo>,
+    /// Prepared transactions whose coordinator crashed (awaiting
+    /// presumed-abort recovery).
+    in_doubt: BTreeMap<TxId, InDoubtTx>,
+    /// Transactions resolved by the in-doubt recovery protocol so far.
+    in_doubt_resolved: u64,
+    /// Nodes currently crashed: volatile state torn down, persistent
+    /// journal kept, topology-isolated until restarted.
+    crashed: BTreeSet<NodeId>,
     locks: LockTable,
     pub(crate) replication: ReplicationManager,
     repository: ConstraintRepository,
@@ -431,30 +455,6 @@ impl Cluster {
             telemetry: self.telemetry.metrics().snapshot(),
             events_emitted: self.telemetry.events_emitted(),
         }
-    }
-
-    /// Cluster metrics.
-    #[deprecated(note = "use `Cluster::stats().cluster` instead")]
-    pub fn metrics(&self) -> ClusterMetrics {
-        self.metrics
-    }
-
-    /// CCM counters.
-    #[deprecated(note = "use `Cluster::stats().ccm` instead")]
-    pub fn ccm_stats(&self) -> crate::ccm::CcmStats {
-        self.ccm.stats()
-    }
-
-    /// Replication counters.
-    #[deprecated(note = "use `Cluster::stats().replication` instead")]
-    pub fn repl_stats(&self) -> dedisys_replication::ReplStats {
-        self.replication.stats()
-    }
-
-    /// Transaction counters.
-    #[deprecated(note = "use `Cluster::stats().tx` instead")]
-    pub fn tx_stats(&self) -> dedisys_tx::TxStats {
-        self.tx_manager.stats()
     }
 
     /// The stored consistency threats.
@@ -648,13 +648,37 @@ impl Cluster {
     /// Splits the network into the given groups of typed node ids
     /// (unmentioned nodes become singletons), installs the new views
     /// and returns the resulting system mode.
-    pub fn partition(&mut self, groups: &[Vec<NodeId>]) -> SystemMode {
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownNode`] — a group names a node outside the
+    ///   cluster.
+    /// * [`Error::DuplicateNode`] — a node appears in more than one
+    ///   group (or twice within one group).
+    /// * [`Error::NodeCrashed`] — a crashed node cannot be placed in
+    ///   a group; it stays isolated until [`Cluster::restart`].
+    pub fn partition(&mut self, groups: &[Vec<NodeId>]) -> Result<SystemMode> {
+        let count = self.topology.node_count();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for group in groups {
+            for &node in group {
+                if node.0 >= count {
+                    return Err(Error::UnknownNode(node));
+                }
+                if !seen.insert(node) {
+                    return Err(Error::DuplicateNode(node));
+                }
+                if self.crashed.contains(&node) {
+                    return Err(Error::NodeCrashed(node));
+                }
+            }
+        }
         let raw: Vec<Vec<u32>> = groups
             .iter()
             .map(|g| g.iter().map(|n| n.0).collect())
             .collect();
         let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
-        self.partition_raw(&refs)
+        Ok(self.partition_raw(&refs))
     }
 
     /// [`Cluster::partition`] over raw `u32` node indices — the
@@ -671,26 +695,218 @@ impl Cluster {
         self.set_mode(to)
     }
 
-    /// Isolates one node (models a crash) and returns the resulting
-    /// system mode.
-    pub fn isolate(&mut self, node: NodeId) -> SystemMode {
+    /// Isolates one node (connectivity loss — the node keeps running)
+    /// and returns the resulting system mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for node ids outside the
+    /// cluster.
+    pub fn isolate(&mut self, node: NodeId) -> Result<SystemMode> {
+        if node.0 >= self.topology.node_count() {
+            return Err(Error::UnknownNode(node));
+        }
         self.topology.isolate(node);
         self.install_views();
-        self.set_mode(SystemMode::Degraded)
+        Ok(self.set_mode(SystemMode::Degraded))
     }
 
-    /// Repairs all failures; the system enters the reconciliation
-    /// phase (run [`Cluster::reconcile`] to return to healthy).
-    /// Returns the resulting system mode.
+    /// Repairs all connectivity failures; the system enters the
+    /// reconciliation phase (run [`Cluster::reconcile`] to return to
+    /// healthy). Crashed nodes stay isolated — only
+    /// [`Cluster::restart`] brings them back. Returns the resulting
+    /// system mode.
     pub fn heal(&mut self) -> SystemMode {
-        self.topology.heal();
+        if self.crashed.is_empty() {
+            self.topology.heal();
+        } else {
+            // Reunite only the live nodes; crashed ones remain
+            // singleton partitions until they restart.
+            let live: Vec<u32> = self
+                .topology
+                .nodes()
+                .filter(|n| !self.crashed.contains(n))
+                .map(|n| n.0)
+                .collect();
+            self.topology.split(&[&live]);
+        }
         self.install_views();
-        let to = if self.needs_reconciliation() {
+        let to = if !self.crashed.is_empty() {
+            SystemMode::Degraded
+        } else if self.needs_reconciliation() {
             SystemMode::Reconciliation
         } else {
             SystemMode::Healthy
         };
         self.set_mode(to)
+    }
+
+    // ------------------------------------------------------------------
+    // Node lifecycle: crash / restart
+    // ------------------------------------------------------------------
+
+    /// Crashes `node`: volatile container state is torn down (buffered
+    /// writes lost, committed in-memory cache dropped), the persistent
+    /// journal survives on disk, and the node leaves the topology
+    /// until [`Cluster::restart`].
+    ///
+    /// Transactions touching the node are resolved immediately:
+    ///
+    /// * transactions *coordinated* by the node that had already
+    ///   prepared enter the in-doubt registry — their locks are
+    ///   retained until the presumed-abort timeout fires
+    ///   ([`Cluster::resolve_in_doubt`]) or the coordinator restarts;
+    /// * every other affected transaction is force-rolled-back and
+    ///   its locks released.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownNode`] — node id outside the cluster.
+    /// * [`Error::NodeCrashed`] — the node is already down.
+    pub fn crash(&mut self, node: NodeId) -> Result<SystemMode> {
+        if node.0 >= self.topology.node_count() {
+            return Err(Error::UnknownNode(node));
+        }
+        if !self.crashed.insert(node) {
+            return Err(Error::NodeCrashed(node));
+        }
+        let affected: Vec<TxId> = self
+            .tx_infos
+            .iter()
+            .filter(|(tx, info)| tx.node == node || info.involved.contains(&node))
+            .map(|(tx, _)| *tx)
+            .collect();
+        let mut aborted: u32 = 0;
+        let mut in_doubt: u32 = 0;
+        let deadline = self.clock.now() + self.costs.in_doubt_timeout;
+        for tx in affected {
+            if tx.node == node && self.tx_manager.is_prepared(tx) {
+                // Coordinator crashed between prepare and commit: the
+                // outcome is locally unknowable. Locks and remote
+                // buffers are retained; the recovery protocol presumes
+                // abort once the timeout expires (presumed-abort 2PC).
+                self.in_doubt.insert(
+                    tx,
+                    InDoubtTx {
+                        coordinator: node,
+                        deadline,
+                    },
+                );
+                in_doubt += 1;
+                self.telemetry.emit(|| TraceEvent::TwoPcInDoubt {
+                    tx,
+                    coordinator: node,
+                });
+            } else {
+                self.tx_manager.force_rollback(tx);
+                self.abort_cleanup(tx);
+                aborted += 1;
+            }
+        }
+        let _lost_buffers = self.containers[node.index()].crash_volatile();
+        self.topology.isolate(node);
+        self.install_views();
+        self.telemetry.emit(|| TraceEvent::NodeCrash {
+            node,
+            aborted_txs: aborted,
+            in_doubt_txs: in_doubt,
+        });
+        Ok(self.set_mode(SystemMode::Degraded))
+    }
+
+    /// Restarts a crashed node: replays the persistent journal into a
+    /// fresh container (charging
+    /// [`CostModel::wal_replay_per_entry`][crate::CostModel] per
+    /// entry), re-activates deactivated threat records (§5.5.1
+    /// recovery), resolves every in-doubt transaction the node
+    /// coordinated by presumed abort, and rejoins the partition of the
+    /// lowest-numbered live node. Returns the resulting system mode.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownNode`] — node id outside the cluster.
+    /// * [`Error::Config`] — the node is not crashed.
+    /// * Journal corruption surfaces as the replay error.
+    pub fn restart(&mut self, node: NodeId) -> Result<SystemMode> {
+        if node.0 >= self.topology.node_count() {
+            return Err(Error::UnknownNode(node));
+        }
+        if !self.crashed.contains(&node) {
+            return Err(Error::Config(format!(
+                "node {node} is not crashed; nothing to restart"
+            )));
+        }
+        let replayed = self.containers[node.index()].recover_from_journal()?;
+        self.crashed.remove(&node);
+        self.clock
+            .advance(self.costs.wal_replay_per_entry * replayed);
+        // §5.5.1: threat records deactivated by the crash come back.
+        let reactivated = self.ccm.threat_store_mut().recover() as u64;
+        // Coordinator recovery: no commit record survived the crash,
+        // so its in-doubt transactions abort (presumed abort).
+        let mine: Vec<TxId> = self
+            .in_doubt
+            .iter()
+            .filter(|(_, info)| info.coordinator == node)
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in mine {
+            self.presume_abort(tx);
+        }
+        // Rejoin the lowest-numbered live node's partition via GMS.
+        if let Some(target) = self
+            .topology
+            .nodes()
+            .find(|n| *n != node && !self.crashed.contains(n))
+        {
+            if !self.topology.reachable(node, target) {
+                self.topology.merge(node, target);
+            }
+        }
+        self.install_views();
+        self.telemetry.emit(|| TraceEvent::NodeRestart {
+            node,
+            replayed_entries: replayed,
+            reactivated_threats: reactivated,
+        });
+        let to = if !self.topology.is_healthy() {
+            SystemMode::Degraded
+        } else if self.needs_reconciliation() {
+            SystemMode::Reconciliation
+        } else {
+            SystemMode::Healthy
+        };
+        Ok(self.set_mode(to))
+    }
+
+    /// Runs the in-doubt recovery protocol: every in-doubt transaction
+    /// whose presumed-abort deadline has passed in virtual time is
+    /// rolled back and its locks released. Returns the number of
+    /// transactions resolved.
+    pub fn resolve_in_doubt(&mut self) -> usize {
+        let now = self.clock.now();
+        let due: Vec<TxId> = self
+            .in_doubt
+            .iter()
+            .filter(|(_, info)| info.deadline <= now)
+            .map(|(tx, _)| *tx)
+            .collect();
+        let resolved = due.len();
+        for tx in due {
+            self.presume_abort(tx);
+        }
+        resolved
+    }
+
+    fn presume_abort(&mut self, tx: TxId) {
+        self.in_doubt.remove(&tx);
+        self.tx_manager.force_rollback(tx);
+        self.abort_cleanup(tx);
+        self.in_doubt_resolved += 1;
+        self.telemetry.emit(|| TraceEvent::TwoPcResolved {
+            tx,
+            presumed_abort: true,
+        });
     }
 
     /// Installs `to` as the system mode, emitting a `mode_transition`
@@ -723,6 +939,91 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection (chaos engine hooks)
+    // ------------------------------------------------------------------
+
+    /// Makes the next `failures` replica installs on `node` fail — a
+    /// store write-failure window exercising the ship path's bounded
+    /// retry/backoff.
+    pub fn inject_write_fault(&mut self, node: NodeId, failures: u32) {
+        self.replication.inject_write_fault(node, failures);
+    }
+
+    /// Makes `node` skip (lag behind) the next `updates` propagated
+    /// updates; the lagged replica is recorded for reconciliation.
+    pub fn inject_replica_lag(&mut self, node: NodeId, updates: u32) {
+        self.replication.inject_replica_lag(node, updates);
+    }
+
+    // ------------------------------------------------------------------
+    // Robustness / invariant inspection
+    // ------------------------------------------------------------------
+
+    /// Transactions currently open (active or prepared). Together with
+    /// [`Cluster::stats`] this asserts transaction conservation:
+    /// `begun == committed + rolled_back + open`.
+    pub fn open_tx_count(&self) -> usize {
+        self.tx_manager.open_count()
+    }
+
+    /// Every lock currently held, sorted by object id — invariant
+    /// checkers assert that each holder is still an open transaction
+    /// (no orphaned locks).
+    pub fn held_locks(&self) -> Vec<(ObjectId, TxId)> {
+        let mut held: Vec<(ObjectId, TxId)> = self
+            .locks
+            .holders()
+            .map(|(id, tx)| (id.clone(), tx))
+            .collect();
+        held.sort();
+        held
+    }
+
+    /// Whether `tx` is still open (active or prepared).
+    pub fn tx_is_open(&self, tx: TxId) -> bool {
+        self.tx_manager.is_active(tx) || self.tx_manager.is_prepared(tx)
+    }
+
+    /// In-doubt transactions awaiting presumed-abort recovery.
+    pub fn in_doubt_txs(&self) -> impl Iterator<Item = (TxId, &InDoubtTx)> + '_ {
+        self.in_doubt.iter().map(|(tx, info)| (*tx, info))
+    }
+
+    /// Number of in-doubt transactions.
+    pub fn in_doubt_count(&self) -> usize {
+        self.in_doubt.len()
+    }
+
+    /// Transactions resolved by the in-doubt recovery protocol so far.
+    pub fn in_doubt_resolved(&self) -> u64 {
+        self.in_doubt_resolved
+    }
+
+    /// Nodes currently crashed.
+    pub fn crashed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.crashed.iter().copied()
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Entries in `node`'s persistent journal (survives crashes).
+    pub fn journal_len_on(&self, node: NodeId) -> usize {
+        self.containers[node.index()].journal_len()
+    }
+
+    /// Sorted committed object ids on `node` — replica-convergence
+    /// checks compare these across a healed partition.
+    pub fn committed_ids_on(&self, node: NodeId) -> Vec<ObjectId> {
+        self.containers[node.index()]
+            .committed_ids()
+            .cloned()
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
     // Transactions
     // ------------------------------------------------------------------
 
@@ -742,14 +1043,20 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::NoSuchTransaction`] if unknown or terminated.
+    /// * [`Error::NoSuchTransaction`] — unknown or terminated.
+    /// * [`Error::TxInDoubt`] — only the in-doubt recovery protocol
+    ///   may resolve a transaction whose coordinator crashed.
     pub fn rollback(&mut self, tx: TxId) -> Result<()> {
+        if self.in_doubt.contains_key(&tx) {
+            return Err(Error::TxInDoubt(tx));
+        }
         self.tx_manager.rollback(tx)?;
         self.abort_cleanup(tx);
         Ok(())
     }
 
     fn abort_cleanup(&mut self, tx: TxId) {
+        self.in_doubt.remove(&tx);
         if let Some(info) = self.tx_infos.remove(&tx) {
             for node in info.involved {
                 self.containers[node.index()].rollback(tx);
@@ -757,6 +1064,46 @@ impl Cluster {
         }
         self.locks.release_all(tx);
         self.ccm.clear_tx(tx);
+    }
+
+    /// Phase 1 of an explicit two-phase commit: validates pending
+    /// soft/async constraints (the CCMgr's prepare vote) and moves
+    /// `tx` to the prepared state. A prepared transaction keeps its
+    /// locks and buffers until phase 2 ([`Cluster::commit`]); if its
+    /// coordinator crashes first it becomes *in-doubt* and is resolved
+    /// by presumed abort ([`Cluster::resolve_in_doubt`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoSuchTransaction`] — unknown or terminated.
+    /// * [`Error::RollbackOnly`] — the transaction was vetoed earlier;
+    ///   it is rolled back.
+    /// * Constraint errors from the prepare vote (everything rolled
+    ///   back).
+    pub fn prepare(&mut self, tx: TxId) -> Result<()> {
+        if !self.tx_manager.is_active(tx) {
+            return Err(Error::NoSuchTransaction(tx));
+        }
+        if self.tx_manager.is_rollback_only(tx) {
+            let _ = self.tx_manager.commit(tx); // transitions to rolled back
+            self.abort_cleanup(tx);
+            return Err(Error::RollbackOnly(tx));
+        }
+        if self.ccm_enabled {
+            if let Err(e) = self.prepare_constraints(tx) {
+                let _ = self.tx_manager.rollback(tx);
+                self.abort_cleanup(tx);
+                return Err(e);
+            }
+        }
+        self.tx_manager.mark_prepared(tx)?;
+        self.telemetry.emit(|| TraceEvent::TwoPc {
+            tx,
+            phase: TwoPcPhase::Prepare,
+            participant: None,
+            prepared: Some(true),
+        });
+        Ok(())
     }
 
     /// Commits `tx`: validates pending soft/async constraints (the
@@ -768,7 +1115,24 @@ impl Cluster {
     /// * [`Error::RollbackOnly`] — the transaction was vetoed earlier.
     /// * [`Error::ConstraintViolated`] / [`Error::ThreatRejected`] — a
     ///   soft constraint failed at prepare; everything is rolled back.
+    /// * [`Error::TxInDoubt`] — the coordinator crashed after prepare;
+    ///   only the in-doubt recovery protocol may resolve the
+    ///   transaction.
     pub fn commit(&mut self, tx: TxId) -> Result<()> {
+        if self.in_doubt.contains_key(&tx) {
+            return Err(Error::TxInDoubt(tx));
+        }
+        if self.tx_manager.is_prepared(tx) {
+            // Phase 2 of an explicit 2PC: constraints already voted at
+            // prepare time; just apply.
+            self.telemetry.emit(|| TraceEvent::TwoPc {
+                tx,
+                phase: TwoPcPhase::Commit,
+                participant: None,
+                prepared: None,
+            });
+            return self.apply_commit(tx);
+        }
         if !self.tx_manager.is_active(tx) {
             return Err(Error::NoSuchTransaction(tx));
         }
@@ -786,6 +1150,14 @@ impl Cluster {
                 return Err(e);
             }
         }
+        self.apply_commit(tx)
+    }
+
+    /// Applies a voted transaction: flips the manager state, installs
+    /// buffered writes, persists, propagates to reachable backups
+    /// (charging propagation plus any ship-retry backoff) and releases
+    /// locks.
+    fn apply_commit(&mut self, tx: TxId) -> Result<()> {
         self.tx_manager.commit(tx)?;
         let info = self.tx_infos.remove(&tx).unwrap_or_default();
         // Apply buffers and collect written objects per node.
@@ -830,6 +1202,8 @@ impl Cluster {
                 );
                 self.clock
                     .advance(self.costs.propagation(report.recipients.len()));
+                self.clock
+                    .advance(self.costs.ship_retry_backoff * report.backoff_units);
             }
         }
         for (node, id) in &all_deleted {
@@ -845,6 +1219,8 @@ impl Cluster {
                 );
                 self.clock
                     .advance(self.costs.propagation(report.recipients.len()));
+                self.clock
+                    .advance(self.costs.ship_retry_backoff * report.backoff_units);
                 self.replication.unregister_object(id);
             }
         }
@@ -934,6 +1310,9 @@ impl Cluster {
         if !self.tx_manager.is_active(tx) {
             return Err(Error::NoSuchTransaction(tx));
         }
+        if self.crashed.contains(&node) {
+            return Err(Error::NodeCrashed(node));
+        }
         self.clock.advance(self.costs.base_invocation);
         if self.replication_enabled {
             self.clock.advance(self.costs.replication_interceptor);
@@ -971,6 +1350,9 @@ impl Cluster {
     pub fn delete(&mut self, node: NodeId, tx: TxId, id: &ObjectId) -> Result<()> {
         if !self.tx_manager.is_active(tx) {
             return Err(Error::NoSuchTransaction(tx));
+        }
+        if self.crashed.contains(&node) {
+            return Err(Error::NodeCrashed(node));
         }
         self.clock.advance(self.costs.base_invocation);
         if self.replication_enabled {
@@ -1080,6 +1462,9 @@ impl Cluster {
     ) -> Result<Value> {
         if !self.tx_manager.is_active(tx) {
             return Err(Error::NoSuchTransaction(tx));
+        }
+        if self.crashed.contains(&node) {
+            return Err(Error::NodeCrashed(node));
         }
         // Deployment check + method kind.
         let class = self

@@ -65,6 +65,17 @@ pub struct CostModel {
     /// Database read detecting an already-stored identical threat
     /// under the identical-once policy (§5.5.1).
     pub threat_dedup_read: SimDuration,
+    /// One exponential-backoff unit waited by the replication ship
+    /// path when a backup install fails (retries wait 1, 2, 4, …
+    /// units).
+    pub ship_retry_backoff: SimDuration,
+    /// Replaying one journal entry while a crashed node restarts from
+    /// its persisted store.
+    pub wal_replay_per_entry: SimDuration,
+    /// Virtual time an in-doubt transaction (coordinator crashed
+    /// between prepare and commit) waits before the presumed-abort
+    /// recovery fires.
+    pub in_doubt_timeout: SimDuration,
 }
 
 impl Default for CostModel {
@@ -85,6 +96,9 @@ impl Default for CostModel {
             threat_link_fixed: SimDuration::from_micros(60_000),
             threat_scan_per_identity: SimDuration::from_micros(250),
             threat_dedup_read: SimDuration::from_micros(2_500),
+            ship_retry_backoff: SimDuration::from_micros(1_000),
+            wal_replay_per_entry: SimDuration::from_micros(350),
+            in_doubt_timeout: SimDuration::from_micros(250_000),
         }
     }
 }
@@ -108,6 +122,9 @@ impl CostModel {
             threat_link_fixed: SimDuration::ZERO,
             threat_scan_per_identity: SimDuration::ZERO,
             threat_dedup_read: SimDuration::ZERO,
+            ship_retry_backoff: SimDuration::ZERO,
+            wal_replay_per_entry: SimDuration::ZERO,
+            in_doubt_timeout: SimDuration::ZERO,
         }
     }
 

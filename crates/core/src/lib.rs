@@ -79,7 +79,8 @@ pub use ccm::{
     CallInfo, Ccm, CcmStats, NegotiationTiming, PendingCheck, ReplicaAccess, ValidationVerdict,
 };
 pub use cluster::{
-    getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo, StatsSnapshot,
+    getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo, InDoubtTx,
+    StatsSnapshot,
 };
 pub use costs::CostModel;
 pub use negotiation::{negotiate, NegotiationHandler, NegotiationPath, ThreatDecision};

@@ -86,6 +86,12 @@ impl<M: Clone> Router<M> {
         &self.stats
     }
 
+    /// Mutable access to the latency model — fault injectors use this
+    /// to open loss windows or spike link latencies mid-run.
+    pub fn latency_mut(&mut self) -> &mut LatencyModel {
+        &mut self.latency
+    }
+
     /// The shared clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -100,11 +106,14 @@ impl<M: Clone> Router<M> {
     /// (counted in [`NetStats::dropped`]); this mirrors real message
     /// loss, which the sender does not observe either.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) -> Result<()> {
+        // Every attempt is counted in `sent`; rejected-unreachable
+        // attempts additionally bump `unreachable` so
+        // [`NetStats::in_flight`] still drains to zero at quiescence.
+        self.stats.sent += 1;
         if !self.topology.reachable(from, to) {
             self.stats.unreachable += 1;
             return Err(Error::NodeUnreachable(to));
         }
-        self.stats.sent += 1;
         if self.latency.next_loss() {
             self.stats.dropped += 1;
             return Ok(());
@@ -264,6 +273,25 @@ mod tests {
         let delivered = r.deliver_all();
         assert!(delivered.is_empty());
         assert_eq!(r.stats().dropped, 1);
+    }
+
+    #[test]
+    fn quiesce_drains_in_flight_to_zero_despite_unreachable() {
+        let mut r = router(3, 100);
+        r.send(NodeId(0), NodeId(1), 1).unwrap();
+        r.send(NodeId(0), NodeId(2), 2).unwrap();
+        r.topology_mut().split(&[&[0], &[1, 2]]);
+        // Rejected at send time: counted as sent + unreachable.
+        assert!(r.send(NodeId(0), NodeId(1), 3).is_err());
+        let _ = r.deliver_all(); // drops the two in-flight messages
+        let stats = *r.stats();
+        assert_eq!(stats.sent, 3);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.unreachable, 1);
+        assert_eq!(stats.in_flight(), 0, "quiesce must drain to zero");
+        assert!(stats.is_quiescent());
+        assert!(stats.is_conserved());
     }
 
     #[test]

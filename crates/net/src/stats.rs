@@ -17,8 +17,30 @@ pub struct NetStats {
 
 impl NetStats {
     /// Messages still unaccounted for (in flight).
+    ///
+    /// Every send *attempt* is counted in [`NetStats::sent`], including
+    /// attempts rejected because the destination was unreachable. Those
+    /// rejected sends are never delivered and never dropped in flight,
+    /// so they must be excluded here or `in_flight` would never drain
+    /// back to zero after a partition. The subtraction saturates so a
+    /// torn-down counter set can never underflow.
     pub fn in_flight(&self) -> u64 {
-        self.sent - self.delivered - self.dropped
+        self.sent
+            .saturating_sub(self.delivered + self.dropped + self.unreachable)
+    }
+
+    /// True when every accepted message has been accounted for
+    /// (delivered, dropped or rejected) — the quiescent state.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Conservation check: `sent >= delivered + dropped + unreachable`.
+    ///
+    /// A violation means a counter was incremented out of order (e.g. a
+    /// delivery recorded for a message that was never sent).
+    pub fn is_conserved(&self) -> bool {
+        self.sent >= self.delivered + self.dropped + self.unreachable
     }
 }
 
@@ -44,7 +66,37 @@ mod tests {
             dropped: 1,
             unreachable: 2,
         };
-        assert_eq!(stats.in_flight(), 3);
+        // Unreachable attempts are counted in `sent` but will never be
+        // delivered or dropped; they must not be treated as in flight.
+        assert_eq!(stats.in_flight(), 1);
+        assert!(stats.is_conserved());
         assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn in_flight_saturates_instead_of_underflowing() {
+        let stats = NetStats {
+            sent: 1,
+            delivered: 1,
+            dropped: 0,
+            unreachable: 1,
+        };
+        assert_eq!(stats.in_flight(), 0);
+        assert!(!stats.is_conserved());
+    }
+
+    #[test]
+    fn quiesce_drains_to_zero_with_unreachable_rejections() {
+        // Regression: before the fix, rejected-unreachable sends were
+        // counted in `sent` but never delivered nor dropped, so
+        // `in_flight` never drained back to zero.
+        let stats = NetStats {
+            sent: 5,
+            delivered: 3,
+            dropped: 1,
+            unreachable: 1,
+        };
+        assert!(stats.is_quiescent());
+        assert_eq!(stats.in_flight(), 0);
     }
 }

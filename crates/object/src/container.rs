@@ -1,8 +1,12 @@
 //! Per-node entity storage with transactional write buffering.
 
 use crate::{AppDescriptor, EntityState};
+use dedisys_store::{TableStore, WriteAheadLog};
 use dedisys_types::{ClassName, Error, ObjectId, Result, SimTime, TxId, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Journal table holding committed entity snapshots.
+const JOURNAL_TABLE: &str = "entities";
 
 /// Operation counters of a container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,11 +38,19 @@ struct TxBuffer {
 /// on [`EntityContainer::commit`]; [`EntityContainer::rollback`]
 /// discards them — giving the "A" and "I" of the AID transactions the
 /// balancing approach builds upon (Figure 1.2).
+///
+/// Every change to the committed state is additionally appended to a
+/// per-node write-ahead *journal*. The journal models the node's
+/// durable disk: [`EntityContainer::crash_volatile`] wipes the
+/// committed map and every transaction buffer (volatile memory) while
+/// keeping the journal, and [`EntityContainer::recover_from_journal`]
+/// replays it to reconstruct the committed state after a restart.
 #[derive(Debug, Clone)]
 pub struct EntityContainer {
     app: AppDescriptor,
     committed: BTreeMap<ObjectId, EntityState>,
     buffers: HashMap<TxId, TxBuffer>,
+    journal: WriteAheadLog,
     stats: ContainerStats,
 }
 
@@ -49,6 +61,7 @@ impl EntityContainer {
             app: app.clone(),
             committed: BTreeMap::new(),
             buffers: HashMap::new(),
+            journal: WriteAheadLog::new(),
             stats: ContainerStats::default(),
         }
     }
@@ -190,12 +203,14 @@ impl EntityContainer {
                 self.stats.creates += 1;
             }
             written.push(id.clone());
+            self.journal_put(&entity);
             self.committed.insert(id, entity);
         }
         let mut deleted: Vec<ObjectId> = buffer.deleted.into_iter().collect();
         deleted.sort();
         for id in &deleted {
             self.stats.deletes += 1;
+            self.journal.append_delete(JOURNAL_TABLE, id.to_string());
             self.committed.remove(id);
         }
         (written, deleted)
@@ -221,14 +236,63 @@ impl EntityContainer {
 
     /// Directly installs a committed state, bypassing transactions —
     /// used by the replication service when applying propagated updates
-    /// to backup replicas.
+    /// to backup replicas. The install is journalled so a crashed
+    /// backup recovers the replicated state too.
     pub fn install_committed(&mut self, entity: EntityState) {
+        self.journal_put(&entity);
         self.committed.insert(entity.id().clone(), entity);
     }
 
     /// Directly removes a committed entity (propagated delete).
     pub fn remove_committed(&mut self, id: &ObjectId) -> Option<EntityState> {
-        self.committed.remove(id)
+        let removed = self.committed.remove(id);
+        if removed.is_some() {
+            self.journal.append_delete(JOURNAL_TABLE, id.to_string());
+        }
+        removed
+    }
+
+    fn journal_put(&mut self, entity: &EntityState) {
+        let json = entity
+            .to_json()
+            .expect("entity state serializes to journal");
+        self.journal.append_put(JOURNAL_TABLE, entity.id().to_string(), json);
+    }
+
+    /// Number of entries in the durable journal.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Simulates a node crash: wipes the committed map and every
+    /// transaction buffer (volatile memory), keeping the journal (the
+    /// node's durable disk). Returns the number of transaction buffers
+    /// that were lost.
+    pub fn crash_volatile(&mut self) -> usize {
+        let lost = self.buffers.len();
+        self.buffers.clear();
+        self.committed.clear();
+        lost
+    }
+
+    /// Replays the durable journal to reconstruct the committed state
+    /// after [`EntityContainer::crash_volatile`]. Returns the number of
+    /// journal entries replayed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persistence`] if a journal record fails to
+    /// deserialize (corrupted journal).
+    pub fn recover_from_journal(&mut self) -> Result<u64> {
+        let mut table = TableStore::new();
+        self.journal.replay_into(&mut table);
+        let replayed = self.journal.len() as u64;
+        self.committed.clear();
+        for (_key, record) in table.scan(JOURNAL_TABLE) {
+            let entity = EntityState::from_json(record)?;
+            self.committed.insert(entity.id().clone(), entity);
+        }
+        Ok(replayed)
     }
 
     /// All committed entities of `class`, in id order (query
@@ -240,6 +304,12 @@ impl EntityContainer {
         self.committed
             .values()
             .filter(move |e| e.id().class() == class)
+    }
+
+    /// All committed object ids, in sorted order — convergence checks
+    /// compare these across replicas after heal + reconcile.
+    pub fn committed_ids(&self) -> impl Iterator<Item = &ObjectId> + '_ {
+        self.committed.keys()
     }
 
     /// Number of committed entities.
@@ -364,6 +434,54 @@ mod tests {
         );
         assert!(c.remove_committed(&id).is_some());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn crash_loses_volatile_state_but_journal_recovers_committed() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.write_field(tx(1), &id, "seats", Value::Int(80), t0())
+            .unwrap();
+        c.commit(tx(1));
+        // An uncommitted transaction is buffered when the crash hits.
+        let id2 = flight(&mut c, tx(2), "F2");
+        assert!(c.has_pending(tx(2)));
+
+        let lost = c.crash_volatile();
+        assert_eq!(lost, 1, "one open buffer lost");
+        assert!(c.is_empty(), "committed map wiped");
+        assert!(c.journal_len() > 0, "journal survives the crash");
+
+        let replayed = c.recover_from_journal().unwrap();
+        assert!(replayed >= 1);
+        assert_eq!(
+            c.committed_entity(&id).unwrap().field("seats"),
+            &Value::Int(80)
+        );
+        // The buffered-but-uncommitted create is gone for good.
+        assert!(c.committed_entity(&id2).is_none());
+    }
+
+    #[test]
+    fn journal_tracks_deletes_and_installs() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.commit(tx(1));
+        c.delete(tx(2), &id).unwrap();
+        c.commit(tx(2));
+        // Replication-path install is journalled too.
+        let other = ObjectId::new("Flight", "F9");
+        let mut e = EntityState::for_class(&app(), &other).unwrap();
+        e.set_field("seats", Value::Int(7), t0());
+        c.install_committed(e);
+
+        c.crash_volatile();
+        c.recover_from_journal().unwrap();
+        assert!(c.committed_entity(&id).is_none(), "delete replayed");
+        assert_eq!(
+            c.committed_entity(&other).unwrap().field("seats"),
+            &Value::Int(7)
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod manager;
 mod protocol;
 mod reconcile;
 
-pub use manager::{PropagationReport, ReplStats, ReplicationManager};
+pub use manager::{PropagationReport, ReplStats, ReplicationManager, MAX_SHIP_ATTEMPTS};
 pub use protocol::ProtocolKind;
 pub use reconcile::{
     HighestVersionWins, ReconcileReport, ReplicaConflict, ReplicaConsistencyHandler,

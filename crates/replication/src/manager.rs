@@ -18,6 +18,10 @@ struct Placement {
     primary: NodeId,
 }
 
+/// Upper bound on install attempts per backup on the ship path (one
+/// initial try plus bounded retries with exponential backoff).
+pub const MAX_SHIP_ATTEMPTS: u32 = 4;
+
 /// Result of one synchronous update propagation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PropagationReport {
@@ -26,6 +30,15 @@ pub struct PropagationReport {
     /// Point-to-point messages exchanged (update + confirmation per
     /// recipient — the protocol propagates synchronously, §4.3).
     pub messages: u64,
+    /// Install retries performed after injected write failures.
+    pub retries: u64,
+    /// Total exponential-backoff units waited (1 + 2 + 4 + … per
+    /// retried backup).
+    pub backoff_units: u64,
+    /// Backups that could not be reached within the retry budget (or
+    /// were skipped due to injected replica lag); they are recorded as
+    /// degraded writes so reconciliation converges them later.
+    pub failed: Vec<NodeId>,
 }
 
 /// Counters kept by the manager.
@@ -41,6 +54,12 @@ pub struct ReplStats {
     pub conflicts: u64,
     /// Missed updates pushed during reconciliation.
     pub missed_updates: u64,
+    /// Backup installs retried after injected write failures.
+    pub ship_retries: u64,
+    /// Backup installs abandoned after exhausting the retry budget.
+    pub ship_failures: u64,
+    /// Propagations skipped on a backup due to injected replica lag.
+    pub lagged_skips: u64,
 }
 
 /// The replication service of a cluster.
@@ -59,6 +78,12 @@ pub struct ReplicationManager {
     /// Intermediate states applied during degraded mode, keyed
     /// `object|partition`, enabling rollback during reconciliation.
     history: VersionHistory,
+    /// Injected store write-failure windows: remaining failing install
+    /// attempts per backup node (chaos engine fault).
+    write_faults: BTreeMap<NodeId, u32>,
+    /// Injected replica lag: number of upcoming propagations each
+    /// backup node silently misses (chaos engine fault).
+    lag: BTreeMap<NodeId, u32>,
     stats: ReplStats,
     telemetry: Option<Telemetry>,
 }
@@ -72,9 +97,39 @@ impl ReplicationManager {
             placements: HashMap::new(),
             degraded_writes: BTreeMap::new(),
             history: VersionHistory::new(),
+            write_faults: BTreeMap::new(),
+            lag: BTreeMap::new(),
             stats: ReplStats::default(),
             telemetry: None,
         }
+    }
+
+    /// Injects a store write-failure window on `node`: the next
+    /// `failures` backup-install attempts on that node fail, forcing
+    /// the ship path into bounded retry with exponential backoff.
+    pub fn inject_write_fault(&mut self, node: NodeId, failures: u32) {
+        if failures > 0 {
+            *self.write_faults.entry(node).or_insert(0) += failures;
+        }
+    }
+
+    /// Injects replica lag on `node`: the next `updates` propagations
+    /// skip that backup entirely; the missed states are recorded as
+    /// degraded writes so reconciliation converges the replica later.
+    pub fn inject_replica_lag(&mut self, node: NodeId, updates: u32) {
+        if updates > 0 {
+            *self.lag.entry(node).or_insert(0) += updates;
+        }
+    }
+
+    /// Remaining injected write failures on `node`.
+    pub fn pending_write_faults(&self, node: NodeId) -> u32 {
+        self.write_faults.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Remaining injected lag window on `node`.
+    pub fn pending_lag(&self, node: NodeId) -> u32 {
+        self.lag.get(&node).copied().unwrap_or(0)
     }
 
     /// Wires a telemetry bus; `replication_update` and `staleness_hit`
@@ -244,6 +299,15 @@ impl ReplicationManager {
     /// Synchronously propagates the committed state of `object` from
     /// `executed_on` to every reachable backup replica, recording
     /// degraded-mode bookkeeping when partitions are present.
+    ///
+    /// Injected faults harden the ship path: a backup inside a *write-
+    /// failure window* (see [`ReplicationManager::inject_write_fault`])
+    /// rejects installs, which are retried up to [`MAX_SHIP_ATTEMPTS`]
+    /// times with exponential backoff (1, 2, 4, … units); a *lagged*
+    /// backup ([`ReplicationManager::inject_replica_lag`]) silently
+    /// misses the propagation. Backups that miss the update either way
+    /// are recorded as degraded writes so the reconciliation phase
+    /// converges them once the fault clears.
     pub fn propagate_update(
         &mut self,
         object: &ObjectId,
@@ -256,21 +320,68 @@ impl ReplicationManager {
         let state = containers[executed_on.index()]
             .committed_entity(object)
             .cloned();
-        let recipients = self.reachable_backups(object, executed_on, topology);
-        match &state {
-            Some(state) => {
-                for &r in &recipients {
-                    containers[r.index()].install_committed(state.clone());
+        let candidates = self.reachable_backups(object, executed_on, topology);
+        let mut recipients = Vec::new();
+        let mut failed = Vec::new();
+        let mut messages = 0u64;
+        let mut retries = 0u64;
+        let mut backoff_units = 0u64;
+        for r in candidates {
+            // Replica lag: the backup misses this propagation entirely.
+            if let Some(remaining) = self.lag.get_mut(&r) {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.lag.remove(&r);
+                }
+                self.stats.lagged_skips += 1;
+                failed.push(r);
+                continue;
+            }
+            // Store write-failure window: attempts fail while fault
+            // budget remains; retry with exponential backoff, bounded.
+            let faults = self.write_faults.get(&r).copied().unwrap_or(0);
+            let failing = faults.min(MAX_SHIP_ATTEMPTS);
+            if failing > 0 {
+                let left = self.write_faults.get_mut(&r).expect("fault entry");
+                *left -= failing;
+                if *left == 0 {
+                    self.write_faults.remove(&r);
+                }
+                // One message per failed attempt (update sent, no
+                // confirmation), backoff doubling before each retry.
+                messages += u64::from(failing);
+                let node_retries = u64::from(failing.min(MAX_SHIP_ATTEMPTS - 1));
+                retries += node_retries;
+                self.stats.ship_retries += node_retries;
+                let node_backoff = (1u64 << node_retries) - 1;
+                backoff_units += node_backoff;
+                let succeeded = failing < MAX_SHIP_ATTEMPTS;
+                if let Some(t) = &self.telemetry {
+                    t.metrics().add("replication.ship_retries", node_retries);
+                    t.emit(|| TraceEvent::ReplicaShipRetry {
+                        object: object.to_string(),
+                        backup: r,
+                        attempts: failing + u32::from(succeeded),
+                        backoff_units: node_backoff,
+                        succeeded,
+                    });
+                }
+                if !succeeded {
+                    self.stats.ship_failures += 1;
+                    failed.push(r);
+                    continue;
                 }
             }
-            None => {
+            match &state {
+                Some(state) => containers[r.index()].install_committed(state.clone()),
                 // The object was deleted on the executing node.
-                for &r in &recipients {
+                None => {
                     containers[r.index()].remove_committed(object);
                 }
             }
+            messages += 2; // update + confirmation
+            recipients.push(r);
         }
-        let messages = recipients.len() as u64 * 2; // update + confirmation
         self.stats.messages += messages;
         let degraded = !topology.is_healthy();
         if let Some(t) = &self.telemetry {
@@ -285,7 +396,7 @@ impl ReplicationManager {
             });
         }
 
-        if !topology.is_healthy() {
+        if !topology.is_healthy() || !failed.is_empty() {
             self.stats.degraded_writes += 1;
             let pkey = partition_key(executed_on, topology);
             self.degraded_writes
@@ -302,6 +413,9 @@ impl ReplicationManager {
         PropagationReport {
             recipients,
             messages,
+            retries,
+            backoff_units,
+            failed,
         }
     }
 
@@ -465,6 +579,65 @@ mod tests {
         cs[0].commit(tx);
         m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
         assert!(cs[1].committed_entity(&obj()).is_none());
+    }
+
+    #[test]
+    fn write_fault_window_retries_with_backoff() {
+        let mut m = mgr(2);
+        let topo = Topology::fully_connected(2);
+        let mut cs = containers(2);
+        seed(&mut cs, 0, 80);
+        m.inject_write_fault(NodeId(1), 2); // two failures, then success
+        let report = m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert_eq!(report.recipients, vec![NodeId(1)]);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.backoff_units, 3); // 1 + 2
+        assert!(report.failed.is_empty());
+        assert_eq!(m.stats().ship_retries, 2);
+        assert_eq!(
+            cs[1].committed_entity(&obj()).unwrap().field("seats"),
+            &Value::Int(80)
+        );
+        assert_eq!(m.pending_write_faults(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_defers_to_reconciliation() {
+        let mut m = mgr(2);
+        let topo = Topology::fully_connected(2);
+        let mut cs = containers(2);
+        seed(&mut cs, 0, 80);
+        m.inject_write_fault(NodeId(1), 10);
+        let report = m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert!(report.recipients.is_empty());
+        assert_eq!(report.failed, vec![NodeId(1)]);
+        assert_eq!(m.stats().ship_failures, 1);
+        assert!(cs[1].committed_entity(&obj()).is_none());
+        assert!(
+            m.is_degraded_tracked(&obj()),
+            "missed install tracked for reconciliation"
+        );
+        // One bounded burst of MAX_SHIP_ATTEMPTS consumed.
+        assert_eq!(m.pending_write_faults(NodeId(1)), 10 - MAX_SHIP_ATTEMPTS);
+    }
+
+    #[test]
+    fn replica_lag_skips_backup_until_window_closes() {
+        let mut m = mgr(3);
+        let topo = Topology::fully_connected(3);
+        let mut cs = containers(3);
+        seed(&mut cs, 0, 80);
+        m.inject_replica_lag(NodeId(2), 1);
+        let report = m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert_eq!(report.recipients, vec![NodeId(1)]);
+        assert_eq!(report.failed, vec![NodeId(2)]);
+        assert_eq!(m.stats().lagged_skips, 1);
+        assert!(cs[2].committed_entity(&obj()).is_none());
+        assert!(m.is_degraded_tracked(&obj()));
+        // Window consumed: the next propagation reaches node 2 again.
+        let report = m.propagate_update(&obj(), NodeId(0), &topo, &mut cs, SimTime::ZERO);
+        assert!(report.failed.is_empty());
+        assert!(cs[2].committed_entity(&obj()).is_some());
     }
 
     #[test]

@@ -276,6 +276,63 @@ pub enum TraceEvent {
         /// Identities whose histories were folded.
         retained: u64,
     },
+    /// A chaos-engine fault step was injected into the running cluster.
+    ChaosFault {
+        /// Zero-based step index within the fault plan.
+        step: u32,
+        /// Short, stable description of the fault (e.g. `crash(2)`).
+        fault: String,
+    },
+    /// A node crashed: volatile state torn down, persistent log kept.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+        /// Active transactions aborted by the crash.
+        aborted_txs: u32,
+        /// Prepared transactions left in doubt by the crash.
+        in_doubt_txs: u32,
+    },
+    /// A crashed node restarted: log replayed, threats re-activated,
+    /// node rejoined via GMS.
+    NodeRestart {
+        /// The restarted node.
+        node: NodeId,
+        /// Committed-state journal entries replayed.
+        replayed_entries: u64,
+        /// Persisted consistency threats re-activated (§5.5.1).
+        reactivated_threats: u64,
+    },
+    /// A prepared transaction became in-doubt: its coordinator crashed
+    /// between prepare and commit.
+    TwoPcInDoubt {
+        /// The in-doubt transaction.
+        tx: TxId,
+        /// The crashed coordinator.
+        coordinator: NodeId,
+    },
+    /// An in-doubt transaction was resolved by the recovery protocol.
+    TwoPcResolved {
+        /// The transaction.
+        tx: TxId,
+        /// `true` when resolved by presumed abort; `false` when the
+        /// restarted coordinator decided commit.
+        presumed_abort: bool,
+    },
+    /// The replication ship path retried a backup install after an
+    /// injected write failure, with exponential backoff.
+    ReplicaShipRetry {
+        /// The object being shipped.
+        object: String,
+        /// The faulty backup node.
+        backup: NodeId,
+        /// Attempts consumed (including the final one).
+        attempts: u32,
+        /// Total backoff charged, in abstract backoff units
+        /// (1 + 2 + 4 + …).
+        backoff_units: u64,
+        /// Whether the install ultimately succeeded.
+        succeeded: bool,
+    },
 }
 
 impl TraceEvent {
@@ -301,6 +358,12 @@ impl TraceEvent {
             TraceEvent::ReconcileConstraintPhase { .. } => "reconcile_constraint_phase",
             TraceEvent::ReconcileSkipped { .. } => "reconcile_skipped",
             TraceEvent::ThreatCompaction { .. } => "threat_compaction",
+            TraceEvent::ChaosFault { .. } => "chaos_fault",
+            TraceEvent::NodeCrash { .. } => "node_crash",
+            TraceEvent::NodeRestart { .. } => "node_restart",
+            TraceEvent::TwoPcInDoubt { .. } => "two_pc_in_doubt",
+            TraceEvent::TwoPcResolved { .. } => "two_pc_resolved",
+            TraceEvent::ReplicaShipRetry { .. } => "replica_ship_retry",
         }
     }
 }

@@ -78,6 +78,13 @@ impl LockTable {
         before - self.locks.len()
     }
 
+    /// Iterates over every held lock as `(object, holder)` pairs — used
+    /// by invariant checkers to detect orphaned locks (locks held by a
+    /// transaction that already terminated).
+    pub fn holders(&self) -> impl Iterator<Item = (&ObjectId, TxId)> + '_ {
+        self.locks.iter().map(|(o, &tx)| (o, tx))
+    }
+
     /// Number of held locks.
     pub fn len(&self) -> usize {
         self.locks.len()

@@ -10,6 +10,10 @@ use std::collections::HashMap;
 pub enum TxStatus {
     /// Running; operations may be performed.
     Active,
+    /// Phase 1 of 2PC succeeded; the outcome is pending phase 2. If the
+    /// coordinator crashes now the transaction is *in doubt* and must
+    /// be resolved by the recovery protocol (presumed abort).
+    Prepared,
     /// Successfully committed.
     Committed,
     /// Rolled back (explicitly, by veto, or by 2PC failure).
@@ -91,6 +95,42 @@ impl TransactionManager {
         self.status(tx) == Some(TxStatus::Active)
     }
 
+    /// Whether `tx` is prepared (awaiting phase 2 of 2PC).
+    pub fn is_prepared(&self, tx: TxId) -> bool {
+        self.status(tx) == Some(TxStatus::Prepared)
+    }
+
+    /// Number of transactions that are still open (active or
+    /// prepared) — used by invariant checkers to assert transaction
+    /// conservation: `begun == committed + rolled_back + open`.
+    pub fn open_count(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| matches!(r.status, TxStatus::Active | TxStatus::Prepared))
+            .count()
+    }
+
+    /// Moves an active transaction to [`TxStatus::Prepared`] after a
+    /// successful phase 1 of 2PC.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoSuchTransaction`] — unknown or terminated.
+    /// * [`Error::RollbackOnly`] — the transaction was vetoed; it is
+    ///   rolled back as a side effect (a vetoed transaction can never
+    ///   vote yes).
+    pub fn mark_prepared(&mut self, tx: TxId) -> Result<()> {
+        let record = self.active_record(tx)?;
+        if record.rollback_only {
+            record.status = TxStatus::RolledBack;
+            self.stats.rolled_back += 1;
+            self.emit(|| TraceEvent::TxRollback { tx });
+            return Err(Error::RollbackOnly(tx));
+        }
+        record.status = TxStatus::Prepared;
+        Ok(())
+    }
+
     /// Marks `tx` rollback-only: any later commit attempt fails and
     /// rolls back instead. This is how the CCMgr vetoes transactions
     /// whose constraints are violated (§4.2.3).
@@ -144,11 +184,12 @@ impl TransactionManager {
         Ok(())
     }
 
-    /// Marks an active, vetoed transaction as rolled back without an
-    /// explicit `rollback` call — used when 2PC aborts.
+    /// Marks an active or prepared transaction as rolled back without
+    /// an explicit `rollback` call — used when 2PC aborts and when the
+    /// in-doubt recovery protocol presumes abort.
     pub fn force_rollback(&mut self, tx: TxId) {
         if let Some(record) = self.records.get_mut(&tx) {
-            if record.status == TxStatus::Active {
+            if matches!(record.status, TxStatus::Active | TxStatus::Prepared) {
                 record.status = TxStatus::RolledBack;
                 self.stats.rolled_back += 1;
                 if let Some(t) = &self.telemetry {
@@ -163,9 +204,10 @@ impl TransactionManager {
         self.stats
     }
 
+    /// A record that is still open (active or prepared).
     fn active_record(&mut self, tx: TxId) -> Result<&mut TxRecord> {
         match self.records.get_mut(&tx) {
-            Some(r) if r.status == TxStatus::Active => Ok(r),
+            Some(r) if matches!(r.status, TxStatus::Active | TxStatus::Prepared) => Ok(r),
             _ => Err(Error::NoSuchTransaction(tx)),
         }
     }
@@ -212,6 +254,34 @@ mod tests {
         let c = tm.begin(NodeId(1));
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prepared_lifecycle_commits_or_presumes_abort() {
+        let mut tm = TransactionManager::new();
+        let tx = tm.begin(NodeId(0));
+        tm.mark_prepared(tx).unwrap();
+        assert!(tm.is_prepared(tx));
+        assert!(!tm.is_active(tx));
+        assert_eq!(tm.open_count(), 1);
+        // Phase 2 commit succeeds from Prepared.
+        tm.commit(tx).unwrap();
+        assert_eq!(tm.status(tx), Some(TxStatus::Committed));
+        assert_eq!(tm.open_count(), 0);
+        // Presumed abort rolls back a prepared transaction.
+        let tx2 = tm.begin(NodeId(1));
+        tm.mark_prepared(tx2).unwrap();
+        tm.force_rollback(tx2);
+        assert_eq!(tm.status(tx2), Some(TxStatus::RolledBack));
+    }
+
+    #[test]
+    fn vetoed_transaction_cannot_prepare() {
+        let mut tm = TransactionManager::new();
+        let tx = tm.begin(NodeId(0));
+        tm.set_rollback_only(tx).unwrap();
+        assert_eq!(tm.mark_prepared(tx), Err(Error::RollbackOnly(tx)));
+        assert_eq!(tm.status(tx), Some(TxStatus::RolledBack));
     }
 
     #[test]

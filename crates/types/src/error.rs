@@ -63,6 +63,15 @@ pub enum Error {
     },
     /// The target node is not reachable from the caller's partition.
     NodeUnreachable(NodeId),
+    /// The node id does not exist in the cluster topology.
+    UnknownNode(NodeId),
+    /// The node id appears more than once in a topology description.
+    DuplicateNode(NodeId),
+    /// The node has crashed and cannot serve requests until restarted.
+    NodeCrashed(NodeId),
+    /// A transaction whose coordinator crashed between prepare and
+    /// commit; its outcome is unknown until in-doubt resolution runs.
+    TxInDoubt(TxId),
     /// A quorum could not be assembled (adaptive voting protocol).
     NoQuorum {
         /// The object for which the quorum was requested.
@@ -109,6 +118,14 @@ impl fmt::Display for Error {
                 write!(f, "lock on {object} held by {holder}")
             }
             Error::NodeUnreachable(n) => write!(f, "node {n} unreachable"),
+            Error::UnknownNode(n) => write!(f, "node {n} does not exist in the cluster"),
+            Error::DuplicateNode(n) => {
+                write!(f, "node {n} appears more than once in the topology")
+            }
+            Error::NodeCrashed(n) => write!(f, "node {n} has crashed"),
+            Error::TxInDoubt(tx) => {
+                write!(f, "transaction {tx} is in doubt (coordinator crashed)")
+            }
             Error::NoQuorum {
                 object,
                 available,

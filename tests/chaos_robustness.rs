@@ -1,0 +1,327 @@
+//! Robustness integration tests: the seeded chaos engine, the node
+//! crash/restart lifecycle, 2PC in-doubt recovery (presumed abort),
+//! §5.5.1 threat re-activation, and the typed topology error paths.
+
+use dedisys_chaos::{ChaosConfig, ChaosEngine, FaultPlan, FaultStep};
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{Cluster, ClusterBuilder, CostModel, DeferAll, HighestVersionWins};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{Error, NodeId, ObjectId, SatisfactionDegree, TxId, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("robust").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("max", Value::Int(100)),
+    )
+}
+
+fn bounded_constraint() -> RegisteredConstraint {
+    RegisteredConstraint::new(
+        ConstraintMeta::new("Bounded").tradeable(SatisfactionDegree::PossiblySatisfied),
+        Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+    )
+    .context_class("Counter")
+    .affects("Counter", "setN", ContextPreparation::CalledObject)
+}
+
+fn cluster(nodes: u32) -> Cluster {
+    ClusterBuilder::new(nodes, app()).build().unwrap()
+}
+
+fn seed_object(cluster: &mut Cluster) -> ObjectId {
+    let id = ObjectId::new("Counter", "c1");
+    let node = NodeId(0);
+    let e = id.clone();
+    cluster
+        .run_tx(node, move |c, tx| {
+            c.create(node, tx, EntityState::for_class(c.app(), &e)?)
+        })
+        .unwrap();
+    id
+}
+
+/// Begins a transaction on `node`, updates the object, and drives it
+/// through the prepare phase, leaving a prepared (hanging) 2PC
+/// coordinator — the setup of every in-doubt scenario.
+fn prepare_hanging_tx(cluster: &mut Cluster, node: NodeId, id: &ObjectId) -> TxId {
+    let tx = cluster.begin(node);
+    cluster
+        .set_field(node, tx, id, "n", Value::Int(7))
+        .unwrap();
+    cluster.prepare(tx).unwrap();
+    tx
+}
+
+// ---------------------------------------------------------------------
+// 2PC in-doubt recovery
+// ---------------------------------------------------------------------
+
+/// Regression — a coordinator crash between prepare and commit used to
+/// leave the transaction's locks held forever. Now the transaction
+/// parks in the in-doubt registry (blocking both commit and rollback),
+/// and the presumed-abort timeout releases everything.
+#[test]
+fn crash_during_prepare_parks_in_doubt_and_presumed_abort_releases_locks() {
+    let mut c = cluster(3);
+    let id = seed_object(&mut c);
+    let tx = prepare_hanging_tx(&mut c, NodeId(1), &id);
+    assert_eq!(c.held_locks().len(), 1, "prepared tx holds its lock");
+
+    c.crash(NodeId(1)).unwrap();
+    assert_eq!(c.in_doubt_count(), 1);
+    assert!(c.tx_is_open(tx), "in-doubt stays open until resolution");
+    assert_eq!(
+        c.held_locks().len(),
+        1,
+        "in-doubt locks are retained, not leaked to nobody"
+    );
+    // The outcome is unknowable: neither commit nor rollback may run.
+    assert!(matches!(c.commit(tx), Err(Error::TxInDoubt(t)) if t == tx));
+    assert!(matches!(c.rollback(tx), Err(Error::TxInDoubt(t)) if t == tx));
+
+    // Before the timeout nothing resolves…
+    assert_eq!(c.resolve_in_doubt(), 0);
+    // …after it, presumed abort drains the registry and the locks.
+    c.clock().advance(CostModel::default().in_doubt_timeout);
+    assert_eq!(c.resolve_in_doubt(), 1);
+    assert_eq!(c.in_doubt_count(), 0);
+    assert_eq!(c.open_tx_count(), 0, "no open transaction survives");
+    assert!(c.held_locks().is_empty(), "lock leak after presumed abort");
+    assert_eq!(c.in_doubt_resolved(), 1);
+
+    // The object is writable again by the survivors.
+    c.run_tx(NodeId(0), |c, tx| {
+        c.set_field(NodeId(0), tx, &id, "n", Value::Int(3))
+    })
+    .unwrap();
+    assert_eq!(
+        c.entity_on(NodeId(0), &id).unwrap().field("n"),
+        &Value::Int(3)
+    );
+}
+
+/// Coordinator restart resolves its in-doubt transactions immediately
+/// (no commit record survived the crash ⇒ presumed abort), and the
+/// journal replay restores the node's committed state.
+#[test]
+fn coordinator_restart_presumes_abort_and_replays_journal() {
+    let mut c = cluster(3);
+    let id = seed_object(&mut c);
+    prepare_hanging_tx(&mut c, NodeId(1), &id);
+
+    c.crash(NodeId(1)).unwrap();
+    assert!(c.is_crashed(NodeId(1)));
+    assert_eq!(c.in_doubt_count(), 1);
+    assert!(c.journal_len_on(NodeId(1)) > 0, "journal survives the crash");
+
+    c.restart(NodeId(1)).unwrap();
+    assert!(!c.is_crashed(NodeId(1)));
+    assert_eq!(c.in_doubt_count(), 0, "restart resolves own in-doubt txs");
+    assert!(c.held_locks().is_empty());
+    assert_eq!(c.in_doubt_resolved(), 1);
+    // Journal replay restored the committed object; the prepared (never
+    // committed) update is gone.
+    assert_eq!(
+        c.entity_on(NodeId(1), &id).unwrap().field("n"),
+        &Value::Int(0),
+        "uncommitted update must not survive presumed abort"
+    );
+    assert!(c.topology().is_healthy(), "restarted node rejoined via GMS");
+}
+
+// ---------------------------------------------------------------------
+// §5.5.1 — threat records survive a middleware crash
+// ---------------------------------------------------------------------
+
+#[test]
+fn threat_records_are_reactivated_after_crash_and_restart() {
+    let mut c = ClusterBuilder::new(3, app())
+        .constraint(bounded_constraint())
+        .build()
+        .unwrap();
+    let id = seed_object(&mut c);
+    // A degraded write records a consistency threat.
+    c.partition(&[vec![NodeId(0)], vec![NodeId(1), NodeId(2)]])
+        .unwrap();
+    c.run_tx(NodeId(0), |c, tx| {
+        c.set_field(NodeId(0), tx, &id, "n", Value::Int(9))
+    })
+    .unwrap();
+    let before = c.threats().len();
+    assert!(before > 0, "degraded write should raise a threat");
+
+    c.heal();
+    c.crash(NodeId(2)).unwrap();
+    c.restart(NodeId(2)).unwrap();
+    assert_eq!(
+        c.threats().len(),
+        before,
+        "threats must be re-activated from the WAL after restart (§5.5.1)"
+    );
+    // And reconciliation still converges afterwards.
+    c.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert!(!c.needs_reconciliation());
+}
+
+// ---------------------------------------------------------------------
+// Typed topology / lifecycle error paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn partition_rejects_unknown_duplicate_and_crashed_nodes() {
+    let mut c = cluster(3);
+    assert!(matches!(
+        c.partition(&[vec![NodeId(0), NodeId(9)], vec![NodeId(1), NodeId(2)]]),
+        Err(Error::UnknownNode(NodeId(9)))
+    ));
+    assert!(matches!(
+        c.partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(2)]]),
+        Err(Error::DuplicateNode(NodeId(1)))
+    ));
+    c.crash(NodeId(2)).unwrap();
+    assert!(matches!(
+        c.partition(&[vec![NodeId(0)], vec![NodeId(1), NodeId(2)]]),
+        Err(Error::NodeCrashed(NodeId(2)))
+    ));
+    // Valid splits still work, crashed node excluded.
+    c.partition(&[vec![NodeId(0)], vec![NodeId(1)]]).unwrap();
+}
+
+#[test]
+fn isolate_crash_and_restart_validate_their_node() {
+    let mut c = cluster(2);
+    assert!(matches!(
+        c.isolate(NodeId(7)),
+        Err(Error::UnknownNode(NodeId(7)))
+    ));
+    assert!(matches!(
+        c.crash(NodeId(7)),
+        Err(Error::UnknownNode(NodeId(7)))
+    ));
+    assert!(matches!(
+        c.restart(NodeId(7)),
+        Err(Error::UnknownNode(NodeId(7)))
+    ));
+    assert!(
+        c.restart(NodeId(1)).is_err(),
+        "restarting a live node is refused"
+    );
+    c.crash(NodeId(1)).unwrap();
+    assert!(matches!(
+        c.crash(NodeId(1)),
+        Err(Error::NodeCrashed(NodeId(1)))
+    ));
+    c.restart(NodeId(1)).unwrap();
+}
+
+#[test]
+fn crashed_node_rejects_requests_until_restarted() {
+    let mut c = cluster(3);
+    let id = seed_object(&mut c);
+    c.crash(NodeId(2)).unwrap();
+    let tx = c.begin(NodeId(0));
+    assert!(matches!(
+        c.set_field(NodeId(2), tx, &id, "n", Value::Int(1)),
+        Err(Error::NodeCrashed(NodeId(2)))
+    ));
+    c.rollback(tx).unwrap();
+    c.restart(NodeId(2)).unwrap();
+    c.run_tx(NodeId(2), |c, tx| {
+        c.set_field(NodeId(2), tx, &id, "n", Value::Int(1))
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Explicit chaos schedule — crash mid-2PC inside a full engine run
+// ---------------------------------------------------------------------
+
+#[test]
+fn explicit_schedule_with_mid_2pc_crashes_stays_clean() {
+    let plan = FaultPlan::new()
+        .at(25, FaultStep::Crash(NodeId(1)))
+        .at(60, FaultStep::Partition(vec![
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(3)],
+        ]))
+        .at(90, FaultStep::Restart(NodeId(1)))
+        .at(110, FaultStep::Crash(NodeId(3)))
+        .at(140, FaultStep::Heal)
+        .at(170, FaultStep::WriteFaultWindow {
+            node: NodeId(2),
+            failures: 3,
+        });
+    let report = ChaosEngine::new(ChaosConfig {
+        nodes: 4,
+        ops: 200,
+        seed: 11,
+        ..ChaosConfig::default()
+    })
+    .unwrap()
+    .run_plan(&plan)
+    .unwrap();
+    assert!(report.clean(), "violations: {:?}", report.violations);
+    assert!(report.ops_ok > 0);
+}
+
+// ---------------------------------------------------------------------
+// Property tests — random schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded random schedule leaves every invariant intact, from
+    /// the per-step checks through final convergence.
+    #[test]
+    fn random_chaos_schedules_keep_all_invariants(
+        seed in 0u64..10_000,
+        nodes in 2u32..6,
+        ops in 40u64..140,
+        faults in 4usize..18,
+    ) {
+        let report = ChaosEngine::new(ChaosConfig {
+            seed,
+            nodes,
+            ops,
+            faults,
+            ..ChaosConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        prop_assert!(report.clean(), "seed {seed}: {:?}", report.violations);
+        // After the final repair sequence the ledger balances exactly.
+        let tx = &report.final_stats.tx;
+        prop_assert_eq!(tx.begun, tx.committed + tx.rolled_back);
+    }
+
+    /// A chaos run is a pure function of its seed: equal seeds yield
+    /// identical outcomes along every observable axis.
+    #[test]
+    fn chaos_runs_are_seed_deterministic(seed in 0u64..10_000) {
+        let run = || {
+            ChaosEngine::new(ChaosConfig {
+                seed,
+                ops: 80,
+                faults: 10,
+                ..ChaosConfig::default()
+            })
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.ops_ok, b.ops_ok);
+        prop_assert_eq!(a.ops_failed, b.ops_failed);
+        prop_assert_eq!(a.faults_applied, b.faults_applied);
+        prop_assert_eq!(a.in_doubt_resolved, b.in_doubt_resolved);
+        prop_assert_eq!(a.final_stats.now_ns, b.final_stats.now_ns);
+        prop_assert_eq!(a.final_stats.events_emitted, b.final_stats.events_emitted);
+    }
+}

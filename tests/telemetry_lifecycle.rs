@@ -53,7 +53,9 @@ fn run_lifecycle(cluster: &mut Cluster) {
         .unwrap();
 
     assert_eq!(
-        cluster.partition(&[vec![NodeId(0)], vec![NodeId(1), NodeId(2)]]),
+        cluster
+            .partition(&[vec![NodeId(0)], vec![NodeId(1), NodeId(2)]])
+            .unwrap(),
         SystemMode::Degraded
     );
     cluster
