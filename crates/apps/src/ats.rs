@@ -100,6 +100,7 @@ pub fn create_alarm_with_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dedisys_core::nodes;
 
     #[test]
     fn consistent_repair_is_accepted() {
@@ -169,7 +170,7 @@ mod tests {
         let mut cluster = ats_cluster(2).unwrap();
         let node = NodeId(0);
         let (alarm, report) = create_alarm_with_report(&mut cluster, node, "A-17").unwrap();
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         // Administrative operator changes the alarm in partition {1}.
         cluster
             .run_tx(NodeId(1), |c, tx| {

@@ -127,6 +127,7 @@ pub fn retune(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dedisys_core::nodes;
 
     #[test]
     fn endpoints_are_bound_to_their_sites() {
@@ -168,7 +169,7 @@ mod tests {
     fn partition_makes_peer_unreachable_and_threat_uncheckable() {
         let mut cluster = dtms_cluster(2).unwrap();
         let (ep_a, ep_b) = create_channel(&mut cluster, "ch1", NodeId(0), NodeId(1), 120).unwrap();
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         // The peer endpoint is genuinely unreachable (bound object):
         // NCC — uncheckable — accepted per the constraint policy.
         retune(&mut cluster, NodeId(0), &ep_a, 130).unwrap();

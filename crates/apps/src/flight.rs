@@ -137,6 +137,7 @@ pub fn sell_tickets(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dedisys_core::nodes;
 
     #[test]
     fn selling_within_capacity_succeeds() {
@@ -168,7 +169,7 @@ mod tests {
         let mut cluster = booking_cluster(3).unwrap();
         let node = NodeId(0);
         let flight = create_flight(&mut cluster, node, "LH-441", 80, 70).unwrap();
-        cluster.partition_raw(&[&[0], &[1, 2]]);
+        cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
         sell_tickets(&mut cluster, NodeId(0), &flight, 7).unwrap();
         sell_tickets(&mut cluster, NodeId(1), &flight, 8).unwrap();
         assert_eq!(cluster.threats().identities().len(), 1);
@@ -183,7 +184,7 @@ mod tests {
             .unwrap();
         let node = NodeId(0);
         let flight = create_flight(&mut cluster, node, "F", 80, 70).unwrap();
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         // 10 remaining, weight 1/2 each → 5 per partition.
         assert!(sell_tickets(&mut cluster, NodeId(0), &flight, 5).is_ok());
         assert!(sell_tickets(&mut cluster, NodeId(0), &flight, 1).is_err());

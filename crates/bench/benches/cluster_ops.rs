@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
+use dedisys_core::nodes;
 use dedisys_core::{Cluster, ClusterBuilder};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, Value};
@@ -74,7 +75,7 @@ fn bench_ops(c: &mut Criterion) {
     }
     // Degraded-mode threat path (negotiation + identical-once dedup).
     let (mut cl, id) = cluster(2);
-    cl.partition_raw(&[&[0], &[1]]);
+    cl.partition(&[nodes![0], nodes![1]]).unwrap();
     group.bench_function("degraded-threat-write", |b| {
         let mut i = 0i64;
         b.iter(|| {

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark for the batch-validation pool: the
+//! fig-par workload (64 CPU-bound constraints per write) under serial
+//! and threaded evaluation (wall-clock complement to `repro fig-par`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dedisys_bench::fig_par;
+use dedisys_core::ValidationParallelism;
+
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch-validation");
+    group.sample_size(10);
+    for (label, parallelism) in [
+        ("serial", ValidationParallelism::Serial),
+        ("threads-2", ValidationParallelism::Threads(2)),
+        ("threads-4", ValidationParallelism::Threads(4)),
+        ("threads-8", ValidationParallelism::Threads(8)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &parallelism,
+            |b, &parallelism| b.iter(|| fig_par::measure(parallelism, label, 20, 10_000).batches),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelism);
+criterion_main!(benches);

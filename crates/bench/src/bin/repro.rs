@@ -16,12 +16,19 @@
 //! one reproducible fault-injection run (optionally traced to JSONL),
 //! or a sweep over seeds `0..K`. Exits 1 on any invariant violation.
 //!
+//! `repro fig-par [--trace <path>]` runs the batch-validation pool
+//! study: the same validation-heavy workload under serial and
+//! `Threads(8)` evaluation, reporting the wall-clock speedup and
+//! checking that stats and traces are byte-identical across the two
+//! modes (exits 1 otherwise). With `--trace` the two JSONL traces are
+//! written to `<path>.serial` / `<path>.parallel` for external diffs.
+//!
 //! `--trace <path>` exports the typed telemetry stream of every cluster
 //! the Chapter 5 experiments build as JSONL — one `{seq, at, event}`
 //! object per line, stamped in virtual time only, so two runs of the
 //! same experiment write byte-identical files.
 
-use dedisys_bench::{ch2, ch5, chaos_soak};
+use dedisys_bench::{ch2, ch5, chaos_soak, fig_par};
 use std::path::PathBuf;
 
 const CH2: &[&str] = &[
@@ -53,6 +60,7 @@ fn usage() -> ! {
         "       repro chaos-soak [--seed S] [--nodes N] [--ops O] [--faults F] \
          [--sweep K] [--trace <path>]"
     );
+    eprintln!("       repro fig-par [--trace <path>]");
     eprintln!(
         "experiments: {}",
         CH2.iter()
@@ -87,6 +95,12 @@ fn main() {
     }
     if args[0] == "chaos-soak" {
         chaos_soak_main(&args[1..], trace);
+        return;
+    }
+    if args[0] == "fig-par" {
+        // Writes `<path>.serial` / `<path>.parallel` itself — the
+        // shared append-to-one-file tracing below does not apply.
+        fig_par::run(trace.as_deref());
         return;
     }
     if let Some(path) = &trace {

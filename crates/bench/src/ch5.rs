@@ -7,6 +7,7 @@ use dedisys_apps::flight;
 use dedisys_constraints::{
     ConstraintKind, ConstraintMeta, ContextPreparation, RegisteredConstraint, ValidationContext,
 };
+use dedisys_core::nodes;
 use dedisys_core::{
     Cluster, ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy, JsonlExporter,
     ReconcileStrategy,
@@ -279,14 +280,14 @@ pub struct Fig5Column {
     pub rows: Vec<(String, Option<f64>)>,
 }
 
-fn dedisys_column(label: &str, total_nodes: u32, partition: Option<&[&[u32]]>) -> Fig5Column {
+fn dedisys_column(label: &str, total_nodes: u32, partition: Option<&[Vec<NodeId>]>) -> Fig5Column {
     let mut cluster = builder(total_nodes).build_traced();
     let node = NodeId(0);
     // Pools for the threat cases are created while still healthy.
     let good_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "good", 1);
     let bad_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "bad", 1000);
     if let Some(groups) = partition {
-        cluster.partition_raw(groups);
+        cluster.partition(groups).unwrap();
     }
     let mut rows: Vec<(String, Option<f64>)> = standard_rows(&mut cluster, node, true)
         .into_iter()
@@ -352,7 +353,7 @@ pub fn fig5_2() -> Vec<Fig5Column> {
         dedisys_column(
             "DeDiSys degraded (3-in-partition)",
             4,
-            Some(&[&[0, 1, 2], &[3]]),
+            Some(&[nodes![0, 1, 2], nodes![3]]),
         ),
     ]
 }
@@ -366,7 +367,7 @@ pub fn fig5_3() -> Vec<Fig5Column> {
         dedisys_column(
             "DeDiSys degraded (2-in-partition)",
             3,
-            Some(&[&[0, 1], &[2]]),
+            Some(&[nodes![0, 1], nodes![2]]),
         ),
     ]
 }
@@ -456,7 +457,7 @@ pub fn fig5_6() -> Vec<ReconRow> {
         let mut cluster = builder(2).threat_policy(policy).build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 200);
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         for i in 0..1000 {
             let id = pool[i % pool.len()].clone();
             cluster
@@ -526,7 +527,9 @@ pub fn fig5_6_incremental() -> Vec<IncrementalRow> {
             let node = NodeId(0);
             let touch = create_pool_prefixed(&mut cluster, node, "Guarded", "touch", TOUCH);
             let away_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "away", away);
-            cluster.partition_raw(&[&[0], &[1], &[2]]);
+            cluster
+                .partition(&[nodes![0], nodes![1], nodes![2]])
+                .unwrap();
             // Threat-producing writes near the future observer…
             for id in &touch {
                 let id = id.clone();
@@ -547,7 +550,7 @@ pub fn fig5_6_incremental() -> Vec<IncrementalRow> {
                     .expect("far write");
             }
             // Partial re-unification: {0, 1} merge, {2} stays away.
-            cluster.partition_raw(&[&[0, 1], &[2]]);
+            cluster.partition(&[nodes![0, 1], nodes![2]]).unwrap();
             let summary = cluster.reconcile_partial(node, &mut HighestVersionWins, &mut DeferAll);
             let c = &summary.constraints;
             out.push(IncrementalRow {
@@ -589,7 +592,7 @@ pub fn fig5_8() -> Vec<(String, Vec<f64>)> {
         let mut cluster = builder(2).threat_policy(policy).build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 200);
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         let mut iterations = Vec::new();
         for _ in 0..5 {
             let rate = throughput(&mut cluster, 200, |c, i| {
@@ -634,7 +637,7 @@ pub fn tab5_async() -> Vec<(String, f64)> {
             .build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 1);
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         let rate = throughput(&mut cluster, 500, |c, _| {
             let id = pool[0].clone();
             c.run_tx(node, move |c, tx| {
@@ -668,7 +671,7 @@ pub fn tab5_psc() -> Vec<(String, i64, i64)> {
         let mut cluster = b.build_traced();
         let flight_id =
             flight::create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70).expect("flight");
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         // Both sides keep selling single tickets until rejected.
         let mut sold_in_partition = [0i64; 2];
         for (i, node) in [NodeId(0), NodeId(1)].into_iter().enumerate() {
@@ -726,7 +729,7 @@ pub fn tab_avail() -> Vec<(String, Vec<(f64, f64)>)> {
             let mut cluster = builder(3).protocol(protocol).build_traced();
             let node = NodeId(1); // a *minority*-side client after the split
             let pool = create_pool(&mut cluster, NodeId(0), "Guarded", 20);
-            cluster.partition_raw(&[&[0, 2], &[1]]);
+            cluster.partition(&[nodes![0, 2], nodes![1]]).unwrap();
             let total = 400usize;
             let mut ok = 0u64;
             for i in 0..total {
@@ -801,7 +804,7 @@ pub fn fig1_3() -> (i64, i64, i64, i64) {
     let mut cluster = flight::booking_cluster(4).expect("cluster");
     attach_trace(&cluster);
     let id = flight::create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70).expect("flight");
-    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     let after_a = flight::sell_tickets(&mut cluster, NodeId(0), &id, 7).expect("side A");
     let after_b = flight::sell_tickets(&mut cluster, NodeId(2), &id, 8).expect("side B");
     cluster.heal();

@@ -14,8 +14,12 @@
 //! * [`chaos_soak`] — the seeded chaos soak (`repro chaos-soak`):
 //!   random fault schedules against the full middleware stack with
 //!   invariant checking after every injected fault.
+//! * [`fig_par`] — the batch-validation pool study (`repro fig-par`):
+//!   wall-clock serial vs parallel speedup with the byte-identical
+//!   trace contract checked on every run.
 
 pub mod ch2;
 pub mod ch5;
 pub mod chaos_soak;
+pub mod fig_par;
 pub mod table;

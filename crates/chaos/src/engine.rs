@@ -12,7 +12,9 @@
 use crate::invariant::{InvariantChecker, InvariantViolation};
 use crate::plan::{FaultPlan, FaultStep};
 use crate::rng::ChaosRng;
-use dedisys_core::{Cluster, ClusterBuilder, DeferAll, HighestVersionWins, StatsSnapshot};
+use dedisys_core::{
+    Cluster, ClusterBuilder, DeferAll, HighestVersionWins, StatsSnapshot, ValidationParallelism,
+};
 use dedisys_net::{LatencyModel, Router, Topology};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_telemetry::TraceEvent;
@@ -34,6 +36,10 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Entities created up front as the workload's working set.
     pub item_pool: usize,
+    /// How the cluster under test evaluates validation batches. Any
+    /// setting must produce the same report, stats and trace — the
+    /// parallel-determinism property tests sweep this knob.
+    pub parallelism: ValidationParallelism,
 }
 
 impl Default for ChaosConfig {
@@ -44,6 +50,7 @@ impl Default for ChaosConfig {
             faults: 24,
             seed: 0,
             item_pool: 12,
+            parallelism: ValidationParallelism::Serial,
         }
     }
 }
@@ -113,7 +120,8 @@ impl ChaosEngine {
     /// Propagates cluster-construction and seeding failures.
     pub fn new(config: ChaosConfig) -> Result<Self> {
         assert!(config.nodes >= 2, "chaos needs at least two nodes");
-        let cluster = ClusterBuilder::new(config.nodes, chaos_app()).build()?;
+        let mut cluster = ClusterBuilder::new(config.nodes, chaos_app()).build()?;
+        cluster.set_validation_parallelism(config.parallelism);
         let gossip = Router::new(
             Topology::fully_connected(config.nodes),
             LatencyModel::uniform_micros(GOSSIP_BASE_MICROS),
@@ -228,8 +236,9 @@ impl ChaosEngine {
         let roll = self.rng.below(100);
         let result: Result<()> = if roll < 10 {
             // Start an explicit 2PC and leave it hanging in prepared
-            // state — a later crash of `node` makes it in-doubt.
-            let tx = self.cluster.begin(node);
+            // state — a later crash of `node` makes it in-doubt. The
+            // transaction outlives the session borrow, so detach it.
+            let tx = self.cluster.session(node).detach();
             let id = self.rng.pick(&self.items).clone();
             let value = Value::Int(self.rng.below(1_000) as i64);
             let r = self

@@ -70,10 +70,7 @@ impl InvariantChecker {
             if !cluster.is_crashed(info.coordinator) {
                 out.push(InvariantViolation {
                     invariant: "in_doubt_coordinator_down",
-                    detail: format!(
-                        "in-doubt {tx} names live coordinator {}",
-                        info.coordinator
-                    ),
+                    detail: format!("in-doubt {tx} names live coordinator {}", info.coordinator),
                 });
             }
         }
@@ -182,9 +179,7 @@ impl InvariantChecker {
                     continue;
                 }
                 for id in &reference {
-                    let a = cluster
-                        .entity_on(first, id)
-                        .and_then(|e| e.to_json().ok());
+                    let a = cluster.entity_on(first, id).and_then(|e| e.to_json().ok());
                     let b = cluster.entity_on(node, id).and_then(|e| e.to_json().ok());
                     if a != b {
                         out.push(InvariantViolation {

@@ -255,10 +255,7 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let s = FaultStep::Partition(vec![
-            vec![NodeId(0), NodeId(1)],
-            vec![NodeId(2)],
-        ]);
+        let s = FaultStep::Partition(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
         assert_eq!(s.to_string(), "partition(n0,n1|n2)");
         assert_eq!(FaultStep::Crash(NodeId(7)).to_string(), "crash(n7)");
     }

@@ -9,7 +9,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// replica-aware semantics); tests use [`MapAccess`]. Access failures
 /// ([`dedisys_types::Error::ObjectUnreachable`]) bubble out of
 /// `validate` and make the constraint uncheckable.
-pub trait ObjectAccess {
+///
+/// `Send` is a supertrait so validation contexts can be constructed
+/// inside the worker threads of the deterministic parallel batch
+/// engine; every access implementation is a view over shared
+/// (`Sync`) middleware state.
+pub trait ObjectAccess: Send {
     /// Reads `field` of `id`.
     ///
     /// # Errors
@@ -255,6 +260,18 @@ impl<'a> ValidationContext<'a> {
         self.environment.get(key)
     }
 }
+
+// The parallel batch engine moves evaluation work onto scoped worker
+// threads; these assertions pin the `Send`/`Sync` obligations at
+// compile time.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn _context_types_are_thread_safe() {
+        assert_send::<ValidationContext<'_>>();
+        assert_send_sync::<MapAccess>();
+    }
+};
 
 #[cfg(test)]
 mod tests {

@@ -97,3 +97,14 @@ pub fn eval_str(source: &str, ctx: &mut ValidationContext<'_>) -> Result<dedisys
 pub(crate) fn expr_err(msg: impl Into<String>) -> Error {
     Error::Expr(msg.into())
 }
+
+// The interpreter is a pure function over the AST; the parallel batch
+// engine relies on `ExprConstraint` being shareable across worker
+// threads.
+const _: () = {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn _expr_constraint_is_thread_safe() {
+        assert_send_sync::<ExprConstraint>();
+        assert_send_sync::<Expr>();
+    }
+};

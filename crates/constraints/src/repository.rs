@@ -63,6 +63,10 @@ pub struct ConstraintRepository {
     constraints: Vec<Arc<RegisteredConstraint>>,
     mode: LookupMode,
     cache: HashMap<(MethodSignature, LookupKind), Vec<usize>>,
+    /// Class-sharded trigger index: a lookup for `Class::method` only
+    /// scans the constraints with a trigger point on `Class`, instead
+    /// of the whole registry. Rebuilt on every mutation.
+    shards: HashMap<ClassName, Vec<usize>>,
     stats: RepositoryStats,
 }
 
@@ -79,7 +83,26 @@ impl ConstraintRepository {
             constraints: Vec::new(),
             mode,
             cache: HashMap::new(),
+            shards: HashMap::new(),
             stats: RepositoryStats::default(),
+        }
+    }
+
+    /// Number of class shards in the trigger index (the batch engine
+    /// reports this alongside its batch telemetry).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn rebuild_shards(&mut self) {
+        self.shards.clear();
+        for (i, c) in self.constraints.iter().enumerate() {
+            for m in &c.affected_methods {
+                let shard = self.shards.entry(m.signature.class.clone()).or_default();
+                if shard.last() != Some(&i) {
+                    shard.push(i);
+                }
+            }
         }
     }
 
@@ -118,6 +141,7 @@ impl ConstraintRepository {
         }
         self.constraints.push(Arc::new(constraint));
         self.cache.clear();
+        self.rebuild_shards();
         Ok(())
     }
 
@@ -125,7 +149,9 @@ impl ConstraintRepository {
     pub fn remove(&mut self, name: &ConstraintName) -> Option<Arc<RegisteredConstraint>> {
         let idx = self.constraints.iter().position(|c| c.name() == name)?;
         self.cache.clear();
-        Some(self.constraints.remove(idx))
+        let removed = self.constraints.remove(idx);
+        self.rebuild_shards();
+        Some(removed)
     }
 
     /// Enables or disables a constraint.
@@ -208,10 +234,16 @@ impl ConstraintRepository {
         // string representation of every candidate's trigger points
         // (the reflective `equals`-based filtering whose cost §2.3.2
         // quantifies — 1412–3390× on the per-invocation repository).
-        // The optimized repository only pays this on a cache miss.
+        // The optimized repository only pays this on a cache miss, and
+        // the class-sharded trigger index bounds it to the candidates
+        // with a trigger point on the signature's class.
         let needle = sig.to_string();
         let mut out = Vec::new();
-        for (i, c) in self.constraints.iter().enumerate() {
+        let Some(shard) = self.shards.get(&sig.class) else {
+            return out;
+        };
+        for &i in shard {
+            let c = &self.constraints[i];
             self.stats.scanned += 1;
             if c.enabled
                 && kind.matches(c.meta.kind)

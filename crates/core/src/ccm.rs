@@ -46,8 +46,12 @@ pub struct CcmStats {
 /// Replica-aware object access used during validation: local
 /// transactional view first, then the committed state of any reachable
 /// replica; unreachable objects error (⇒ NCC).
+///
+/// Holds only shared references — validation never mutates middleware
+/// state — so the parallel batch engine can hand every worker thread
+/// its own `ReplicaAccess` over the same containers.
 pub struct ReplicaAccess<'a> {
-    containers: &'a mut [EntityContainer],
+    containers: &'a [EntityContainer],
     replication: &'a ReplicationManager,
     topology: &'a Topology,
     node: NodeId,
@@ -57,7 +61,7 @@ pub struct ReplicaAccess<'a> {
 impl<'a> ReplicaAccess<'a> {
     /// Creates replica-aware access for validation on `node` in `tx`.
     pub fn new(
-        containers: &'a mut [EntityContainer],
+        containers: &'a [EntityContainer],
         replication: &'a ReplicationManager,
         topology: &'a Topology,
         node: NodeId,
@@ -115,6 +119,82 @@ impl ObjectAccess for ReplicaAccess<'_> {
         }
         ids.into_iter().collect()
     }
+}
+
+// Worker threads of the parallel batch engine each construct a
+// `ReplicaAccess` over the shared middleware state.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    fn _replica_access_is_thread_safe() {
+        assert_send::<ReplicaAccess<'_>>();
+    }
+};
+
+/// Outcome of the pure evaluation phase of one validation candidate —
+/// everything the parallel batch engine may run on a worker thread.
+/// Stats, telemetry, staleness degradation and negotiation happen
+/// afterwards in [`Ccm::finish_validation`], serially in canonical
+/// batch order, so traces stay byte-identical across parallelism
+/// settings.
+#[derive(Debug)]
+pub struct RawEvaluation {
+    /// Preliminary satisfaction degree before staleness adjustment, or
+    /// the propagated (non-availability) validation failure.
+    pub outcome: Result<SatisfactionDegree>,
+    /// Objects the validation accessed.
+    pub accessed: BTreeSet<ObjectId>,
+}
+
+/// The pure evaluation phase of [`Ccm::validate_constraint`]: builds
+/// the validation context, runs the constraint implementation and maps
+/// the raw result onto a preliminary satisfaction degree. Emits no
+/// telemetry, advances no clock and touches no CCM state, so batch
+/// workers may call it concurrently.
+pub fn evaluate_candidate(
+    constraint: &RegisteredConstraint,
+    context_object: Option<&ObjectId>,
+    call: Option<&CallInfo>,
+    pre_state: BTreeMap<String, Value>,
+    access: &mut ReplicaAccess<'_>,
+    partition_weight: f64,
+) -> RawEvaluation {
+    let topology_healthy = access.topology.is_healthy();
+    let mut ctx = match call {
+        Some(call) => {
+            let mut ctx = ValidationContext::for_method(
+                call.target.clone(),
+                call.method.clone(),
+                call.args.clone(),
+                access,
+            );
+            if let Some(result) = &call.result {
+                ctx.set_result(result.clone());
+            }
+            ctx
+        }
+        None => match context_object {
+            Some(id) => ValidationContext::for_invariant(id.clone(), access),
+            None => ValidationContext::for_query(access),
+        },
+    };
+    if let Some(id) = context_object {
+        ctx.set_context_object(Some(id.clone()));
+    }
+    ctx.set_pre_state(pre_state);
+    ctx.set_env("partitionWeight", Value::Float(partition_weight));
+    ctx.set_env("healthy", Value::Bool(topology_healthy));
+
+    let raw = constraint.implementation.validate(&mut ctx);
+    let accessed = ctx.accessed_objects().clone();
+    drop(ctx);
+
+    let outcome = match raw {
+        Ok(true) => Ok(SatisfactionDegree::Satisfied),
+        Ok(false) => Ok(SatisfactionDegree::Violated),
+        Err(Error::ObjectUnreachable(_)) => Ok(SatisfactionDegree::Uncheckable),
+        Err(other) => Err(other),
+    };
+    RawEvaluation { outcome, accessed }
 }
 
 /// The result of validating one constraint, after staleness
@@ -376,48 +456,39 @@ impl Ccm {
             "re-entrant constraint validation — middleware/application loop"
         );
         self.in_validation = true;
-        self.stats.validations += 1;
+        let eval = evaluate_candidate(
+            constraint,
+            context_object,
+            call,
+            pre_state,
+            access,
+            partition_weight,
+        );
+        self.in_validation = false;
+        self.finish_validation(constraint, eval, access, now)
+    }
 
+    /// The serial merge phase of one validation: staleness adjustment
+    /// (LCC), freshness gathering, stats and telemetry. The parallel
+    /// batch engine calls this once per candidate, in canonical batch
+    /// order, after the [`evaluate_candidate`] workers finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluation failure carried in `eval` (the
+    /// validation is still counted, matching the serial path).
+    pub fn finish_validation(
+        &mut self,
+        constraint: &RegisteredConstraint,
+        eval: RawEvaluation,
+        access: &ReplicaAccess<'_>,
+        now: SimTime,
+    ) -> Result<ValidationVerdict> {
+        self.stats.validations += 1;
         let node = access.node;
         let tx = access.tx;
-        let topology_healthy = access.topology.is_healthy();
-
-        let mut ctx = match call {
-            Some(call) => {
-                let mut ctx = ValidationContext::for_method(
-                    call.target.clone(),
-                    call.method.clone(),
-                    call.args.clone(),
-                    access,
-                );
-                if let Some(result) = &call.result {
-                    ctx.set_result(result.clone());
-                }
-                ctx
-            }
-            None => match context_object {
-                Some(id) => ValidationContext::for_invariant(id.clone(), access),
-                None => ValidationContext::for_query(access),
-            },
-        };
-        if let Some(id) = context_object {
-            ctx.set_context_object(Some(id.clone()));
-        }
-        ctx.set_pre_state(pre_state);
-        ctx.set_env("partitionWeight", Value::Float(partition_weight));
-        ctx.set_env("healthy", Value::Bool(topology_healthy));
-
-        let raw = constraint.implementation.validate(&mut ctx);
-        let accessed = ctx.accessed_objects().clone();
-        drop(ctx);
-        self.in_validation = false;
-
-        let mut degree = match raw {
-            Ok(true) => SatisfactionDegree::Satisfied,
-            Ok(false) => SatisfactionDegree::Violated,
-            Err(Error::ObjectUnreachable(_)) => SatisfactionDegree::Uncheckable,
-            Err(other) => return Err(other),
-        };
+        let RawEvaluation { outcome, accessed } = eval;
+        let mut degree = outcome?;
 
         // LCC: degrade definite results when possibly stale objects
         // were accessed — except intra-object constraints (§3.1).
@@ -763,7 +834,7 @@ mod tests {
 
     fn validate(world: &mut World, constraint: &RegisteredConstraint) -> ValidationVerdict {
         let mut access = ReplicaAccess::new(
-            &mut world.containers,
+            &world.containers,
             &world.replication,
             &world.topology,
             NodeId(0),

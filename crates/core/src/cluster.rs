@@ -8,9 +8,13 @@
 //! operations execute depth-first through the node stacks while the
 //! clock advances per the cost model (see DESIGN.md §1).
 
-use crate::ccm::{CallInfo, Ccm, NegotiationTiming, PendingCheck, ReplicaAccess};
+use crate::batch::{self, BatchCandidate, ValidationParallelism};
+use crate::ccm::{
+    CallInfo, Ccm, NegotiationTiming, PendingCheck, RawEvaluation, ReplicaAccess, ValidationVerdict,
+};
 use crate::negotiation::NegotiationHandler;
 use crate::reconciliation::ReconcileStrategy;
+use crate::session::Session;
 use crate::threat::{HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore};
 use crate::CostModel;
 use dedisys_constraints::{
@@ -35,6 +39,7 @@ use dedisys_types::{
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Cluster-level counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -120,6 +125,7 @@ pub struct ClusterBuilder {
     compaction_threshold: usize,
     ccm_enabled: bool,
     replication_enabled: bool,
+    validation_parallelism: ValidationParallelism,
     app: AppDescriptor,
     methods: MethodTable,
     constraints: Vec<RegisteredConstraint>,
@@ -155,6 +161,7 @@ impl ClusterBuilder {
             compaction_threshold: 32,
             ccm_enabled: true,
             replication_enabled: true,
+            validation_parallelism: ValidationParallelism::default(),
             app,
             methods: MethodTable::new(),
             constraints: Vec::new(),
@@ -216,6 +223,15 @@ impl ClusterBuilder {
     /// [`HistoryPolicy::Reduced`] store folds them (default: 32).
     pub fn compaction_threshold(mut self, records: usize) -> Self {
         self.compaction_threshold = records.max(1);
+        self
+    }
+
+    /// Selects how validation batches are evaluated (default:
+    /// [`ValidationParallelism::Serial`]). Parallel evaluation changes
+    /// wall-clock time only — virtual time, statistics and the
+    /// telemetry trace stay byte-identical to serial execution.
+    pub fn validation_parallelism(mut self, parallelism: ValidationParallelism) -> Self {
+        self.validation_parallelism = parallelism;
         self
     }
 
@@ -345,6 +361,7 @@ impl ClusterBuilder {
             compaction_threshold: self.compaction_threshold,
             ccm_enabled: self.ccm_enabled,
             replication_enabled: self.replication_enabled,
+            validation_parallelism: self.validation_parallelism,
         })
     }
 }
@@ -384,6 +401,7 @@ pub struct Cluster {
     compaction_threshold: usize,
     ccm_enabled: bool,
     replication_enabled: bool,
+    validation_parallelism: ValidationParallelism,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -465,6 +483,18 @@ impl Cluster {
     /// The constraint-reconciliation strategy in force.
     pub fn reconcile_strategy(&self) -> ReconcileStrategy {
         self.reconcile_strategy
+    }
+
+    /// The validation-batch evaluation setting in force.
+    pub fn validation_parallelism(&self) -> ValidationParallelism {
+        self.validation_parallelism
+    }
+
+    /// Switches validation-batch evaluation at runtime (e.g. to
+    /// compare serial and parallel wall-clock on one cluster). The
+    /// observable outcome of every operation is unaffected.
+    pub fn set_validation_parallelism(&mut self, parallelism: ValidationParallelism) {
+        self.validation_parallelism = parallelism;
     }
 
     /// Switches the constraint-reconciliation strategy at runtime
@@ -581,30 +611,20 @@ impl Cluster {
             _ => vec![None],
         };
         let node = NodeId(0);
-        let check_tx = self.begin(node);
+        let check_tx = self.begin_tx(node);
+        let candidates: Vec<BatchCandidate> = contexts
+            .iter()
+            .map(|context| BatchCandidate {
+                constraint: Arc::clone(&constraint),
+                context_object: context.clone(),
+                call: None,
+                pre_state: BTreeMap::new(),
+            })
+            .collect();
+        let evals = self.evaluate_candidates(&candidates, node, check_tx);
         let mut violating = Vec::new();
-        for context in contexts {
-            let partition_weight = self.partition_fraction(node);
-            let now = self.clock.now();
-            let verdict = {
-                let mut access = ReplicaAccess::new(
-                    &mut self.containers,
-                    &self.replication,
-                    &self.topology,
-                    node,
-                    check_tx,
-                );
-                self.ccm.validate_constraint(
-                    &constraint,
-                    context.as_ref(),
-                    None,
-                    BTreeMap::new(),
-                    &mut access,
-                    partition_weight,
-                    now,
-                )?
-            };
-            self.clock.advance(self.costs.constraint_check);
+        for (context, eval) in contexts.into_iter().zip(evals) {
+            let verdict = self.merge_validation(&constraint, eval, node, check_tx)?;
             if verdict.degree == SatisfactionDegree::Violated {
                 if let Some(ctx) = context {
                     violating.push(ctx);
@@ -647,7 +667,9 @@ impl Cluster {
 
     /// Splits the network into the given groups of typed node ids
     /// (unmentioned nodes become singletons), installs the new views
-    /// and returns the resulting system mode.
+    /// and returns the resulting system mode. The [`crate::nodes!`]
+    /// macro keeps literal scenarios terse:
+    /// `cluster.partition(&[nodes![0, 1], nodes![2]])`.
     ///
     /// # Errors
     ///
@@ -678,21 +700,14 @@ impl Cluster {
             .map(|g| g.iter().map(|n| n.0).collect())
             .collect();
         let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
-        Ok(self.partition_raw(&refs))
-    }
-
-    /// [`Cluster::partition`] over raw `u32` node indices — the
-    /// convenient spelling for literal scenarios
-    /// (`cluster.partition_raw(&[&[0, 1], &[2]])`).
-    pub fn partition_raw(&mut self, groups: &[&[u32]]) -> SystemMode {
-        self.topology.split(groups);
+        self.topology.split(&refs);
         self.install_views();
         let to = if self.topology.is_healthy() {
             SystemMode::Healthy
         } else {
             SystemMode::Degraded
         };
-        self.set_mode(to)
+        Ok(self.set_mode(to))
     }
 
     /// Isolates one node (connectivity loss — the node keeps running)
@@ -1027,8 +1042,37 @@ impl Cluster {
     // Transactions
     // ------------------------------------------------------------------
 
-    /// Begins a transaction on `node`.
+    /// Opens a transactional [`Session`] on `node` — the RAII handle
+    /// for the begin/invoke/commit lifecycle. A session that is
+    /// dropped without [`Session::commit`] or [`Session::prepare`]
+    /// rolls its transaction back.
+    ///
+    /// ```no_run
+    /// # use dedisys_core::ClusterBuilder;
+    /// # use dedisys_object::AppDescriptor;
+    /// # use dedisys_types::NodeId;
+    /// # let mut cluster = ClusterBuilder::new(3, AppDescriptor::new("app")).build()?;
+    /// let mut session = cluster.session(NodeId(0));
+    /// // session.invoke(&id, "reserve", vec![])?;
+    /// session.commit()?;
+    /// # Ok::<(), dedisys_types::Error>(())
+    /// ```
+    pub fn session(&mut self, node: NodeId) -> Session<'_> {
+        let tx = self.begin_tx(node);
+        Session::new(self, tx)
+    }
+
+    /// Begins a raw transaction on `node`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cluster::session(node)` — the RAII handle rolls back on drop; \
+                `Session::detach()` recovers a raw TxId where needed"
+    )]
     pub fn begin(&mut self, node: NodeId) -> TxId {
+        self.begin_tx(node)
+    }
+
+    pub(crate) fn begin_tx(&mut self, node: NodeId) -> TxId {
         let tx = self.tx_manager.begin(node);
         self.tx_infos.insert(tx, TxInfo::default());
         tx
@@ -1237,13 +1281,31 @@ impl Cluster {
             signature: format!("commit:{tx}"),
             matches: pending.len() as u32,
         });
+        // §5.5.3: degraded-mode async invariants take the record-only
+        // fast path; everything else forms the commit-time validation
+        // batch, evaluated on the pool and merged in pending order.
+        let degraded = |cluster: &Self| {
+            cluster.topology.partition_of(origin).len() < cluster.topology.node_count() as usize
+        };
+        let candidates: Vec<BatchCandidate> = pending
+            .iter()
+            .filter(|check| {
+                !(check.constraint.meta.kind == ConstraintKind::AsyncInvariant && degraded(self))
+            })
+            .map(|check| BatchCandidate {
+                constraint: Arc::clone(&check.constraint),
+                context_object: check.context_object.clone(),
+                call: None,
+                pre_state: BTreeMap::new(),
+            })
+            .collect();
+        let mut evals = self
+            .evaluate_candidates(&candidates, origin, tx)
+            .into_iter();
         for check in pending {
             let constraint = check.constraint.as_ref();
             match constraint.meta.kind {
-                ConstraintKind::AsyncInvariant
-                    if self.topology.partition_of(origin).len()
-                        < self.topology.node_count() as usize =>
-                {
+                ConstraintKind::AsyncInvariant if degraded(self) => {
                     // §5.5.3: degraded mode — no validation, no
                     // negotiation; record the threat directly.
                     let outcome = self.ccm.record_async_threat(
@@ -1255,13 +1317,13 @@ impl Cluster {
                     self.charge_threat_storage(outcome);
                 }
                 _ => {
-                    self.run_one_validation(
+                    let eval = evals.next().expect("one evaluation per batched candidate");
+                    self.merge_one_validation(
                         origin,
                         tx,
                         constraint,
                         check.context_object.clone(),
-                        None,
-                        BTreeMap::new(),
+                        eval,
                     )?;
                 }
             }
@@ -1521,21 +1583,25 @@ impl Cluster {
                 signature: sig.to_string(),
                 matches: pres.len() as u32,
             });
-            for constraint in &pres {
-                let call = CallInfo {
-                    target: target.clone(),
-                    method: method.clone(),
-                    args: args.clone(),
-                    result: None,
-                };
-                if let Err(e) = self.run_one_validation(
-                    exec,
-                    tx,
-                    constraint,
-                    Some(target.clone()),
-                    Some(&call),
-                    BTreeMap::new(),
-                ) {
+            let candidates: Vec<BatchCandidate> = pres
+                .iter()
+                .map(|constraint| BatchCandidate {
+                    constraint: Arc::clone(constraint),
+                    context_object: Some(target.clone()),
+                    call: Some(CallInfo {
+                        target: target.clone(),
+                        method: method.clone(),
+                        args: args.clone(),
+                        result: None,
+                    }),
+                    pre_state: BTreeMap::new(),
+                })
+                .collect();
+            let evals = self.evaluate_candidates(&candidates, exec, tx);
+            for (constraint, eval) in pres.iter().zip(evals) {
+                if let Err(e) =
+                    self.merge_one_validation(exec, tx, constraint, Some(target.clone()), eval)
+                {
                     self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                     let _ = self.tx_manager.set_rollback_only(tx);
                     return Err(e);
@@ -1545,7 +1611,7 @@ impl Cluster {
             let posts = self.repository.lookup(&sig, LookupKind::Postcondition);
             for constraint in &posts {
                 let mut access = ReplicaAccess::new(
-                    &mut self.containers,
+                    &self.containers,
                     &self.replication,
                     &self.topology,
                     exec,
@@ -1592,22 +1658,25 @@ impl Cluster {
                 signature: sig.to_string(),
                 matches: posts.len() as u32,
             });
-            for constraint in &posts {
-                let pre = self.ccm.take_pre_state(tx, constraint.name().as_str());
-                let call = CallInfo {
-                    target: target.clone(),
-                    method: method.clone(),
-                    args: args.clone(),
-                    result: Some(value.clone()),
-                };
-                if let Err(e) = self.run_one_validation(
-                    exec,
-                    tx,
-                    constraint,
-                    Some(target.clone()),
-                    Some(&call),
-                    pre,
-                ) {
+            let candidates: Vec<BatchCandidate> = posts
+                .iter()
+                .map(|constraint| BatchCandidate {
+                    constraint: Arc::clone(constraint),
+                    context_object: Some(target.clone()),
+                    call: Some(CallInfo {
+                        target: target.clone(),
+                        method: method.clone(),
+                        args: args.clone(),
+                        result: Some(value.clone()),
+                    }),
+                    pre_state: self.ccm.take_pre_state(tx, constraint.name().as_str()),
+                })
+                .collect();
+            let evals = self.evaluate_candidates(&candidates, exec, tx);
+            for (constraint, eval) in posts.iter().zip(evals) {
+                if let Err(e) =
+                    self.merge_one_validation(exec, tx, constraint, Some(target.clone()), eval)
+                {
                     self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                     let _ = self.tx_manager.set_rollback_only(tx);
                     return Err(e);
@@ -1619,15 +1688,18 @@ impl Cluster {
                 signature: sig.to_string(),
                 matches: invariants.len() as u32,
             });
-            for constraint in invariants {
-                // Resolve the context object (§4.2.2).
+            // Resolve every context object first (§4.2.2), then batch
+            // the hard invariants; soft/async invariants are only
+            // registered for commit-time validation.
+            let mut resolved: Vec<Option<ObjectId>> = Vec::with_capacity(invariants.len());
+            for constraint in &invariants {
                 let preparation = constraint
                     .preparation_for(&sig)
                     .cloned()
                     .unwrap_or(dedisys_constraints::ContextPreparation::CalledObject);
                 let context_object = {
                     let mut access = ReplicaAccess::new(
-                        &mut self.containers,
+                        &self.containers,
                         &self.replication,
                         &self.topology,
                         exec,
@@ -1648,16 +1720,27 @@ impl Cluster {
                         }
                     }
                 };
+                resolved.push(context_object);
+            }
+            let candidates: Vec<BatchCandidate> = invariants
+                .iter()
+                .zip(&resolved)
+                .filter(|(constraint, _)| constraint.meta.kind == ConstraintKind::HardInvariant)
+                .map(|(constraint, context_object)| BatchCandidate {
+                    constraint: Arc::clone(constraint),
+                    context_object: context_object.clone(),
+                    call: None,
+                    pre_state: BTreeMap::new(),
+                })
+                .collect();
+            let mut evals = self.evaluate_candidates(&candidates, exec, tx).into_iter();
+            for (constraint, context_object) in invariants.into_iter().zip(resolved) {
                 match constraint.meta.kind {
                     ConstraintKind::HardInvariant => {
-                        if let Err(e) = self.run_one_validation(
-                            exec,
-                            tx,
-                            &constraint,
-                            context_object,
-                            None,
-                            BTreeMap::new(),
-                        ) {
+                        let eval = evals.next().expect("one evaluation per batched candidate");
+                        if let Err(e) =
+                            self.merge_one_validation(exec, tx, &constraint, context_object, eval)
+                        {
                             self.inv_cost.r5_checks_ns += self.clock.now().since(t_r5).as_nanos();
                             let _ = self.tx_manager.set_rollback_only(tx);
                             return Err(e);
@@ -1667,7 +1750,7 @@ impl Cluster {
                         self.ccm.register_pending(
                             tx,
                             PendingCheck {
-                                constraint: constraint.clone(),
+                                constraint,
                                 context_object,
                             },
                         );
@@ -1696,35 +1779,80 @@ impl Cluster {
             .ok_or_else(|| Error::ObjectUnreachable(target.clone()))
     }
 
-    /// Validates one constraint end to end: validation, staleness
-    /// adjustment, negotiation, threat storage and cost charging.
-    pub(crate) fn run_one_validation(
+    /// Runs the pure evaluation phase for a batch of validation
+    /// candidates on the configured pool
+    /// ([`ClusterBuilder::validation_parallelism`]) and returns one
+    /// raw evaluation per candidate, in candidate order.
+    ///
+    /// Multi-candidate batches are recorded as `validation_batch`
+    /// trace events; the reported `shards`/`pool` figures are a pure
+    /// function of the batch size, so traces stay byte-identical
+    /// across parallelism settings.
+    pub(crate) fn evaluate_candidates(
+        &mut self,
+        candidates: &[BatchCandidate],
+        exec: NodeId,
+        tx: TxId,
+    ) -> Vec<RawEvaluation> {
+        if candidates.len() > 1 {
+            let shards = batch::shard_count(candidates.len());
+            self.telemetry.metrics().incr("ccm.batches");
+            self.telemetry.emit(|| TraceEvent::ValidationBatch {
+                candidates: candidates.len() as u32,
+                shards,
+                pool: shards,
+            });
+        }
+        let partition_weight = self.partition_fraction(exec);
+        batch::evaluate_batch(
+            candidates,
+            &self.containers,
+            &self.replication,
+            &self.topology,
+            exec,
+            tx,
+            partition_weight,
+            self.validation_parallelism,
+        )
+    }
+
+    /// Serial merge phase for one evaluated candidate: staleness
+    /// degradation, statistics, telemetry and the virtual-time charge
+    /// for the check.
+    pub(crate) fn merge_validation(
+        &mut self,
+        constraint: &RegisteredConstraint,
+        eval: RawEvaluation,
+        exec: NodeId,
+        tx: TxId,
+    ) -> Result<ValidationVerdict> {
+        let now = self.clock.now();
+        let verdict = {
+            let access = ReplicaAccess::new(
+                &self.containers,
+                &self.replication,
+                &self.topology,
+                exec,
+                tx,
+            );
+            self.ccm.finish_validation(constraint, eval, &access, now)?
+        };
+        self.clock.advance(self.costs.constraint_check);
+        Ok(verdict)
+    }
+
+    /// Merge + verdict processing for one evaluated candidate:
+    /// [`Cluster::merge_validation`] followed by negotiation and
+    /// threat storage.
+    pub(crate) fn merge_one_validation(
         &mut self,
         exec: NodeId,
         tx: TxId,
         constraint: &RegisteredConstraint,
         context_object: Option<ObjectId>,
-        call: Option<&CallInfo>,
-        pre_state: BTreeMap<String, Value>,
+        eval: RawEvaluation,
     ) -> Result<()> {
-        let partition_weight = self.partition_fraction(exec);
-        let mut access = ReplicaAccess::new(
-            &mut self.containers,
-            &self.replication,
-            &self.topology,
-            exec,
-            tx,
-        );
-        let verdict = self.ccm.validate_constraint(
-            constraint,
-            context_object.as_ref(),
-            call,
-            pre_state,
-            &mut access,
-            partition_weight,
-            self.clock.now(),
-        )?;
-        self.clock.advance(self.costs.constraint_check);
+        let verdict = self.merge_validation(constraint, eval, exec, tx)?;
         let was_threat = verdict.degree.is_threat();
         let outcome =
             self.ccm
@@ -1840,15 +1968,10 @@ impl Cluster {
 
     pub(crate) fn validation_env(
         &mut self,
-    ) -> (
-        &ReplicationManager,
-        &mut [EntityContainer],
-        &Topology,
-        &mut Ccm,
-    ) {
+    ) -> (&ReplicationManager, &[EntityContainer], &Topology, &mut Ccm) {
         (
             &self.replication,
-            &mut self.containers,
+            &self.containers,
             &self.topology,
             &mut self.ccm,
         )
@@ -1866,7 +1989,7 @@ impl Cluster {
         node: NodeId,
         f: impl FnOnce(&mut Cluster, TxId) -> Result<T>,
     ) -> Result<T> {
-        let tx = self.begin(node);
+        let tx = self.begin_tx(node);
         match f(self, tx) {
             Ok(value) => {
                 self.commit(tx)?;

@@ -65,6 +65,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod ccm;
 mod cluster;
 mod costs;
@@ -72,16 +73,30 @@ pub mod interactions;
 mod negotiation;
 pub mod partition_sensitive;
 mod reconciliation;
+mod session;
 mod threat;
 pub mod web;
 
+pub use batch::ValidationParallelism;
 pub use ccm::{
-    CallInfo, Ccm, CcmStats, NegotiationTiming, PendingCheck, ReplicaAccess, ValidationVerdict,
+    evaluate_candidate, CallInfo, Ccm, CcmStats, NegotiationTiming, PendingCheck, RawEvaluation,
+    ReplicaAccess, ValidationVerdict,
 };
 pub use cluster::{
     getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo, InDoubtTx,
     StatsSnapshot,
 };
+pub use session::Session;
+
+/// Builds a `Vec<NodeId>` from integer literals — the terse spelling
+/// for [`Cluster::partition`] groups:
+/// `cluster.partition(&[nodes![0, 1], nodes![2]])`.
+#[macro_export]
+macro_rules! nodes {
+    ($($n:expr),* $(,)?) => {
+        vec![$(::dedisys_types::NodeId($n)),*]
+    };
+}
 pub use costs::CostModel;
 pub use negotiation::{negotiate, NegotiationHandler, NegotiationPath, ThreatDecision};
 pub use reconciliation::{

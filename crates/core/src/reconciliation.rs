@@ -8,7 +8,8 @@
 //! constraint-reconciliation handler, which may resolve immediately or
 //! defer (§4.4).
 
-use crate::ccm::ReplicaAccess;
+use crate::batch::{self, BatchCandidate};
+use crate::ccm::{RawEvaluation, ReplicaAccess};
 use crate::cluster::Cluster;
 use crate::threat::{ConsistencyThreat, ThreatIdentity};
 use dedisys_object::EntityState;
@@ -265,6 +266,14 @@ impl Cluster {
         self.clock().advance(
             self.costs().db_write * threat_records + self.costs().net_hop * 2 * threat_groups,
         );
+        // The identity groups ship as canonical lanes (same shard
+        // layout as validation batches); the lane count is a pure
+        // function of the group count, so it — like every virtual-time
+        // charge above — is identical across parallelism settings.
+        self.telemetry().metrics().add(
+            "reconcile.ship_lanes",
+            u64::from(batch::shard_count(threat_groups as usize)),
+        );
         summary.replica_duration = self.clock().now().since(t0);
         self.telemetry().emit(|| TraceEvent::ReconcileReplicaPhase {
             missed_updates: replica_report.missed_updates,
@@ -316,7 +325,7 @@ impl Cluster {
         handler: &mut dyn ConstraintReconciliationHandler,
     ) -> ConstraintReconcileReport {
         let mut report = ConstraintReconcileReport::default();
-        let recon_tx = self.begin(observer);
+        let recon_tx = self.begin_tx(observer);
         let strategy = self.reconcile_strategy();
         // Object-indexed lookup: the threat identities touched by the
         // dirty set reported from replica reconciliation.
@@ -325,7 +334,41 @@ impl Cluster {
             .threat_store()
             .identities_touching(replica_report.dirty.iter());
         let identities = self.ccm.threat_store().identities();
-        for identity in identities {
+        // Phase A: every identity the walk below will re-evaluate is
+        // pre-validated as one batch on the configured pool. The walk
+        // consumes a cached evaluation only while the committed state
+        // is still exactly the state the batch saw (`state_dirty`):
+        // the rollback search and handler callbacks of the Violated
+        // arm mutate committed objects, after which later identities
+        // fall back to live serial revalidation. Either way the merge
+        // order, statistics and trace match the serial engine.
+        let mut batched: Vec<(usize, BatchCandidate)> = Vec::new();
+        for (i, identity) in identities.iter().enumerate() {
+            if strategy == ReconcileStrategy::Incremental
+                && !dirty_touched.contains(identity)
+                && !self.identity_checkable(observer, identity)
+            {
+                continue;
+            }
+            let Some(constraint) = self.repository().get(&identity.constraint).cloned() else {
+                continue;
+            };
+            batched.push((
+                i,
+                BatchCandidate {
+                    constraint,
+                    context_object: identity.context_object.clone(),
+                    call: None,
+                    pre_state: BTreeMap::new(),
+                },
+            ));
+        }
+        let candidates: Vec<BatchCandidate> = batched.iter().map(|(_, c)| c.clone()).collect();
+        let evals = self.evaluate_candidates(&candidates, observer, recon_tx);
+        let mut cached: BTreeMap<usize, RawEvaluation> =
+            batched.into_iter().map(|(i, _)| i).zip(evals).collect();
+        let mut state_dirty = false;
+        for (index, identity) in identities.into_iter().enumerate() {
             // Incremental engine: a threat must be re-evaluated when
             // the replica step changed one of its objects (dirty) or
             // when all its objects are checkable from the observer —
@@ -358,7 +401,12 @@ impl Cluster {
                 self.ccm.threat_store_mut().remove_identity(&identity);
                 continue;
             };
-            let degree = self.revalidate(observer, recon_tx, &constraint, &identity);
+            let degree = match cached.remove(&index) {
+                Some(eval) if !state_dirty => {
+                    self.finish_revalidate(observer, recon_tx, &constraint, eval)
+                }
+                _ => self.revalidate(observer, recon_tx, &constraint, &identity),
+            };
             match degree {
                 SatisfactionDegree::Satisfied => {
                     report.satisfied_removed += 1;
@@ -394,6 +442,9 @@ impl Cluster {
                 }
                 SatisfactionDegree::Violated => {
                     report.violations += 1;
+                    // Both resolution paths below mutate committed
+                    // state; pre-evaluated results are stale from here.
+                    state_dirty = true;
                     let mut resolved = false;
                     // Rollback search if permitted (§3.3).
                     if self.ccm.threat_store().any_allows_rollback(&identity)
@@ -487,6 +538,25 @@ impl Cluster {
                     .is_possibly_stale_quiet(obj, observer, topology)
                 && !self.replication.is_degraded_tracked(obj)
         })
+    }
+
+    /// Merge phase for a pre-evaluated identity: identical to
+    /// [`Cluster::revalidate`] except that the pure evaluation already
+    /// happened in the Phase-A batch.
+    fn finish_revalidate(
+        &mut self,
+        observer: NodeId,
+        recon_tx: TxId,
+        constraint: &dedisys_constraints::RegisteredConstraint,
+        eval: RawEvaluation,
+    ) -> SatisfactionDegree {
+        let now = self.clock().now();
+        let (replication, containers, topology, ccm) = self.validation_env();
+        let access = ReplicaAccess::new(containers, replication, topology, observer, recon_tx);
+        match ccm.finish_validation(constraint, eval, &access, now) {
+            Ok(verdict) => verdict.degree,
+            Err(_) => SatisfactionDegree::Uncheckable,
+        }
     }
 
     fn revalidate(

@@ -143,7 +143,7 @@ impl WebGateway {
         let worker_inbox = inbox_tx.clone();
         std::thread::spawn(move || {
             let mut cluster = cluster.lock().expect("cluster mutex poisoned");
-            let tx = cluster.begin(node);
+            let tx = cluster.begin_tx(node);
             cluster.register_negotiation_handler(
                 tx,
                 Box::new(ChannelNegotiationHandler {
@@ -186,6 +186,29 @@ impl WebGateway {
         self.wait_for_worker(inbox, decision_tx)
     }
 
+    /// Abandons a pending negotiation without ever delivering a
+    /// decision — the request/response analogue of the user closing
+    /// the browser. Dropping the decision channel resumes the parked
+    /// worker deterministically (its receive fails with a disconnect
+    /// instead of expiring a wall-clock timeout), the threat is
+    /// rejected, and the returned response carries the failed
+    /// business result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `negotiation_id` is unknown, as [`WebGateway::decide`].
+    pub fn abandon(&mut self, negotiation_id: u64) -> WebResponse {
+        let session = self
+            .pending
+            .remove(&negotiation_id)
+            .unwrap_or_else(|| panic!("unknown negotiation id {negotiation_id}"));
+        let PendingSession { decision_tx, inbox } = session;
+        drop(decision_tx);
+        let (next_decision_tx, _unused_rx) = bounded::<WebDecision>(1);
+        drop(_unused_rx);
+        self.wait_for_worker(inbox, next_decision_tx)
+    }
+
     fn wait_for_next(
         &mut self,
         inbox: Receiver<WorkerMsg>,
@@ -223,7 +246,7 @@ impl WebGateway {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ClusterBuilder;
+    use crate::{nodes, ClusterBuilder};
     use dedisys_constraints::{
         expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
     };
@@ -275,7 +298,11 @@ mod tests {
     #[test]
     fn degraded_write_ships_negotiation_over_the_response() {
         let (mut gw, flight) = gateway();
-        gw.cluster().lock().unwrap().partition_raw(&[&[0], &[1]]);
+        gw.cluster()
+            .lock()
+            .unwrap()
+            .partition(&[nodes![0], nodes![1]])
+            .unwrap();
         let f = flight.clone();
         let response = gw.submit(move |c, tx| {
             c.set_field(NodeId(0), tx, &f, "sold", Value::Int(71))
@@ -303,7 +330,11 @@ mod tests {
     #[test]
     fn rejected_decision_aborts_the_business_operation() {
         let (mut gw, flight) = gateway();
-        gw.cluster().lock().unwrap().partition_raw(&[&[0], &[1]]);
+        gw.cluster()
+            .lock()
+            .unwrap()
+            .partition(&[nodes![0], nodes![1]])
+            .unwrap();
         let f = flight.clone();
         let response = gw.submit(move |c, tx| {
             c.set_field(NodeId(0), tx, &f, "sold", Value::Int(71))
@@ -330,10 +361,13 @@ mod tests {
     }
 
     #[test]
-    fn negotiation_timeout_rejects() {
+    fn abandoned_negotiation_rejects_without_wall_clock_waits() {
         let (mut gw, flight) = gateway();
-        gw.set_timeout(Duration::from_millis(100));
-        gw.cluster().lock().unwrap().partition_raw(&[&[0], &[1]]);
+        gw.cluster()
+            .lock()
+            .unwrap()
+            .partition(&[nodes![0], nodes![1]])
+            .unwrap();
         let f = flight.clone();
         let response = gw.submit(move |c, tx| {
             c.set_field(NodeId(0), tx, &f, "sold", Value::Int(71))
@@ -343,13 +377,15 @@ mod tests {
             WebResponse::NegotiationRequired { negotiation_id, .. } => negotiation_id,
             other => panic!("expected negotiation, got {other:?}"),
         };
-        // Never answer: the worker's timeout fires and rejects; the
-        // late decision request then just collects the failure.
-        std::thread::sleep(Duration::from_millis(300));
-        let response = gw.decide(id, WebDecision { accept: true });
+        // Never answer: dropping the decision channel resumes the
+        // parked worker via a channel disconnect — deterministic, no
+        // wall-clock sleep racing the worker's timeout.
+        let response = gw.abandon(id);
         match response {
-            WebResponse::BusinessResult(Err(_)) => {}
-            other => panic!("expected timed-out rejection, got {other:?}"),
+            WebResponse::BusinessResult(Err(e)) => {
+                assert!(matches!(e, dedisys_types::Error::ThreatRejected { .. }));
+            }
+            other => panic!("expected rejection, got {other:?}"),
         }
     }
 }

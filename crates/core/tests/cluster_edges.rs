@@ -1,6 +1,7 @@
 //! Edge-case behaviour of the cluster façade: locking, deployment
 //! checks, remote reads of bound objects, metrics and naming.
 
+use dedisys_core::nodes;
 use dedisys_core::ClusterBuilder;
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{Error, NodeId, ObjectId, SystemMode, Value};
@@ -28,8 +29,10 @@ fn seed(c: &mut dedisys_core::Cluster, key: &str) -> ObjectId {
 fn concurrent_transactions_conflict_on_the_same_object() {
     let mut c = cluster(2);
     let id = seed(&mut c, "a");
-    let tx1 = c.begin(NodeId(0));
-    let tx2 = c.begin(NodeId(1));
+    // Two live transactions need raw ids: detach them from their RAII
+    // sessions.
+    let tx1 = c.session(NodeId(0)).detach();
+    let tx2 = c.session(NodeId(1)).detach();
     c.set_field(NodeId(0), tx1, &id, "v", Value::Int(1))
         .unwrap();
     // Entity-bean locking: the second transaction cannot write.
@@ -49,15 +52,15 @@ fn concurrent_transactions_conflict_on_the_same_object() {
 #[test]
 fn unknown_classes_and_objects_are_rejected() {
     let mut c = cluster(1);
-    let tx = c.begin(NodeId(0));
+    let mut session = c.session(NodeId(0));
     let ghost_class = ObjectId::new("Ghost", "g");
     assert!(matches!(
-        c.invoke(NodeId(0), tx, &ghost_class, "setV", vec![Value::Int(1)]),
+        session.invoke(&ghost_class, "setV", vec![Value::Int(1)]),
         Err(Error::ClassNotDeployed(_))
     ));
     let missing = ObjectId::new("Item", "missing");
     assert!(matches!(
-        c.invoke(NodeId(0), tx, &missing, "setV", vec![Value::Int(1)]),
+        session.invoke(&missing, "setV", vec![Value::Int(1)]),
         Err(Error::ObjectNotFound(_))
     ));
 }
@@ -66,7 +69,7 @@ fn unknown_classes_and_objects_are_rejected() {
 fn terminated_transactions_cannot_be_reused() {
     let mut c = cluster(1);
     let id = seed(&mut c, "a");
-    let tx = c.begin(NodeId(0));
+    let tx = c.session(NodeId(0)).detach();
     c.commit(tx).unwrap();
     assert!(matches!(c.commit(tx), Err(Error::NoSuchTransaction(_))));
     assert!(matches!(c.rollback(tx), Err(Error::NoSuchTransaction(_))));
@@ -74,6 +77,31 @@ fn terminated_transactions_cannot_be_reused() {
         c.set_field(NodeId(0), tx, &id, "v", Value::Int(1)),
         Err(Error::NoSuchTransaction(_))
     ));
+}
+
+#[test]
+fn session_rolls_back_on_drop_and_raw_begin_still_works() {
+    let mut c = cluster(1);
+    let id = seed(&mut c, "a");
+    {
+        let mut session = c.session(NodeId(0));
+        session.set_field(&id, "v", Value::Int(9)).unwrap();
+        // Dropped without commit: the buffered write must vanish.
+    }
+    assert_eq!(
+        c.entity_on(NodeId(0), &id).unwrap().field("v"),
+        &Value::Int(0),
+        "dropped session rolled back"
+    );
+    // The deprecated raw surface keeps working during migration.
+    #[allow(deprecated)]
+    let tx = c.begin(NodeId(0));
+    c.set_field(NodeId(0), tx, &id, "v", Value::Int(3)).unwrap();
+    c.commit(tx).unwrap();
+    assert_eq!(
+        c.entity_on(NodeId(0), &id).unwrap().field("v"),
+        &Value::Int(3)
+    );
 }
 
 #[test]
@@ -94,7 +122,7 @@ fn bound_objects_are_read_remotely_within_the_partition() {
         .unwrap();
     assert_eq!(got, Value::Int(42));
     // After isolating node 2, the object is unreachable from node 0.
-    c.partition_raw(&[&[0, 1], &[2]]);
+    c.partition(&[nodes![0, 1], nodes![2]]).unwrap();
     let gone = c.run_tx(NodeId(0), |c, tx| c.get_field(NodeId(0), tx, &id, "v"));
     assert!(matches!(gone, Err(Error::ObjectUnreachable(_))));
 }
@@ -156,7 +184,7 @@ fn naming_service_binds_and_resolves_targets() {
 fn views_track_partition_membership_per_node() {
     let mut c = cluster(4);
     assert_eq!(c.view_of(NodeId(0)).size(), 4);
-    c.partition_raw(&[&[0, 1], &[2, 3]]);
+    c.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     assert_eq!(c.view_of(NodeId(0)).size(), 2);
     assert_eq!(c.view_of(NodeId(3)).size(), 2);
     assert!(!c.view_of(NodeId(0)).contains(NodeId(2)));
@@ -171,7 +199,7 @@ fn partition_fraction_reflects_weights() {
         .weights(dedisys_gms::NodeWeights::explicit(vec![3, 1, 1, 1]))
         .build()
         .unwrap();
-    c.partition_raw(&[&[0], &[1, 2, 3]]);
+    c.partition(&[nodes![0], nodes![1, 2, 3]]).unwrap();
     assert!((c.partition_fraction(NodeId(0)) - 0.5).abs() < 1e-9);
     assert!((c.partition_fraction(NodeId(1)) - 0.5).abs() < 1e-9);
 }

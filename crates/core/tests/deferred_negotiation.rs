@@ -6,6 +6,7 @@
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
+use dedisys_core::nodes;
 use dedisys_core::{Cluster, ClusterBuilder, ConsistencyThreat, NegotiationTiming, ThreatDecision};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{Error, NodeId, ObjectId, SatisfactionDegree, Value};
@@ -41,7 +42,7 @@ fn degraded_cluster() -> (Cluster, ObjectId) {
             c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     (cluster, id)
 }
 
@@ -49,17 +50,17 @@ fn degraded_cluster() -> (Cluster, ObjectId) {
 fn operations_continue_and_threats_are_stored_at_commit() {
     let (mut cluster, id) = degraded_cluster();
     let node = NodeId(0);
-    let tx = cluster.begin(node);
+    let mut session = cluster.session(node);
     // Two threatened writes within one transaction: neither negotiates
     // yet.
-    cluster
-        .set_field(node, tx, &id, "n", Value::Int(1))
-        .unwrap();
-    cluster
-        .set_field(node, tx, &id, "n", Value::Int(2))
-        .unwrap();
-    assert_eq!(cluster.threats().len(), 0, "nothing stored before commit");
-    cluster.commit(tx).unwrap();
+    session.set_field(&id, "n", Value::Int(1)).unwrap();
+    session.set_field(&id, "n", Value::Int(2)).unwrap();
+    assert_eq!(
+        session.cluster().threats().len(),
+        0,
+        "nothing stored before commit"
+    );
+    session.commit().unwrap();
     // Identical threats deduplicate to one record, accepted via the
     // static declaration.
     assert_eq!(cluster.threats().identities().len(), 1);
@@ -70,15 +71,11 @@ fn operations_continue_and_threats_are_stored_at_commit() {
 fn rejection_at_commit_rolls_back_the_whole_transaction() {
     let (mut cluster, id) = degraded_cluster();
     let node = NodeId(0);
-    let tx = cluster.begin(node);
-    cluster.register_negotiation_handler(
-        tx,
-        Box::new(|_: &mut ConsistencyThreat| ThreatDecision::Reject),
-    );
-    cluster
-        .set_field(node, tx, &id, "n", Value::Int(5))
-        .unwrap();
-    let result = cluster.commit(tx);
+    let mut session = cluster.session(node);
+    session
+        .register_negotiation_handler(Box::new(|_: &mut ConsistencyThreat| ThreatDecision::Reject));
+    session.set_field(&id, "n", Value::Int(5)).unwrap();
+    let result = session.commit();
     assert!(matches!(result, Err(Error::ThreatRejected { .. })));
     assert_eq!(
         cluster.entity_on(node, &id).unwrap().field("n"),
@@ -92,25 +89,18 @@ fn rejection_at_commit_rolls_back_the_whole_transaction() {
 fn dynamic_handler_sees_every_deferred_threat() {
     let (mut cluster, id) = degraded_cluster();
     let node = NodeId(0);
-    let tx = cluster.begin(node);
+    let mut session = cluster.session(node);
     let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let seen_in_handler = Arc::clone(&seen);
-    cluster.register_negotiation_handler(
-        tx,
-        Box::new(move |threat: &mut ConsistencyThreat| {
-            seen_in_handler.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            threat.app_data = Some(Value::from("deferred"));
-            ThreatDecision::Accept
-        }),
-    );
-    cluster
-        .set_field(node, tx, &id, "n", Value::Int(1))
-        .unwrap();
-    cluster
-        .set_field(node, tx, &id, "n", Value::Int(2))
-        .unwrap();
+    session.register_negotiation_handler(Box::new(move |threat: &mut ConsistencyThreat| {
+        seen_in_handler.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        threat.app_data = Some(Value::from("deferred"));
+        ThreatDecision::Accept
+    }));
+    session.set_field(&id, "n", Value::Int(1)).unwrap();
+    session.set_field(&id, "n", Value::Int(2)).unwrap();
     assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 0);
-    cluster.commit(tx).unwrap();
+    session.commit().unwrap();
     assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 2);
     assert_eq!(
         cluster.threats().threats()[0].app_data,

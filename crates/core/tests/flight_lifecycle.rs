@@ -8,6 +8,7 @@
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
+use dedisys_core::nodes;
 use dedisys_core::{
     ClusterBuilder, ReconOps, ReconcileInstructions, ReplicaConflict, ViolationReport,
 };
@@ -66,7 +67,7 @@ fn flight_booking_partition_threat_reconciliation() {
     }
 
     // Network partition: {0} vs {1, 2}.
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     assert_eq!(cluster.mode(), SystemMode::Degraded);
 
     // Partition A sells 7 (70 → 77 ≤ 80: possibly satisfied, accepted
@@ -160,7 +161,7 @@ fn non_tradeable_constraints_block_degraded_writes() {
             c.set_field(node, tx, &flight, "seats", Value::Int(10))
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     // Fallback to conventional behaviour: the system blocks (§3.2).
     let result = cluster.run_tx(node, |c, tx| {
         c.set_field(node, tx, &flight, "sold", Value::Int(1))
@@ -191,7 +192,7 @@ fn deferred_reconciliation_is_cleaned_up_by_business_operations() {
             c.set_field(a, tx, &flight, "sold", Value::Int(9))
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     cluster
         .run_tx(a, |c, tx| {
             c.set_field(a, tx, &flight, "sold", Value::Int(10))

@@ -5,6 +5,7 @@
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
+use dedisys_core::nodes;
 use dedisys_core::ClusterBuilder;
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{ConstraintName, NodeId, ObjectId, SatisfactionDegree, Value};
@@ -110,7 +111,7 @@ fn accepted_threats_survive_a_middleware_crash() {
             )
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     cluster
         .run_tx(node, |c, tx| {
             c.set_field(node, tx, &id, "stock", Value::Int(10))

@@ -256,7 +256,8 @@ impl EntityContainer {
         let json = entity
             .to_json()
             .expect("entity state serializes to journal");
-        self.journal.append_put(JOURNAL_TABLE, entity.id().to_string(), json);
+        self.journal
+            .append_put(JOURNAL_TABLE, entity.id().to_string(), json);
     }
 
     /// Number of entries in the durable journal.

@@ -318,6 +318,20 @@ pub enum TraceEvent {
         /// restarted coordinator decided commit.
         presumed_abort: bool,
     },
+    /// A validation batch was scheduled for deterministic (possibly
+    /// parallel) evaluation. The shard/lane layout is a canonical
+    /// function of the batch size alone — deliberately independent of
+    /// the configured thread count, so same-seed traces stay
+    /// byte-identical across `Serial` and `Threads(n)` runs.
+    ValidationBatch {
+        /// Constraint × object-group candidates in the batch.
+        candidates: u32,
+        /// Canonical work units the batch was split into.
+        shards: u32,
+        /// Canonical evaluation-lane count of the merge schedule
+        /// (= shards; physical pool width never enters the trace).
+        pool: u32,
+    },
     /// The replication ship path retried a backup install after an
     /// injected write failure, with exponential backoff.
     ReplicaShipRetry {
@@ -363,6 +377,7 @@ impl TraceEvent {
             TraceEvent::NodeRestart { .. } => "node_restart",
             TraceEvent::TwoPcInDoubt { .. } => "two_pc_in_doubt",
             TraceEvent::TwoPcResolved { .. } => "two_pc_resolved",
+            TraceEvent::ValidationBatch { .. } => "validation_batch",
             TraceEvent::ReplicaShipRetry { .. } => "replica_ship_retry",
         }
     }

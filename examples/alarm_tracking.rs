@@ -9,6 +9,7 @@
 //! Run with: `cargo run --example alarm_tracking`
 
 use dedisys_apps::ats::{ats_cluster, create_alarm_with_report};
+use dedisys_core::nodes;
 use dedisys_core::{DeferAll, HighestVersionWins};
 use dedisys_types::{NodeId, Result, Value};
 
@@ -30,7 +31,7 @@ fn main() -> Result<()> {
     );
 
     // The split between the two sites.
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     println!("\nsplit between the sites: {}", cluster.topology());
 
     // Admin changes the alarm kind on its side…

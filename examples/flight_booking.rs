@@ -13,6 +13,7 @@ use dedisys_apps::flight::{
     booking_cluster, create_flight, flight_app, flight_methods,
     partition_sensitive_ticket_constraint, sell_tickets,
 };
+use dedisys_core::nodes;
 use dedisys_core::{ClusterBuilder, ReconOps, ThreatDecision, ViolationReport};
 use dedisys_types::{NodeId, Result, Value};
 
@@ -29,26 +30,25 @@ fn plain_ticket_constraint_scenario() -> Result<()> {
     println!("healthy: flight LH-441 with 80 seats, 70 sold");
 
     // Partition: {0,1} (side A) vs {2,3} (side B).
-    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     println!("partition: {}", cluster.topology());
 
     // Side A registers a dynamic negotiation handler for its sale —
     // accept anything but attach booking data for reconciliation.
-    let tx = cluster.begin(NodeId(0));
-    cluster.register_negotiation_handler(
-        tx,
-        Box::new(|threat: &mut dedisys_core::ConsistencyThreat| {
+    let mut session = cluster.session(NodeId(0));
+    session.register_negotiation_handler(Box::new(
+        |threat: &mut dedisys_core::ConsistencyThreat| {
             threat.app_data = Some(Value::from("sold by agent A"));
             println!(
                 "  [negotiation] {} is {} — accepting",
                 threat.constraint, threat.degree
             );
             ThreatDecision::Accept
-        }),
-    );
+        },
+    ));
     let f = flight.clone();
-    cluster.invoke(NodeId(0), tx, &f, "sellTickets", vec![Value::Int(7)])?;
-    cluster.commit(tx)?;
+    session.invoke(&f, "sellTickets", vec![Value::Int(7)])?;
+    session.commit()?;
     println!("side A: sold 7 (77/80 on its copies)");
 
     sell_tickets(&mut cluster, NodeId(2), &flight, 8)?;
@@ -120,7 +120,7 @@ fn partition_sensitive_scenario() -> Result<()> {
         .constraint(partition_sensitive_ticket_constraint())
         .build()?;
     let flight = create_flight(&mut cluster, NodeId(0), "LH-441", 80, 70)?;
-    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     println!("partition: each side holds weight 1/2 → 5 of the 10 remaining tickets");
 
     for node in [NodeId(0), NodeId(2)] {

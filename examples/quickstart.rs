@@ -10,6 +10,7 @@
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
+use dedisys_core::nodes;
 use dedisys_core::{ClusterBuilder, DeferAll, HighestVersionWins};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{NodeId, ObjectId, Result, SatisfactionDegree, Value};
@@ -56,7 +57,7 @@ fn main() -> Result<()> {
 
     // 4. Degraded mode: a partition splits the cluster; both sides stay
     //    available, trading consistency threats.
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     println!(
         "\npartition installed: {:?} — mode = {}",
         cluster.topology(),

@@ -9,6 +9,7 @@
 //! Run with: `cargo run --example telecom_channels`
 
 use dedisys_apps::dtms::{create_channel, dtms_cluster, retune};
+use dedisys_core::nodes;
 use dedisys_core::{HighestVersionWins, ReconOps, ViolationReport};
 use dedisys_types::{NodeId, Result, SatisfactionDegree, Value};
 
@@ -33,7 +34,7 @@ fn main() -> Result<()> {
     println!("healthy: lone retune rejected: {}", lone.unwrap_err());
 
     // Vienna loses its link to the other sites.
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     println!("\nVienna isolated: {}", cluster.topology());
 
     // The Graz endpoint is unreachable from Vienna — the constraint is

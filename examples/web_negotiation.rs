@@ -9,6 +9,7 @@
 //! Run with: `cargo run --example web_negotiation`
 
 use dedisys_apps::flight::{booking_cluster, create_flight};
+use dedisys_core::nodes;
 use dedisys_core::web::{WebDecision, WebGateway, WebResponse};
 use dedisys_types::{NodeId, Result, Value};
 use std::sync::{Arc, Mutex};
@@ -16,7 +17,7 @@ use std::sync::{Arc, Mutex};
 fn main() -> Result<()> {
     let mut cluster = booking_cluster(2)?;
     let flight = create_flight(&mut cluster, NodeId(0), "LH-441", 80, 78)?;
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     println!("degraded flight-booking system; browser talks to node 0\n");
 
     let mut gateway = WebGateway::new(Arc::new(Mutex::new(cluster)), NodeId(0));

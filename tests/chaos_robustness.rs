@@ -49,12 +49,9 @@ fn seed_object(cluster: &mut Cluster) -> ObjectId {
 /// through the prepare phase, leaving a prepared (hanging) 2PC
 /// coordinator — the setup of every in-doubt scenario.
 fn prepare_hanging_tx(cluster: &mut Cluster, node: NodeId, id: &ObjectId) -> TxId {
-    let tx = cluster.begin(node);
-    cluster
-        .set_field(node, tx, id, "n", Value::Int(7))
-        .unwrap();
-    cluster.prepare(tx).unwrap();
-    tx
+    let mut session = cluster.session(node);
+    session.set_field(id, "n", Value::Int(7)).unwrap();
+    session.prepare().unwrap()
 }
 
 // ---------------------------------------------------------------------
@@ -117,7 +114,10 @@ fn coordinator_restart_presumes_abort_and_replays_journal() {
     c.crash(NodeId(1)).unwrap();
     assert!(c.is_crashed(NodeId(1)));
     assert_eq!(c.in_doubt_count(), 1);
-    assert!(c.journal_len_on(NodeId(1)) > 0, "journal survives the crash");
+    assert!(
+        c.journal_len_on(NodeId(1)) > 0,
+        "journal survives the crash"
+    );
 
     c.restart(NodeId(1)).unwrap();
     assert!(!c.is_crashed(NodeId(1)));
@@ -224,7 +224,7 @@ fn crashed_node_rejects_requests_until_restarted() {
     let mut c = cluster(3);
     let id = seed_object(&mut c);
     c.crash(NodeId(2)).unwrap();
-    let tx = c.begin(NodeId(0));
+    let tx = c.session(NodeId(0)).detach();
     assert!(matches!(
         c.set_field(NodeId(2), tx, &id, "n", Value::Int(1)),
         Err(Error::NodeCrashed(NodeId(2)))
@@ -245,17 +245,20 @@ fn crashed_node_rejects_requests_until_restarted() {
 fn explicit_schedule_with_mid_2pc_crashes_stays_clean() {
     let plan = FaultPlan::new()
         .at(25, FaultStep::Crash(NodeId(1)))
-        .at(60, FaultStep::Partition(vec![
-            vec![NodeId(0), NodeId(2)],
-            vec![NodeId(3)],
-        ]))
+        .at(
+            60,
+            FaultStep::Partition(vec![vec![NodeId(0), NodeId(2)], vec![NodeId(3)]]),
+        )
         .at(90, FaultStep::Restart(NodeId(1)))
         .at(110, FaultStep::Crash(NodeId(3)))
         .at(140, FaultStep::Heal)
-        .at(170, FaultStep::WriteFaultWindow {
-            node: NodeId(2),
-            failures: 3,
-        });
+        .at(
+            170,
+            FaultStep::WriteFaultWindow {
+                node: NodeId(2),
+                failures: 3,
+            },
+        );
     let report = ChaosEngine::new(ChaosConfig {
         nodes: 4,
         ops: 200,

@@ -2,6 +2,7 @@
 //! protocols under partitions, and their interaction with constraint
 //! consistency management.
 
+use dedisys_core::nodes;
 use dedisys_core::{ClusterBuilder, DeferAll, HighestVersionWins, ProtocolKind};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{Error, NodeId, ObjectId, SystemMode, Value};
@@ -45,7 +46,7 @@ fn write(
 fn primary_backup_blocks_writes_away_from_primary() {
     let mut cluster = cluster_with(ProtocolKind::PrimaryBackup, 3);
     let id = seed_item(&mut cluster, "a"); // primary = creator = n0
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     // Primary's side writes; the other side is blocked.
     assert!(write(&mut cluster, NodeId(0), &id, 1).is_ok());
     assert!(matches!(
@@ -63,7 +64,7 @@ fn primary_backup_blocks_writes_away_from_primary() {
 fn primary_partition_allows_only_majority_side() {
     let mut cluster = cluster_with(ProtocolKind::PrimaryPartition, 3);
     let id = seed_item(&mut cluster, "a");
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     assert!(matches!(
         write(&mut cluster, NodeId(0), &id, 1),
         Err(Error::ModeRestriction(_))
@@ -84,7 +85,7 @@ fn primary_partition_allows_only_majority_side() {
 fn p4_writes_everywhere_and_reconciles_conflicts() {
     let mut cluster = cluster_with(ProtocolKind::PrimaryPerPartition, 3);
     let id = seed_item(&mut cluster, "a");
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     assert!(write(&mut cluster, NodeId(0), &id, 1).is_ok());
     assert!(write(&mut cluster, NodeId(1), &id, 2).is_ok());
     assert!(write(&mut cluster, NodeId(2), &id, 3).is_ok());
@@ -112,7 +113,7 @@ fn adaptive_voting_adapts_quorums_in_degraded_mode() {
     let id = seed_item(&mut cluster, "a");
     // Healthy: majority quorum available, writes fine.
     assert!(write(&mut cluster, NodeId(1), &id, 1).is_ok());
-    cluster.partition_raw(&[&[0], &[1, 2]]);
+    cluster.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     // Degraded: both partitions may write (adapted quorums).
     assert!(write(&mut cluster, NodeId(0), &id, 2).is_ok());
     assert!(write(&mut cluster, NodeId(1), &id, 3).is_ok());
@@ -126,7 +127,7 @@ fn mode_transitions_follow_figure_1_4() {
     let mut cluster = cluster_with(ProtocolKind::PrimaryPerPartition, 2);
     let id = seed_item(&mut cluster, "a");
     assert_eq!(cluster.mode(), SystemMode::Healthy);
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     assert_eq!(cluster.mode(), SystemMode::Degraded);
     write(&mut cluster, NodeId(0), &id, 1).unwrap();
     cluster.heal();
@@ -141,7 +142,7 @@ fn repeated_partition_cycles_stay_consistent() {
     let id = seed_item(&mut cluster, "a");
     let mut expected = 0;
     for round in 0..5 {
-        cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+        cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
         expected = round * 10 + 1;
         write(&mut cluster, NodeId(0), &id, expected).unwrap();
         write(&mut cluster, NodeId(2), &id, round * 10 + 2).unwrap();

@@ -5,6 +5,7 @@
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
+use dedisys_core::nodes;
 use dedisys_core::{
     ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy, ReconcileInstructions,
 };
@@ -79,13 +80,15 @@ fn cascading_partitions_merge_step_by_step() {
         .unwrap();
     let id = seed(&mut cluster);
     // First a 2/2 split, then one side splits again.
-    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     cluster
         .run_tx(NodeId(2), |c, tx| {
             c.set_field(NodeId(2), tx, &id, "n", Value::Int(7))
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1], &[2, 3]]);
+    cluster
+        .partition(&[nodes![0], nodes![1], nodes![2, 3]])
+        .unwrap();
     cluster
         .run_tx(NodeId(0), |c, tx| {
             c.set_field(NodeId(0), tx, &id, "n", Value::Int(3))
@@ -125,7 +128,7 @@ fn rollback_based_reconciliation_restores_a_consistent_state() {
             c.set_field(NodeId(0), tx, &id, "n", Value::Int(40))
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     // Each side adds 35: individually fine (75 ≤ 100), merged by an
     // additive handler it overflows (110 > 100).
     cluster
@@ -174,7 +177,7 @@ fn exhausted_handler_retries_are_accounted_as_deferred() {
         .build()
         .unwrap();
     let id = seed(&mut cluster);
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     for node in [NodeId(0), NodeId(1)] {
         let id = id.clone();
         cluster
@@ -226,7 +229,7 @@ fn full_history_policy_stores_every_occurrence() {
             .build()
             .unwrap();
         let id = seed(&mut cluster);
-        cluster.partition_raw(&[&[0], &[1]]);
+        cluster.partition(&[nodes![0], nodes![1]]).unwrap();
         for i in 1..=5 {
             cluster
                 .run_tx(NodeId(0), |c, tx| {
@@ -249,7 +252,7 @@ fn async_constraints_skip_degraded_validation() {
         .unwrap();
     let id = seed(&mut cluster);
     let validations_before = cluster.stats().ccm.validations;
-    cluster.partition_raw(&[&[0], &[1]]);
+    cluster.partition(&[nodes![0], nodes![1]]).unwrap();
     cluster
         .run_tx(NodeId(0), |c, tx| {
             c.set_field(NodeId(0), tx, &id, "n", Value::Int(5))

@@ -1,0 +1,184 @@
+//! The determinism contract of the batch-validation pool: under any
+//! workload schedule and any worker count, a cluster produces the
+//! same `StatsSnapshot` and a **byte-identical** JSONL telemetry
+//! trace as the serial evaluation path.
+
+use dedisys_chaos::{ChaosConfig, ChaosEngine};
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{
+    nodes, ClusterBuilder, DeferAll, HighestVersionWins, JsonlExporter, ValidationParallelism,
+};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, Value};
+use proptest::prelude::*;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink into a shared buffer, read back after the cluster
+/// (and its exporter's `BufWriter`) is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("par").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("max", Value::Int(100)),
+    )
+}
+
+/// Twelve copies of the bounded constraint, so every write validates a
+/// multi-shard batch; tradeable, so degraded-mode runs produce threats
+/// and negotiation traffic too.
+fn constraints() -> Vec<RegisteredConstraint> {
+    (0..12)
+        .map(|i| {
+            RegisteredConstraint::new(
+                ConstraintMeta::new(format!("Bounded-{i:02}"))
+                    .tradeable(SatisfactionDegree::PossiblySatisfied),
+                Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+            )
+            .context_class("Counter")
+            .affects("Counter", "setN", ContextPreparation::CalledObject)
+        })
+        .collect()
+}
+
+/// One step of a random workload schedule, decoded from raw tuples.
+type Step = (u8, u32, usize, i64);
+
+/// Runs `schedule` on a fresh cluster under `parallelism`; returns the
+/// serialized [`dedisys_core::StatsSnapshot`] and the raw JSONL trace.
+fn run_schedule(parallelism: ValidationParallelism, schedule: &[Step]) -> (String, Vec<u8>) {
+    let buf = SharedBuf::default();
+    let mut cluster = ClusterBuilder::new(3, app())
+        .constraints(constraints())
+        .validation_parallelism(parallelism)
+        .build()
+        .unwrap();
+    cluster
+        .telemetry()
+        .attach(Box::new(JsonlExporter::new(Box::new(buf.clone()))));
+    let objects: Vec<ObjectId> = (0..4)
+        .map(|i| {
+            let id = ObjectId::new("Counter", format!("c{i}"));
+            let e = id.clone();
+            cluster
+                .run_tx(NodeId(0), move |c, tx| {
+                    c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+                })
+                .unwrap();
+            id
+        })
+        .collect();
+    for &(action, node_raw, obj, value) in schedule {
+        match action % 8 {
+            0 => {
+                let _ = cluster.partition(&[nodes![0], nodes![1], nodes![2]]);
+            }
+            1 => {
+                cluster.heal();
+                cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+            }
+            _ => {
+                let node = NodeId(node_raw % 3);
+                let id = objects[obj % objects.len()].clone();
+                // Degraded or over-limit writes may abort; the
+                // determinism contract covers failures too.
+                let _ = cluster.run_tx(node, move |c, tx| {
+                    c.set_field(node, tx, &id, "n", Value::Int(value))
+                });
+            }
+        }
+    }
+    cluster.heal();
+    cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    let stats = serde_json::to_string(&cluster.stats()).unwrap();
+    drop(cluster);
+    let trace = buf.0.lock().expect("trace buffer poisoned").clone();
+    (stats, trace)
+}
+
+/// Runs one seeded chaos soak under `parallelism`; returns the
+/// serialized final stats, the ok/failed op counts and the JSONL trace.
+fn run_chaos(parallelism: ValidationParallelism, seed: u64) -> (String, (u64, u64), Vec<u8>) {
+    let buf = SharedBuf::default();
+    let engine = ChaosEngine::new(ChaosConfig {
+        nodes: 3,
+        ops: 120,
+        faults: 10,
+        item_pool: 8,
+        seed,
+        parallelism,
+    })
+    .unwrap();
+    engine
+        .cluster()
+        .telemetry()
+        .attach(Box::new(JsonlExporter::new(Box::new(buf.clone()))));
+    let report = engine.run().unwrap();
+    let stats = serde_json::to_string(&report.final_stats).unwrap();
+    let trace = buf.0.lock().expect("trace buffer poisoned").clone();
+    (stats, (report.ops_ok, report.ops_failed), trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial vs `Threads(n)`: identical stats, byte-identical traces,
+    /// for random schedules of writes, partitions, heals and
+    /// reconciliations.
+    #[test]
+    fn random_workloads_are_parallelism_invariant(
+        workers in 2usize..9,
+        schedule in prop::collection::vec(
+            (any::<u8>(), 0u32..3, 0usize..4, 0i64..200),
+            1..24,
+        ),
+    ) {
+        let (serial_stats, serial_trace) =
+            run_schedule(ValidationParallelism::Serial, &schedule);
+        let (par_stats, par_trace) =
+            run_schedule(ValidationParallelism::Threads(workers), &schedule);
+        prop_assert_eq!(serial_stats, par_stats, "stats diverged at Threads({})", workers);
+        prop_assert!(!serial_trace.is_empty(), "trace captured");
+        prop_assert_eq!(serial_trace, par_trace, "trace diverged at Threads({})", workers);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The full chaos engine — random faults, crashes, partitions,
+    /// in-doubt recovery — is equally parallelism-invariant.
+    #[test]
+    fn chaos_runs_are_parallelism_invariant(
+        seed in 0u64..1000,
+        workers in 2usize..9,
+    ) {
+        let (serial_stats, serial_ops, serial_trace) =
+            run_chaos(ValidationParallelism::Serial, seed);
+        let (par_stats, par_ops, par_trace) =
+            run_chaos(ValidationParallelism::Threads(workers), seed);
+        prop_assert_eq!(serial_ops, par_ops);
+        prop_assert_eq!(serial_stats, par_stats, "stats diverged at seed {}", seed);
+        prop_assert!(!serial_trace.is_empty(), "trace captured");
+        prop_assert_eq!(serial_trace, par_trace, "trace diverged at seed {}", seed);
+    }
+}

@@ -6,6 +6,7 @@ use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
     ValidationContext,
 };
+use dedisys_core::nodes;
 use dedisys_core::{ClusterBuilder, DeferAll, HighestVersionWins, ReconcileInstructions};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SystemMode, Value};
@@ -43,7 +44,9 @@ fn partial_merge_reconciles_reachable_and_postpones_the_rest() {
         .unwrap();
 
     // Three-way split; every partition writes.
-    cluster.partition_raw(&[&[0], &[1], &[2, 3]]);
+    cluster
+        .partition(&[nodes![0], nodes![1], nodes![2, 3]])
+        .unwrap();
     for (node, value) in [(0u32, 1i64), (1, 2), (2, 3)] {
         let id = id.clone();
         cluster
@@ -55,7 +58,7 @@ fn partial_merge_reconciles_reachable_and_postpones_the_rest() {
     assert_eq!(cluster.threats().identities().len(), 1);
 
     // Partitions {0} and {1} merge; {2,3} stays away.
-    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     let summary = cluster.reconcile_partial(NodeId(0), &mut HighestVersionWins, &mut DeferAll);
 
     // The {0}/{1} conflict was resolved within the merged partition…
@@ -109,7 +112,9 @@ fn partial_merge_with_all_writers_reachable_resolves_threats() {
             c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
         })
         .unwrap();
-    cluster.partition_raw(&[&[0], &[1], &[2]]);
+    cluster
+        .partition(&[nodes![0], nodes![1], nodes![2]])
+        .unwrap();
     // Only partitions {0} and {1} write.
     for (node, value) in [(0u32, 5i64), (1, 6)] {
         let id = id.clone();
@@ -123,7 +128,7 @@ fn partial_merge_with_all_writers_reachable_resolves_threats() {
     // node 2 still holds a (stale, never-written) replica, so the
     // object remains tracked and the threat stays (P4: possibly stale
     // while any partition remains).
-    cluster.partition_raw(&[&[0, 1], &[2]]);
+    cluster.partition(&[nodes![0, 1], nodes![2]]).unwrap();
     let summary = cluster.reconcile_partial(NodeId(0), &mut HighestVersionWins, &mut DeferAll);
     assert_eq!(
         summary.replica.conflicts.len(),
@@ -205,7 +210,9 @@ fn rollback_during_partial_merge_scopes_to_the_observer() {
     }
 
     // Three-way split: {2} and {3} write independently.
-    cluster.partition_raw(&[&[0, 1], &[2], &[3]]);
+    cluster
+        .partition(&[nodes![0, 1], nodes![2], nodes![3]])
+        .unwrap();
     for (node, id, value) in [
         (NodeId(2), &a_id, 30i64), // a1 history in {2}: 30, then 50
         (NodeId(2), &a_id, 50),
@@ -223,7 +230,7 @@ fn rollback_during_partial_merge_scopes_to_the_observer() {
     // {2, 3} re-unify; {0, 1} stays away. Node 2 observes. The additive
     // merge drives c1 to 140, so a1.n + c1.n = 190 > 160 — an actual
     // violation whose rollback search runs entirely inside {2, 3}.
-    cluster.partition_raw(&[&[0, 1], &[2, 3]]);
+    cluster.partition(&[nodes![0, 1], nodes![2, 3]]).unwrap();
     let mut additive = |conflict: &dedisys_core::ReplicaConflict| {
         let total: i64 = conflict
             .candidates

@@ -2,6 +2,7 @@
 
 use dedisys_constraints::expr::{self, ExprConstraint};
 use dedisys_constraints::{MapAccess, ValidationContext};
+use dedisys_core::nodes;
 use dedisys_core::partition_sensitive::partition_share;
 use dedisys_gc::{FifoReceiver, FifoSender};
 use dedisys_gms::NodeWeights;
@@ -346,7 +347,7 @@ mod reconciliation_accounting {
                 Some(merged)
             };
             for (writer, obj, value, full_heal) in schedule {
-                cluster.partition_raw(&[&[0], &[1], &[2]]);
+                cluster.partition(&[nodes![0], nodes![1], nodes![2]]).unwrap();
                 let node = NodeId(writer);
                 let id = objects[obj].clone();
                 // Degraded writes may abort (e.g. negotiation refuses);
@@ -360,7 +361,7 @@ mod reconciliation_accounting {
                     cluster.reconcile(&mut merge, &mut DeferAll)
                 } else {
                     // Partial re-unification: {0,1} merge, {2} away.
-                    cluster.partition_raw(&[&[0, 1], &[2]]);
+                    cluster.partition(&[nodes![0, 1], nodes![2]]).unwrap();
                     cluster.reconcile_partial(NodeId(0), &mut merge, &mut DeferAll)
                 };
                 check_counters(&summary.constraints, identities_before, incremental)?;
