@@ -23,12 +23,20 @@
 //! modes (exits 1 otherwise). With `--trace` the two JSONL traces are
 //! written to `<path>.serial` / `<path>.parallel` for external diffs.
 //!
+//! `repro fig-compile [--trace <path>]` runs the constraint-engine
+//! study: one invariant-heavy workload under the interpreted walker,
+//! the compiled programs, and compiled + verdict cache, reporting the
+//! deterministic virtual-time validation cost per engine and checking
+//! that verdicts are transparent across all three (exits 1 otherwise).
+//! With `--trace` the three JSONL traces are written to
+//! `<path>.interp` / `<path>.compiled` / `<path>.cached`.
+//!
 //! `--trace <path>` exports the typed telemetry stream of every cluster
 //! the Chapter 5 experiments build as JSONL — one `{seq, at, event}`
 //! object per line, stamped in virtual time only, so two runs of the
 //! same experiment write byte-identical files.
 
-use dedisys_bench::{ch2, ch5, chaos_soak, fig_par};
+use dedisys_bench::{ch2, ch5, chaos_soak, fig_compile, fig_par};
 use std::path::PathBuf;
 
 const CH2: &[&str] = &[
@@ -61,6 +69,7 @@ fn usage() -> ! {
          [--sweep K] [--trace <path>]"
     );
     eprintln!("       repro fig-par [--trace <path>]");
+    eprintln!("       repro fig-compile [--trace <path>]");
     eprintln!(
         "experiments: {}",
         CH2.iter()
@@ -101,6 +110,12 @@ fn main() {
         // Writes `<path>.serial` / `<path>.parallel` itself — the
         // shared append-to-one-file tracing below does not apply.
         fig_par::run(trace.as_deref());
+        return;
+    }
+    if args[0] == "fig-compile" {
+        // Writes `<path>.interp` / `<path>.compiled` / `<path>.cached`
+        // itself, one per engine configuration.
+        fig_compile::run(trace.as_deref());
         return;
     }
     if let Some(path) = &trace {

@@ -1,0 +1,378 @@
+//! `repro fig-compile` — validation cost of the interpreted expression
+//! walker vs the compiled constraint programs vs the compiled programs
+//! with the version-keyed verdict cache, with the verdict-transparency
+//! contract checked on every run.
+//!
+//! One deterministic invariant-heavy workload (Chapter-2-style write
+//! rounds interleaved with §3.3 full constraint sweeps, followed by a
+//! Figure-5-6-style degraded-mode episode) is driven three times from
+//! the same seed state, once per engine configuration. The table
+//! reports the deterministic *virtual-time* cost of validation — the
+//! quantity the `CostModel` charges per check (1000 µs interpreted,
+//! 120 µs compiled, 20 µs per cache probe) — plus wall clock for
+//! orientation. Verdicts must be **transparent**: mode, cluster/CCM/
+//! replication/tx counters, threat identities and every sweep's
+//! violating-object list are identical across the three runs — the run
+//! exits non-zero if they diverge.
+//!
+//! With `--trace <path>` the three JSONL traces are written to
+//! `<path>.interp`, `<path>.compiled` and `<path>.cached` so external
+//! tooling (the CI smoke job) can check each configuration is
+//! self-deterministic across repeated runs. The traces are *not*
+//! expected to match across configurations — compiled runs emit
+//! `constraint_compiled` events and cached runs emit hit/miss/
+//! invalidate events at different virtual times by design.
+
+use crate::table::{f2, print_table};
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{
+    nodes, Cluster, ClusterBuilder, ConstraintEngine, DeferAll, HighestVersionWins, JsonlExporter,
+    StatsSnapshot,
+};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{ConstraintName, NodeId, ObjectId, SatisfactionDegree, Value};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Constraints registered on the counter class.
+const CONSTRAINTS: usize = 12;
+
+/// Objects in the workload pool.
+const OBJECTS: usize = 16;
+
+/// A `Write` sink into a shared byte buffer, so the JSONL trace of a
+/// cluster can be inspected after the cluster (and the `BufWriter`
+/// inside its exporter) is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("fig-compile").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("reserve", Value::Int(0))
+            .with_field("max", Value::Int(1000)),
+    )
+}
+
+/// Twelve expression constraints over the counter, cycling through
+/// arithmetic shapes so the compiled programs have real work (constant
+/// folding, multi-op stacks) — all satisfied by the workload's writes
+/// except when a round deliberately overshoots.
+fn constraints() -> Vec<RegisteredConstraint> {
+    let shapes = [
+        "self.n <= self.max",
+        "self.n + self.reserve <= self.max",
+        "self.n * 2 <= self.max * 2",
+        "self.n + 1 <= self.max + 1",
+    ];
+    (0..CONSTRAINTS)
+        .map(|i| {
+            RegisteredConstraint::new(
+                ConstraintMeta::new(format!("Budget-{i:02}"))
+                    .tradeable(SatisfactionDegree::PossiblySatisfied),
+                Arc::new(ExprConstraint::parse(shapes[i % shapes.len()]).unwrap()),
+            )
+            .context_class("Counter")
+            .affects("Counter", "setN", ContextPreparation::CalledObject)
+            .affects("Counter", "setReserve", ContextPreparation::CalledObject)
+        })
+        .collect()
+}
+
+/// One engine configuration of the study.
+struct EngineConfig {
+    label: &'static str,
+    engine: ConstraintEngine,
+    cache: bool,
+    /// Trace-file suffix under `--trace`.
+    suffix: &'static str,
+}
+
+const CONFIGS: [EngineConfig; 3] = [
+    EngineConfig {
+        label: "Interpreted",
+        engine: ConstraintEngine::Interpreted,
+        cache: false,
+        suffix: ".interp",
+    },
+    EngineConfig {
+        label: "Compiled",
+        engine: ConstraintEngine::Compiled,
+        cache: false,
+        suffix: ".compiled",
+    },
+    EngineConfig {
+        label: "Compiled+cache",
+        engine: ConstraintEngine::Compiled,
+        cache: true,
+        suffix: ".cached",
+    },
+];
+
+/// The outcome of one configuration's run.
+pub struct ModeRun {
+    /// Configuration label.
+    pub label: String,
+    /// Wall-clock time of the workload loop.
+    pub wall: Duration,
+    /// The full statistics snapshot.
+    pub stats: StatsSnapshot,
+    /// Verdict-cache hits / misses (`ccm.verdict_cache.*`).
+    pub hits: u64,
+    /// See [`ModeRun::hits`].
+    pub misses: u64,
+    /// The verdict fingerprint — everything that must be identical
+    /// across configurations.
+    pub fingerprint: String,
+    /// The JSONL telemetry trace, byte for byte.
+    pub trace: Vec<u8>,
+}
+
+/// Every verdict-level observable: mode plus the cluster/CCM/
+/// replication/tx counters (virtual time, the telemetry registry and
+/// the event count legitimately differ across engines), the threat
+/// identities, and the violating-object list of every sweep.
+fn fingerprint(cluster: &Cluster, sweeps: &[(String, Vec<ObjectId>)]) -> String {
+    let stats = serde_json::to_value(cluster.stats()).expect("stats serialize");
+    let verdicts = serde_json::json!({
+        "mode": stats["mode"],
+        "cluster": stats["cluster"],
+        "ccm": stats["ccm"],
+        "replication": stats["replication"],
+        "tx": stats["tx"],
+    });
+    format!(
+        "{verdicts}\nthreats: {:?}\nsweeps: {sweeps:?}",
+        cluster.threats().identities()
+    )
+}
+
+/// A §3.3 full sweep: disable + re-enable every constraint with the
+/// mandated re-check over all context objects. On the cached
+/// configuration, sweeps over unchanged objects answer from the memo.
+fn sweep(cluster: &mut Cluster, sweeps: &mut Vec<(String, Vec<ObjectId>)>) {
+    for i in 0..CONSTRAINTS {
+        let name = ConstraintName::from(format!("Budget-{i:02}"));
+        cluster
+            .set_constraint_enabled(&name, false)
+            .expect("disable");
+        let violating = cluster
+            .enable_constraint_with_check(&name)
+            .expect("re-enable sweep");
+        sweeps.push((name.to_string(), violating));
+    }
+}
+
+/// Runs the workload under one engine configuration.
+pub fn measure(engine: ConstraintEngine, cache: bool, label: &str, rounds: usize) -> ModeRun {
+    let buf = SharedBuf::default();
+    let mut cluster = ClusterBuilder::new(3, app())
+        .constraints(constraints())
+        .constraint_engine(engine)
+        .verdict_cache(cache)
+        .build()
+        .expect("cluster");
+    cluster
+        .telemetry()
+        .attach(Box::new(JsonlExporter::new(Box::new(buf.clone()))));
+    let node = NodeId(0);
+    let pool: Vec<ObjectId> = (0..OBJECTS)
+        .map(|i| {
+            let id = ObjectId::new("Counter", format!("ctr-{i:02}"));
+            let e = id.clone();
+            cluster
+                .run_tx(node, move |c, tx| {
+                    c.create(node, tx, EntityState::for_class(c.app(), &e)?)
+                })
+                .expect("pool creation");
+            id
+        })
+        .collect();
+    let mut sweeps: Vec<(String, Vec<ObjectId>)> = Vec::new();
+    let start = Instant::now();
+    // Chapter-2-style rounds: a few writes, then a full sweep. Only a
+    // sliver of the pool changes per round, so most sweep checks are
+    // re-validations of unchanged committed state — the verdict
+    // cache's target case.
+    for round in 0..rounds {
+        for w in 0..3 {
+            let id = pool[(round * 3 + w) % pool.len()].clone();
+            let value = ((round + w) % 900) as i64;
+            cluster
+                .run_tx(node, move |c, tx| {
+                    c.set_field(node, tx, &id, "n", Value::Int(value))
+                })
+                .expect("write");
+        }
+        sweep(&mut cluster, &mut sweeps);
+    }
+    // Figure-5-6-style degraded episode: a minority partition keeps
+    // writing under tradeable constraints (threats accrue), then the
+    // cluster heals and reconciles.
+    let _ = cluster.partition(&[nodes![0, 1], nodes![2]]);
+    for (i, id) in pool.iter().take(4).cloned().enumerate() {
+        let _ = cluster.run_tx(node, move |c, tx| {
+            c.set_field(node, tx, &id, "reserve", Value::Int(10 + i as i64))
+        });
+        let id = pool[(i + 4) % pool.len()].clone();
+        let _ = cluster.run_tx(NodeId(2), move |c, tx| {
+            c.set_field(NodeId(2), tx, &id, "reserve", Value::Int(20 + i as i64))
+        });
+    }
+    cluster.heal();
+    cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    // Two closing sweeps: the second touches no changed state at all,
+    // so on the cached configuration it runs entirely from the memo.
+    sweep(&mut cluster, &mut sweeps);
+    sweep(&mut cluster, &mut sweeps);
+    let wall = start.elapsed();
+    let stats = cluster.stats();
+    let counter = |name: &str| stats.telemetry.counters.get(name).copied().unwrap_or(0);
+    let hits = counter("ccm.verdict_cache.hit");
+    let misses = counter("ccm.verdict_cache.miss");
+    let print = fingerprint(&cluster, &sweeps);
+    // Dropping the cluster flushes the exporter's buffered writer into
+    // the shared buffer.
+    drop(cluster);
+    let trace = buf.0.lock().expect("trace buffer poisoned").clone();
+    ModeRun {
+        label: label.to_owned(),
+        wall,
+        stats,
+        hits,
+        misses,
+        fingerprint: print,
+        trace,
+    }
+}
+
+/// Runs all three configurations. Returns the runs for the unit tests.
+pub fn fig_compile(rounds: usize) -> Vec<ModeRun> {
+    CONFIGS
+        .iter()
+        .map(|c| measure(c.engine, c.cache, c.label, rounds))
+        .collect()
+}
+
+/// Runs and prints the experiment; writes `<path>.interp` /
+/// `<path>.compiled` / `<path>.cached` when a trace path is given.
+/// Exits non-zero when any configuration's verdicts diverge from the
+/// interpreted baseline.
+pub fn run(trace: Option<&Path>) {
+    let rounds = 12;
+    let runs = fig_compile(rounds);
+    let base_virtual = runs[0].stats.now_ns as f64;
+    let rows = runs
+        .iter()
+        .map(|run| {
+            vec![
+                run.label.clone(),
+                format!("{:.1}", run.stats.now_ns as f64 / 1e6),
+                f2(base_virtual / run.stats.now_ns as f64),
+                format!("{:.1}", run.wall.as_secs_f64() * 1_000.0),
+                run.hits.to_string(),
+                run.misses.to_string(),
+                run.trace.len().to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        &format!(
+            "fig-compile — constraint engines, {rounds} write/sweep rounds × \
+             {CONSTRAINTS} constraints over {OBJECTS} objects + degraded episode"
+        ),
+        &[
+            "engine",
+            "virtual ms",
+            "speedup",
+            "wall ms",
+            "cache hits",
+            "misses",
+            "trace bytes",
+        ],
+        &rows,
+    );
+    let transparent = runs
+        .iter()
+        .all(|run| run.fingerprint == runs[0].fingerprint);
+    println!(
+        "  verdicts: {}; Compiled+cache virtual-time speedup: {:.2}×",
+        if transparent {
+            "transparent across all engines"
+        } else {
+            "DIVERGED"
+        },
+        base_virtual / runs[2].stats.now_ns as f64,
+    );
+    if let Some(path) = trace {
+        for (config, run) in CONFIGS.iter().zip(&runs) {
+            let mut file = path.as_os_str().to_owned();
+            file.push(config.suffix);
+            std::fs::write(&file, &run.trace).expect("write trace file");
+        }
+        eprintln!(
+            "traces written to {}.interp / .compiled / .cached",
+            path.display()
+        );
+    }
+    if !transparent {
+        eprintln!("fig-compile: verdict-transparency contract violated");
+        std::process::exit(1);
+    }
+    if runs[2].stats.now_ns >= runs[0].stats.now_ns {
+        eprintln!("fig-compile: Compiled+cache failed to beat Interpreted in virtual time");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Verdict transparency and the virtual-time ordering on a small
+    /// instance: Interpreted > Compiled > Compiled+cache, identical
+    /// fingerprints throughout, and the cache actually hit.
+    #[test]
+    fn engines_are_transparent_and_cache_is_cheapest() {
+        let runs = fig_compile(3);
+        for run in &runs[1..] {
+            assert_eq!(
+                runs[0].fingerprint, run.fingerprint,
+                "verdicts diverged under {}",
+                run.label
+            );
+        }
+        assert!(
+            runs[0].stats.now_ns > runs[1].stats.now_ns,
+            "compiled checks must be cheaper than interpreted"
+        );
+        assert!(
+            runs[1].stats.now_ns > runs[2].stats.now_ns,
+            "cache probes must be cheaper than compiled re-checks"
+        );
+        assert!(runs[2].hits > 0, "repeated sweeps hit the cache");
+        assert_eq!(runs[0].hits + runs[1].hits, 0, "cache off ⇒ no hits");
+        for run in &runs {
+            assert!(!run.trace.is_empty(), "trace captured for {}", run.label);
+        }
+    }
+}

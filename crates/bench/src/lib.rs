@@ -17,9 +17,14 @@
 //! * [`fig_par`] — the batch-validation pool study (`repro fig-par`):
 //!   wall-clock serial vs parallel speedup with the byte-identical
 //!   trace contract checked on every run.
+//! * [`fig_compile`] — the constraint-engine study (`repro
+//!   fig-compile`): interpreted vs compiled vs compiled+verdict-cache
+//!   validation cost in deterministic virtual time, with the
+//!   verdict-transparency contract checked on every run.
 
 pub mod ch2;
 pub mod ch5;
 pub mod chaos_soak;
+pub mod fig_compile;
 pub mod fig_par;
 pub mod table;

@@ -2,8 +2,85 @@
 
 use crate::{ContextPreparation, FreshnessCriterion, ValidationContext};
 use dedisys_types::{ClassName, ConstraintName, MethodSignature, Result, SatisfactionDegree};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
+
+/// How declarative constraints are executed (Chapter 2 attributes the
+/// Dresden-OCL ~405× overhead to *interpretive* validation).
+///
+/// The engine is verdict-transparent: for any workload the verdicts,
+/// threats and statistics are identical under both settings — only the
+/// per-check virtual-time cost (and wall clock) changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConstraintEngine {
+    /// Walk the expression AST on every validation (the tool-generated
+    /// Dresden-OCL analogue of Chapter 2).
+    #[default]
+    Interpreted,
+    /// Run the flat program lowered once per constraint by
+    /// [`crate::expr::compile`] on a stack VM.
+    Compiled,
+}
+
+/// Environment keys whose values change with the topology (partition
+/// weight, health). A verdict that read them cannot be memoized by
+/// object versions alone, so the CCM verdict cache bypasses any
+/// constraint whose [`ReadSet`] touches them.
+pub const VOLATILE_ENV_KEYS: &[&str] = &[
+    "partitionWeight",
+    "partitionWeightUnits",
+    "totalWeightUnits",
+    "healthy",
+];
+
+/// The static read-set of a compiled constraint program: everything a
+/// validation's outcome can depend on besides the context object's own
+/// attribute values. Computed once at compile time; the CCM verdict
+/// cache uses it to decide whether a verdict is memoizable by
+/// `(constraint, context object, version)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadSet {
+    /// `self` attributes read (`self.seats`, …).
+    pub self_fields: BTreeSet<String>,
+    /// Environment keys read via `env("…")`.
+    pub env_keys: BTreeSet<String>,
+    /// Whether the program navigates beyond the context object
+    /// (`self.a.b`, `count("Class")`) — its outcome then depends on
+    /// objects the version key does not cover.
+    pub cross_object: bool,
+    /// Whether the program reads per-call inputs (`arg(i)`, `result()`,
+    /// `pre("…")`).
+    pub call_dependent: bool,
+}
+
+impl ReadSet {
+    /// Whether a verdict of this program may be memoized by
+    /// `(constraint, context object, context-object version)`: no
+    /// cross-object navigation, no per-call inputs, no volatile
+    /// environment values.
+    pub fn cacheable(&self) -> bool {
+        !self.cross_object
+            && !self.call_dependent
+            && self
+                .env_keys
+                .iter()
+                .all(|k| !VOLATILE_ENV_KEYS.contains(&k.as_str()))
+    }
+}
+
+/// Summary of one lowered constraint program, reported by
+/// [`Constraint::compiled`] for telemetry (`constraint_compiled`
+/// events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledInfo {
+    /// Number of VM ops in the lowered program.
+    pub ops: u32,
+    /// Distinct `self` fields + env keys in the static read-set.
+    pub reads: u32,
+    /// Whether verdicts are memoizable ([`ReadSet::cacheable`]).
+    pub cacheable: bool,
+}
 
 /// When a constraint is validated (§1.6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +197,36 @@ pub trait Constraint: Send + Sync {
     /// to snapshot `@pre` state into the context (§4.2.1).
     fn before_method_invocation(&self, ctx: &mut ValidationContext<'_>) {
         let _ = ctx;
+    }
+
+    /// Validates under the given execution engine. Declarative
+    /// constraints ([`crate::expr::ExprConstraint`]) dispatch to their
+    /// compiled program for [`ConstraintEngine::Compiled`]; imperative
+    /// constraints have nothing to compile and always interpret.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Constraint::validate`].
+    fn validate_with(
+        &self,
+        engine: ConstraintEngine,
+        ctx: &mut ValidationContext<'_>,
+    ) -> Result<bool> {
+        let _ = engine;
+        self.validate(ctx)
+    }
+
+    /// The static read-set of this constraint, when one can be derived
+    /// (declarative constraints only). `None` means the middleware must
+    /// assume the validation may read anything — no verdict caching.
+    fn read_set(&self) -> Option<&ReadSet> {
+        None
+    }
+
+    /// Forces compilation (when supported) and reports the program
+    /// summary; `None` for imperative constraints.
+    fn compiled(&self) -> Option<CompiledInfo> {
+        None
     }
 }
 

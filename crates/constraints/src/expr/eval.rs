@@ -18,10 +18,7 @@ pub fn evaluate(expr: &Expr, ctx: &mut ValidationContext<'_>) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::SelfRef => {
-            let id = ctx
-                .context_object()
-                .cloned()
-                .ok_or_else(|| expr_err("'self' used without a context object"))?;
+            let id = ctx.context_object().cloned().ok_or_else(missing_self)?;
             Ok(Value::Ref(id))
         }
         Expr::Env(key) => Ok(ctx.env(key).cloned().unwrap_or(Value::Null)),
@@ -31,38 +28,62 @@ pub fn evaluate(expr: &Expr, ctx: &mut ValidationContext<'_>) -> Result<Value> {
         Expr::Count(class) => Ok(Value::Int(ctx.objects_of_class(class).len() as i64)),
         Expr::Size(inner) => {
             let v = evaluate(inner, ctx)?;
-            match v {
-                Value::List(items) => Ok(Value::Int(items.len() as i64)),
-                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
-                other => Err(expr_err(format!(
-                    "size() expects a list or string, found {}",
-                    other.type_name()
-                ))),
-            }
+            size_value(v)
         }
         Expr::Field(inner, field) => {
             let v = evaluate(inner, ctx)?;
             match v {
                 Value::Ref(id) => ctx.field(&id, field),
-                Value::Null => Err(expr_err(format!("navigation '.{field}' on null"))),
-                other => Err(expr_err(format!(
-                    "navigation '.{field}' on {}, expected an object reference",
-                    other.type_name()
-                ))),
+                other => Err(nav_error(field, &other)),
             }
         }
         Expr::Unary(op, inner) => {
             let v = evaluate(inner, ctx)?;
             match op {
                 UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
-                UnaryOp::Neg => match v {
-                    Value::Int(n) => Ok(Value::Int(-n)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(expr_err(format!("cannot negate {}", other.type_name()))),
-                },
+                UnaryOp::Neg => negate_value(v),
             }
         }
         Expr::Binary(op, left, right) => eval_binary(*op, left, right, ctx),
+    }
+}
+
+/// The `'self' used without a context object` error — shared between
+/// interpreter and VM so the two engines fail identically.
+pub(super) fn missing_self() -> dedisys_types::Error {
+    expr_err("'self' used without a context object")
+}
+
+/// `size(v)` semantics, shared between interpreter and VM.
+pub(super) fn size_value(v: Value) -> Result<Value> {
+    match v {
+        Value::List(items) => Ok(Value::Int(items.len() as i64)),
+        Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+        other => Err(expr_err(format!(
+            "size() expects a list or string, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Unary minus semantics, shared between interpreter and VM.
+pub(super) fn negate_value(v: Value) -> Result<Value> {
+    match v {
+        Value::Int(n) => Ok(Value::Int(-n)),
+        Value::Float(f) => Ok(Value::Float(-f)),
+        other => Err(expr_err(format!("cannot negate {}", other.type_name()))),
+    }
+}
+
+/// The navigation error for a non-reference base, shared between
+/// interpreter and VM.
+pub(super) fn nav_error(field: &str, v: &Value) -> dedisys_types::Error {
+    match v {
+        Value::Null => expr_err(format!("navigation '.{field}' on null")),
+        other => expr_err(format!(
+            "navigation '.{field}' on {}, expected an object reference",
+            other.type_name()
+        )),
     }
 }
 
@@ -100,16 +121,23 @@ fn eval_binary(
 
     let l = evaluate(left, ctx)?;
     let r = evaluate(right, ctx)?;
+    apply_eager(op, &l, &r)
+}
+
+/// Applies a non-short-circuiting binary operator to two evaluated
+/// operands — the single definition of eager binary semantics, used by
+/// the interpreter, the stack VM and the constant folder.
+pub(super) fn apply_eager(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     match op {
-        BinOp::Add => match (&l, &r) {
+        BinOp::Add => match (l, r) {
             (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
-            _ => numeric(op, &l, &r),
+            _ => numeric(op, l, r),
         },
-        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => numeric(op, &l, &r),
-        BinOp::Eq => Ok(Value::Bool(values_equal(&l, &r))),
-        BinOp::Ne => Ok(Value::Bool(!values_equal(&l, &r))),
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => numeric(op, l, r),
+        BinOp::Eq => Ok(Value::Bool(values_equal(l, r))),
+        BinOp::Ne => Ok(Value::Bool(!values_equal(l, r))),
         BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let ord = l.compare(&r).ok_or_else(|| {
+            let ord = l.compare(r).ok_or_else(|| {
                 expr_err(format!(
                     "cannot compare {} with {}",
                     l.type_name(),

@@ -26,23 +26,32 @@
 //! strategy of Chapter 2's comparison (the Dresden-OCL analogue).
 
 mod ast;
+pub mod compile;
 mod eval;
 mod lexer;
 mod parser;
 
 pub use ast::{BinOp, Expr, UnaryOp};
+pub use compile::{compile, Program};
 pub use eval::evaluate;
 pub use lexer::{tokenize, Token};
 pub use parser::parse;
 
+use crate::constraint::{CompiledInfo, ConstraintEngine, ReadSet};
 use crate::{Constraint, ValidationContext};
 use dedisys_types::{Error, Result};
+use std::sync::OnceLock;
 
-/// A constraint whose validation logic is an interpreted expression.
+/// A constraint whose validation logic is an expression — interpreted
+/// over the AST, or lowered once to a [`Program`] and run by the stack
+/// VM (see [`ConstraintEngine`]).
 #[derive(Debug, Clone)]
 pub struct ExprConstraint {
     source: String,
     ast: Expr,
+    /// Lazily-compiled program; populated on first compiled-engine use
+    /// (or eagerly by the cluster at build time).
+    program: OnceLock<Program>,
 }
 
 impl ExprConstraint {
@@ -62,6 +71,7 @@ impl ExprConstraint {
         Ok(Self {
             source: source.to_owned(),
             ast,
+            program: OnceLock::new(),
         })
     }
 
@@ -74,12 +84,36 @@ impl ExprConstraint {
     pub fn ast(&self) -> &Expr {
         &self.ast
     }
+
+    /// The compiled program, lowering the AST on first use.
+    pub fn program(&self) -> &Program {
+        self.program.get_or_init(|| compile(&self.ast))
+    }
 }
 
 impl Constraint for ExprConstraint {
     fn validate(&self, ctx: &mut ValidationContext<'_>) -> Result<bool> {
         let value = evaluate(&self.ast, ctx)?;
         Ok(value.truthy())
+    }
+
+    fn validate_with(
+        &self,
+        engine: ConstraintEngine,
+        ctx: &mut ValidationContext<'_>,
+    ) -> Result<bool> {
+        match engine {
+            ConstraintEngine::Interpreted => self.validate(ctx),
+            ConstraintEngine::Compiled => Ok(self.program().evaluate(ctx)?.truthy()),
+        }
+    }
+
+    fn read_set(&self) -> Option<&ReadSet> {
+        Some(self.program().read_set())
+    }
+
+    fn compiled(&self) -> Option<CompiledInfo> {
+        Some(self.program().info())
     }
 }
 

@@ -57,8 +57,8 @@ mod repository;
 
 pub use config::{AffectedMethodConfig, ConstraintConfig, ConstraintConfigSet, ImplRegistry};
 pub use constraint::{
-    Constraint, ConstraintKind, ConstraintMeta, ConstraintPriority, ObjectScope,
-    RegisteredConstraint,
+    CompiledInfo, Constraint, ConstraintEngine, ConstraintKind, ConstraintMeta, ConstraintPriority,
+    ObjectScope, ReadSet, RegisteredConstraint, VOLATILE_ENV_KEYS,
 };
 pub use context::{MapAccess, ObjectAccess, ValidationContext};
 pub use freshness::FreshnessCriterion;

@@ -22,8 +22,8 @@
 //! reproducibility harness both depend on; `repro fig-par` diffs a
 //! serial against a parallel same-seed trace to enforce it.
 
-use crate::ccm::{evaluate_candidate, CallInfo, RawEvaluation, ReplicaAccess};
-use dedisys_constraints::RegisteredConstraint;
+use crate::ccm::{evaluate_candidate, CallInfo, PartitionEnv, RawEvaluation, ReplicaAccess};
+use dedisys_constraints::{ConstraintEngine, RegisteredConstraint};
 use dedisys_net::Topology;
 use dedisys_object::EntityContainer;
 use dedisys_replication::ReplicationManager;
@@ -99,7 +99,8 @@ pub(crate) fn evaluate_batch(
     topology: &Topology,
     node: NodeId,
     tx: TxId,
-    partition_weight: f64,
+    env: PartitionEnv,
+    engine: ConstraintEngine,
     parallelism: ValidationParallelism,
 ) -> Vec<RawEvaluation> {
     let eval_one = |candidate: &BatchCandidate| {
@@ -110,7 +111,8 @@ pub(crate) fn evaluate_batch(
             candidate.call.as_ref(),
             candidate.pre_state.clone(),
             &mut access,
-            partition_weight,
+            env,
+            engine,
         )
     };
     let shards = shard_count(candidates.len()) as usize;

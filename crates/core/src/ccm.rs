@@ -13,14 +13,16 @@ use crate::negotiation::{negotiate, NegotiationHandler, NegotiationPath, ThreatD
 use crate::threat::{
     ConsistencyThreat, HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore,
 };
-use dedisys_constraints::{ObjectAccess, ObjectScope, RegisteredConstraint, ValidationContext};
+use dedisys_constraints::{
+    ConstraintEngine, ObjectAccess, ObjectScope, RegisteredConstraint, ValidationContext,
+};
 use dedisys_net::Topology;
 use dedisys_object::EntityContainer;
 use dedisys_replication::ReplicationManager;
 use dedisys_telemetry::{Telemetry, ThreatStorage, TraceEvent};
 use dedisys_types::{
-    ClassName, Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimTime, TxId,
-    Value, VersionInfo,
+    ClassName, ConstraintName, Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree,
+    SimTime, TxId, Value, Version, VersionInfo,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -145,18 +147,46 @@ pub struct RawEvaluation {
     pub accessed: BTreeSet<ObjectId>,
 }
 
+/// The partition-environment values the middleware exposes to
+/// constraints via `env(..)` (§5.5.2): the partition weight both as a
+/// legacy fraction and as the exact integer units the GMS counts, so
+/// partition-sensitive constraints can compute shares without float
+/// rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionEnv {
+    /// `weight / total` as a fraction (`partitionWeight`).
+    pub fraction: f64,
+    /// Weight units present in the observer's partition
+    /// (`partitionWeightUnits`).
+    pub weight: u32,
+    /// Total weight units across the cluster (`totalWeightUnits`).
+    pub total: u32,
+}
+
+impl PartitionEnv {
+    /// The environment of an undivided cluster (tests, single node).
+    pub fn full() -> Self {
+        Self {
+            fraction: 1.0,
+            weight: 1,
+            total: 1,
+        }
+    }
+}
+
 /// The pure evaluation phase of [`Ccm::validate_constraint`]: builds
-/// the validation context, runs the constraint implementation and maps
-/// the raw result onto a preliminary satisfaction degree. Emits no
-/// telemetry, advances no clock and touches no CCM state, so batch
-/// workers may call it concurrently.
+/// the validation context, runs the constraint implementation through
+/// the selected engine and maps the raw result onto a preliminary
+/// satisfaction degree. Emits no telemetry, advances no clock and
+/// touches no CCM state, so batch workers may call it concurrently.
 pub fn evaluate_candidate(
     constraint: &RegisteredConstraint,
     context_object: Option<&ObjectId>,
     call: Option<&CallInfo>,
     pre_state: BTreeMap<String, Value>,
     access: &mut ReplicaAccess<'_>,
-    partition_weight: f64,
+    env: PartitionEnv,
+    engine: ConstraintEngine,
 ) -> RawEvaluation {
     let topology_healthy = access.topology.is_healthy();
     let mut ctx = match call {
@@ -181,10 +211,12 @@ pub fn evaluate_candidate(
         ctx.set_context_object(Some(id.clone()));
     }
     ctx.set_pre_state(pre_state);
-    ctx.set_env("partitionWeight", Value::Float(partition_weight));
+    ctx.set_env("partitionWeight", Value::Float(env.fraction));
+    ctx.set_env("partitionWeightUnits", Value::Int(env.weight as i64));
+    ctx.set_env("totalWeightUnits", Value::Int(env.total as i64));
     ctx.set_env("healthy", Value::Bool(topology_healthy));
 
-    let raw = constraint.implementation.validate(&mut ctx);
+    let raw = constraint.implementation.validate_with(engine, &mut ctx);
     let accessed = ctx.accessed_objects().clone();
     drop(ctx);
 
@@ -269,6 +301,21 @@ struct DeferredThreat {
     version_infos: BTreeMap<String, (ClassName, VersionInfo)>,
 }
 
+/// One memoized verdict of the version-keyed cache: valid while the
+/// committed version of the context object is unchanged. Only definite
+/// raw outcomes are cached (`Satisfied`/`Violated`) — staleness
+/// degradation and unreachability depend on topology and are recomputed
+/// at every use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedVerdict {
+    /// Committed version of the context object at evaluation time.
+    pub version: Version,
+    /// The raw (pre-staleness) satisfaction degree.
+    pub degree: SatisfactionDegree,
+    /// Objects the original evaluation accessed.
+    pub accessed: BTreeSet<ObjectId>,
+}
+
 /// The constraint consistency manager.
 pub struct Ccm {
     threat_store: ThreatStore,
@@ -281,6 +328,10 @@ pub struct Ccm {
     default_instructions: ReconcileInstructions,
     /// Guard against middleware/application validation loops (§5.3).
     in_validation: bool,
+    /// Version-keyed verdict cache: context object → (observing node,
+    /// constraint) → memoized verdict. Object-first so a write
+    /// invalidates every dependent entry with one range removal.
+    verdict_cache: BTreeMap<ObjectId, BTreeMap<(NodeId, ConstraintName), CachedVerdict>>,
     stats: CcmStats,
     telemetry: Option<Telemetry>,
 }
@@ -317,9 +368,101 @@ impl Ccm {
             app_default_min_degree: SatisfactionDegree::Satisfied,
             default_instructions: ReconcileInstructions::default(),
             in_validation: false,
+            verdict_cache: BTreeMap::new(),
             stats: CcmStats::default(),
             telemetry: None,
         }
+    }
+
+    /// Looks up a memoized verdict for (`object`, `node`, `constraint`)
+    /// whose cached version matches `version`.
+    pub fn cached_verdict(
+        &self,
+        object: &ObjectId,
+        node: NodeId,
+        constraint: &ConstraintName,
+        version: Version,
+    ) -> Option<&CachedVerdict> {
+        self.verdict_cache
+            .get(object)?
+            .get(&(node, constraint.clone()))
+            .filter(|c| c.version == version)
+    }
+
+    /// Memoizes a verdict. Callers only store definite raw outcomes of
+    /// committed state (never buffered transactional views), so abort
+    /// paths need no invalidation.
+    pub fn store_verdict(
+        &mut self,
+        object: ObjectId,
+        node: NodeId,
+        constraint: ConstraintName,
+        verdict: CachedVerdict,
+    ) {
+        debug_assert!(matches!(
+            verdict.degree,
+            SatisfactionDegree::Satisfied | SatisfactionDegree::Violated
+        ));
+        self.verdict_cache
+            .entry(object)
+            .or_default()
+            .insert((node, constraint), verdict);
+    }
+
+    /// Drops every cached verdict that depends on `object` (as context
+    /// object or as an object the evaluation accessed). Returns the
+    /// number of entries removed.
+    pub fn invalidate_object(&mut self, object: &ObjectId) -> usize {
+        let mut removed = self
+            .verdict_cache
+            .remove(object)
+            .map_or(0, |entries| entries.len());
+        // Cacheable read-sets never navigate across objects, so the
+        // accessed set normally only holds the context object itself —
+        // this sweep is a backstop for constraints whose dynamic reads
+        // exceeded their static read-set.
+        self.verdict_cache.retain(|_, entries| {
+            entries.retain(|_, v| {
+                let depends = v.accessed.contains(object);
+                if depends {
+                    removed += 1;
+                }
+                !depends
+            });
+            !entries.is_empty()
+        });
+        removed
+    }
+
+    /// Drops every cached verdict of `constraint` (constraint removed
+    /// or redefined at runtime). Returns the number of entries removed.
+    pub fn invalidate_constraint(&mut self, constraint: &ConstraintName) -> usize {
+        let mut removed = 0;
+        self.verdict_cache.retain(|_, entries| {
+            entries.retain(|(_, name), _| {
+                let matches = name == constraint;
+                if matches {
+                    removed += 1;
+                }
+                !matches
+            });
+            !entries.is_empty()
+        });
+        removed
+    }
+
+    /// Clears the whole verdict cache (reconciliation rewrote replica
+    /// state, a node restarted, or the cache was toggled off). Returns
+    /// the number of entries removed.
+    pub fn clear_verdict_cache(&mut self) -> usize {
+        let removed = self.verdict_cache.values().map(BTreeMap::len).sum();
+        self.verdict_cache.clear();
+        removed
+    }
+
+    /// Number of memoized verdicts currently held.
+    pub fn verdict_cache_len(&self) -> usize {
+        self.verdict_cache.values().map(BTreeMap::len).sum()
     }
 
     /// Wires a telemetry bus; `constraint_validated`, `threat_recorded`
@@ -446,7 +589,8 @@ impl Ccm {
         call: Option<&CallInfo>,
         pre_state: BTreeMap<String, Value>,
         access: &mut ReplicaAccess<'_>,
-        partition_weight: f64,
+        env: PartitionEnv,
+        engine: ConstraintEngine,
         now: SimTime,
     ) -> Result<ValidationVerdict> {
         // Re-entrance guard (§5.3): constraints are predicates and must
@@ -462,7 +606,8 @@ impl Ccm {
             call,
             pre_state,
             access,
-            partition_weight,
+            env,
+            engine,
         );
         self.in_validation = false;
         self.finish_validation(constraint, eval, access, now)
@@ -848,7 +993,8 @@ mod tests {
                 None,
                 BTreeMap::new(),
                 &mut access,
-                1.0,
+                PartitionEnv::full(),
+                ConstraintEngine::Interpreted,
                 SimTime::ZERO,
             )
             .unwrap()
@@ -1004,6 +1150,64 @@ mod tests {
             .process_verdict(&c, Some(w.id.clone()), v, w.tx, SimTime::ZERO)
             .unwrap();
         assert!(w.ccm.threat_store().is_empty(), "cleaned up by business op");
+    }
+
+    #[test]
+    fn verdict_cache_probe_store_invalidate() {
+        let mut ccm = Ccm::new(HistoryPolicy::IdenticalOnce);
+        let id = ObjectId::new("Flight", "F1");
+        let other = ObjectId::new("Flight", "F2");
+        let name = ConstraintName::from("Ticket");
+        let verdict = CachedVerdict {
+            version: Version(3),
+            degree: SatisfactionDegree::Satisfied,
+            accessed: BTreeSet::from([id.clone()]),
+        };
+        ccm.store_verdict(id.clone(), NodeId(0), name.clone(), verdict.clone());
+        assert_eq!(
+            ccm.cached_verdict(&id, NodeId(0), &name, Version(3)),
+            Some(&verdict)
+        );
+        // Stale version, other node, other constraint: all misses.
+        assert!(ccm
+            .cached_verdict(&id, NodeId(0), &name, Version(4))
+            .is_none());
+        assert!(ccm
+            .cached_verdict(&id, NodeId(1), &name, Version(3))
+            .is_none());
+        assert!(ccm
+            .cached_verdict(&id, NodeId(0), &ConstraintName::from("Other"), Version(3))
+            .is_none());
+
+        // Invalidating an unrelated object leaves the entry alone.
+        assert_eq!(ccm.invalidate_object(&other), 0);
+        assert_eq!(ccm.verdict_cache_len(), 1);
+        assert_eq!(ccm.invalidate_object(&id), 1);
+        assert!(ccm
+            .cached_verdict(&id, NodeId(0), &name, Version(3))
+            .is_none());
+
+        // An entry whose accessed set includes another object is also
+        // dropped when that object is invalidated.
+        let cross = CachedVerdict {
+            accessed: BTreeSet::from([id.clone(), other.clone()]),
+            ..verdict.clone()
+        };
+        ccm.store_verdict(id.clone(), NodeId(0), name.clone(), cross);
+        assert_eq!(ccm.invalidate_object(&other), 1);
+        assert_eq!(ccm.verdict_cache_len(), 0);
+
+        // Constraint-keyed and wholesale invalidation.
+        ccm.store_verdict(id.clone(), NodeId(0), name.clone(), verdict.clone());
+        ccm.store_verdict(
+            id.clone(),
+            NodeId(1),
+            ConstraintName::from("Other"),
+            verdict.clone(),
+        );
+        assert_eq!(ccm.invalidate_constraint(&name), 1);
+        assert_eq!(ccm.clear_verdict_cache(), 1);
+        assert_eq!(ccm.verdict_cache_len(), 0);
     }
 
     #[test]

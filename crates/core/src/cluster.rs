@@ -10,7 +10,8 @@
 
 use crate::batch::{self, BatchCandidate, ValidationParallelism};
 use crate::ccm::{
-    CallInfo, Ccm, NegotiationTiming, PendingCheck, RawEvaluation, ReplicaAccess, ValidationVerdict,
+    CallInfo, Ccm, NegotiationTiming, PartitionEnv, PendingCheck, RawEvaluation, ReplicaAccess,
+    ValidationVerdict,
 };
 use crate::negotiation::NegotiationHandler;
 use crate::reconciliation::ReconcileStrategy;
@@ -18,8 +19,8 @@ use crate::session::Session;
 use crate::threat::{HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore};
 use crate::CostModel;
 use dedisys_constraints::{
-    ConstraintKind, ConstraintRepository, LookupKind, LookupMode, RegisteredConstraint,
-    ValidationContext,
+    ConstraintEngine, ConstraintKind, ConstraintRepository, LookupKind, LookupMode,
+    RegisteredConstraint, ValidationContext,
 };
 use dedisys_gms::{NodeWeights, ViewTracker};
 use dedisys_net::{SimClock, Topology};
@@ -111,6 +112,20 @@ pub struct InDoubtTx {
     pub deadline: SimTime,
 }
 
+/// How one validation candidate's answer was produced — decides the
+/// virtual-time charge taken in the serial merge phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ValidationCharge {
+    /// Full interpreted evaluation ([`CostModel::constraint_check`]).
+    Interpreted,
+    /// Compiled stack-VM evaluation
+    /// ([`CostModel::compiled_constraint_check`]).
+    Compiled,
+    /// Version-keyed verdict-cache hit
+    /// ([`CostModel::verdict_cache_probe`]).
+    CacheHit,
+}
+
 /// Builder for [`Cluster`] (C-BUILDER).
 pub struct ClusterBuilder {
     nodes: u32,
@@ -126,6 +141,8 @@ pub struct ClusterBuilder {
     ccm_enabled: bool,
     replication_enabled: bool,
     validation_parallelism: ValidationParallelism,
+    constraint_engine: ConstraintEngine,
+    verdict_cache: bool,
     app: AppDescriptor,
     methods: MethodTable,
     constraints: Vec<RegisteredConstraint>,
@@ -162,6 +179,8 @@ impl ClusterBuilder {
             ccm_enabled: true,
             replication_enabled: true,
             validation_parallelism: ValidationParallelism::default(),
+            constraint_engine: ConstraintEngine::default(),
+            verdict_cache: false,
             app,
             methods: MethodTable::new(),
             constraints: Vec::new(),
@@ -232,6 +251,25 @@ impl ClusterBuilder {
     /// telemetry trace stay byte-identical to serial execution.
     pub fn validation_parallelism(mut self, parallelism: ValidationParallelism) -> Self {
         self.validation_parallelism = parallelism;
+        self
+    }
+
+    /// Selects the constraint evaluation engine (default:
+    /// [`ConstraintEngine::Interpreted`]). The engine is
+    /// verdict-transparent: satisfaction degrees, threats and
+    /// statistics counters are identical across engines — only the
+    /// virtual-time cost per check changes.
+    pub fn constraint_engine(mut self, engine: ConstraintEngine) -> Self {
+        self.constraint_engine = engine;
+        self
+    }
+
+    /// Enables the per-node verdict cache (default: off). Cacheable
+    /// invariant verdicts are answered by a version-keyed probe
+    /// instead of re-evaluation; writes invalidate. Cache hits are
+    /// verdict-transparent — only the virtual-time charge differs.
+    pub fn verdict_cache(mut self, enabled: bool) -> Self {
+        self.verdict_cache = enabled;
         self
     }
 
@@ -331,6 +369,21 @@ impl ClusterBuilder {
                 tracker
             })
             .collect();
+        if self.constraint_engine == ConstraintEngine::Compiled {
+            // Lower every registered constraint up front so the first
+            // validation doesn't pay the (lazy) compile, and charge the
+            // one-time lowering cost on the virtual clock.
+            for c in repository.enabled() {
+                if let Some(info) = c.implementation.compiled() {
+                    telemetry.emit(|| TraceEvent::ConstraintCompiled {
+                        constraint: c.meta.name.to_string(),
+                        ops: info.ops,
+                        reads: info.reads,
+                    });
+                    clock.advance(self.costs.constraint_compile);
+                }
+            }
+        }
         Ok(Cluster {
             clock,
             telemetry,
@@ -362,6 +415,8 @@ impl ClusterBuilder {
             ccm_enabled: self.ccm_enabled,
             replication_enabled: self.replication_enabled,
             validation_parallelism: self.validation_parallelism,
+            constraint_engine: self.constraint_engine,
+            verdict_cache: self.verdict_cache,
         })
     }
 }
@@ -402,6 +457,8 @@ pub struct Cluster {
     ccm_enabled: bool,
     replication_enabled: bool,
     validation_parallelism: ValidationParallelism,
+    constraint_engine: ConstraintEngine,
+    verdict_cache: bool,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -497,6 +554,75 @@ impl Cluster {
         self.validation_parallelism = parallelism;
     }
 
+    /// The constraint evaluation engine in force.
+    pub fn constraint_engine(&self) -> ConstraintEngine {
+        self.constraint_engine
+    }
+
+    /// Switches the constraint evaluation engine at runtime. Verdicts,
+    /// threats and statistics counters are unaffected; only the
+    /// virtual-time cost per check changes. Switching *to* the
+    /// compiled engine lowers (and charges for) every registered
+    /// constraint that is not compiled yet. The verdict cache is
+    /// cleared on any engine change.
+    pub fn set_constraint_engine(&mut self, engine: ConstraintEngine) {
+        if engine == self.constraint_engine {
+            return;
+        }
+        self.constraint_engine = engine;
+        if engine == ConstraintEngine::Compiled {
+            let mut compiled = Vec::new();
+            for c in self.repository.enabled() {
+                if let Some(info) = c.implementation.compiled() {
+                    compiled.push((c.meta.name.to_string(), info));
+                }
+            }
+            for (name, info) in compiled {
+                self.telemetry.emit(|| TraceEvent::ConstraintCompiled {
+                    constraint: name.clone(),
+                    ops: info.ops,
+                    reads: info.reads,
+                });
+                self.clock.advance(self.costs.constraint_compile);
+            }
+        }
+        self.clear_verdict_cache_with_event();
+    }
+
+    /// Whether the verdict cache is enabled.
+    pub fn verdict_cache_enabled(&self) -> bool {
+        self.verdict_cache
+    }
+
+    /// Enables or disables the verdict cache at runtime. Toggling in
+    /// either direction clears the cache, so a re-enabled cache never
+    /// serves entries from before the gap.
+    pub fn set_verdict_cache(&mut self, enabled: bool) {
+        if enabled == self.verdict_cache {
+            return;
+        }
+        self.verdict_cache = enabled;
+        self.clear_verdict_cache_with_event();
+    }
+
+    /// Entries currently held by the verdict cache.
+    pub fn verdict_cache_len(&self) -> usize {
+        self.ccm.verdict_cache_len()
+    }
+
+    pub(crate) fn clear_verdict_cache_with_event(&mut self) {
+        let entries = self.ccm.clear_verdict_cache();
+        if entries > 0 {
+            self.telemetry
+                .metrics()
+                .add("ccm.verdict_cache.invalidate", entries as u64);
+            self.telemetry.emit(|| TraceEvent::VerdictCacheInvalidate {
+                object: "*".into(),
+                entries: entries as u32,
+            });
+        }
+    }
+
     /// Switches the constraint-reconciliation strategy at runtime
     /// (e.g. to compare full-scan vs incremental on one cluster).
     pub fn set_reconcile_strategy(&mut self, strategy: ReconcileStrategy) {
@@ -540,9 +666,23 @@ impl Cluster {
     }
 
     /// Removes a constraint at runtime (§3.3). Returns whether the
-    /// constraint existed.
+    /// constraint existed. Cached verdicts of the removed constraint
+    /// are dropped.
     pub fn remove_constraint(&mut self, name: &ConstraintName) -> bool {
-        self.repository.remove(name).is_some()
+        let existed = self.repository.remove(name).is_some();
+        if existed {
+            let entries = self.ccm.invalidate_constraint(name);
+            if entries > 0 {
+                self.telemetry
+                    .metrics()
+                    .add("ccm.verdict_cache.invalidate", entries as u64);
+                self.telemetry.emit(|| TraceEvent::VerdictCacheInvalidate {
+                    object: "*".into(),
+                    entries: entries as u32,
+                });
+            }
+        }
+        existed
     }
 
     /// Re-activates every deactivated threat record after a CCM crash
@@ -649,6 +789,17 @@ impl Cluster {
     pub fn partition_fraction(&self, node: NodeId) -> f64 {
         self.weights
             .partition_fraction(self.topology.partition_of(node))
+    }
+
+    /// The full partition environment observed from `node`: the weight
+    /// fraction plus the exact integer weight units (§5.5.2).
+    pub(crate) fn partition_env(&self, node: NodeId) -> PartitionEnv {
+        let members = self.topology.partition_of(node);
+        PartitionEnv {
+            fraction: self.weights.partition_fraction(members),
+            weight: self.weights.partition_weight(members),
+            total: self.weights.total(),
+        }
     }
 
     /// The node weights.
@@ -855,6 +1006,9 @@ impl Cluster {
         self.crashed.remove(&node);
         self.clock
             .advance(self.costs.wal_replay_per_entry * replayed);
+        // The journal replay may have rewritten entity state wholesale;
+        // memoized verdicts are no longer trustworthy.
+        self.clear_verdict_cache_with_event();
         // §5.5.1: threat records deactivated by the crash come back.
         let reactivated = self.ccm.threat_store_mut().recover() as u64;
         // Coordinator recovery: no commit record survived the crash,
@@ -1266,6 +1420,23 @@ impl Cluster {
                 self.clock
                     .advance(self.costs.ship_retry_backoff * report.backoff_units);
                 self.replication.unregister_object(id);
+            }
+        }
+        // Committed writes advance object versions — drop every cached
+        // verdict that depended on the old state.
+        let mut touched: BTreeSet<ObjectId> = BTreeSet::new();
+        touched.extend(all_written.iter().map(|(_, id, _)| id.clone()));
+        touched.extend(all_deleted.iter().map(|(_, id)| id.clone()));
+        for id in touched {
+            let entries = self.ccm.invalidate_object(&id);
+            if entries > 0 {
+                self.telemetry
+                    .metrics()
+                    .add("ccm.verdict_cache.invalidate", entries as u64);
+                self.telemetry.emit(|| TraceEvent::VerdictCacheInvalidate {
+                    object: id.to_string(),
+                    entries: entries as u32,
+                });
             }
         }
         self.locks.release_all(tx);
@@ -1779,10 +1950,68 @@ impl Cluster {
             .ok_or_else(|| Error::ObjectUnreachable(target.clone()))
     }
 
-    /// Runs the pure evaluation phase for a batch of validation
-    /// candidates on the configured pool
-    /// ([`ClusterBuilder::validation_parallelism`]) and returns one
-    /// raw evaluation per candidate, in candidate order.
+    /// Probes whether `candidate` is answerable from the verdict
+    /// cache: the cache is on, the candidate is an invariant check on
+    /// committed state (no call info, no `@pre` snapshot, no buffered
+    /// transactional write shadowing the object anywhere in the
+    /// partition), the constraint's static read-set is cacheable, and
+    /// the object is reachable. Returns the cache key — context object
+    /// and its committed version — or `None` when the candidate must
+    /// be evaluated without touching the cache.
+    fn cacheable_probe(
+        &self,
+        candidate: &BatchCandidate,
+        exec: NodeId,
+        tx: TxId,
+    ) -> Option<(ObjectId, dedisys_types::Version)> {
+        if !self.verdict_cache {
+            return None;
+        }
+        if candidate.call.is_some() || !candidate.pre_state.is_empty() {
+            return None;
+        }
+        let object = candidate.context_object.as_ref()?;
+        let read_set = candidate.constraint.implementation.read_set()?;
+        if !read_set.cacheable() {
+            return None;
+        }
+        if !self.replication.is_reachable(object, exec, &self.topology) {
+            return None;
+        }
+        let members = self.topology.partition_of(exec);
+        for n in members {
+            if self.containers[n.index()]
+                .buffered_view(tx, object)
+                .is_some()
+            {
+                return None;
+            }
+        }
+        // Mirror the evaluation's entity lookup (minus the buffered
+        // views excluded above) so the version keyed on is exactly the
+        // state the evaluation would read.
+        let version = if let Ok(e) = self.containers[exec.index()].view(tx, object) {
+            e.version()
+        } else {
+            members
+                .iter()
+                .find_map(|n| self.containers[n.index()].committed_entity(object))?
+                .version()
+        };
+        Some((object.clone(), version))
+    }
+
+    /// Runs the evaluation phase for a batch of validation candidates
+    /// and returns one raw evaluation per candidate, in candidate
+    /// order, each tagged with how it was answered (full evaluation or
+    /// verdict-cache hit) so the serial merge phase can take the right
+    /// virtual-time charge.
+    ///
+    /// The cache probe and any insertions happen here, serially, in
+    /// candidate order — workers never touch the cache, so parallel
+    /// runs stay byte-identical to serial ones. Only candidates the
+    /// probe cannot answer are dispatched to the configured pool
+    /// ([`ClusterBuilder::validation_parallelism`]).
     ///
     /// Multi-candidate batches are recorded as `validation_batch`
     /// trace events; the reported `shards`/`pool` figures are a pure
@@ -1793,7 +2022,7 @@ impl Cluster {
         candidates: &[BatchCandidate],
         exec: NodeId,
         tx: TxId,
-    ) -> Vec<RawEvaluation> {
+    ) -> Vec<(RawEvaluation, ValidationCharge)> {
         if candidates.len() > 1 {
             let shards = batch::shard_count(candidates.len());
             self.telemetry.metrics().incr("ccm.batches");
@@ -1803,29 +2032,103 @@ impl Cluster {
                 pool: shards,
             });
         }
-        let partition_weight = self.partition_fraction(exec);
-        batch::evaluate_batch(
-            candidates,
-            &self.containers,
-            &self.replication,
-            &self.topology,
-            exec,
-            tx,
-            partition_weight,
-            self.validation_parallelism,
-        )
+        let env = self.partition_env(exec);
+        let miss_charge = match self.constraint_engine {
+            ConstraintEngine::Interpreted => ValidationCharge::Interpreted,
+            ConstraintEngine::Compiled => ValidationCharge::Compiled,
+        };
+        let mut results: Vec<Option<(RawEvaluation, ValidationCharge)>> = Vec::new();
+        results.resize_with(candidates.len(), || None);
+        // Candidate index → cache key to insert under after a miss
+        // evaluates to a definite degree.
+        let mut inserts: Vec<Option<(ObjectId, dedisys_types::Version)>> = Vec::new();
+        inserts.resize_with(candidates.len(), || None);
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, candidate) in candidates.iter().enumerate() {
+            match self.cacheable_probe(candidate, exec, tx) {
+                Some((object, version)) => {
+                    let hit = self
+                        .ccm
+                        .cached_verdict(&object, exec, candidate.constraint.name(), version)
+                        .cloned();
+                    if let Some(hit) = hit {
+                        self.telemetry.metrics().incr("ccm.verdict_cache.hit");
+                        self.telemetry.emit(|| TraceEvent::VerdictCacheHit {
+                            constraint: candidate.constraint.name().to_string(),
+                            object: object.to_string(),
+                        });
+                        results[i] = Some((
+                            RawEvaluation {
+                                outcome: Ok(hit.degree),
+                                accessed: hit.accessed,
+                            },
+                            ValidationCharge::CacheHit,
+                        ));
+                    } else {
+                        self.telemetry.metrics().incr("ccm.verdict_cache.miss");
+                        self.telemetry.emit(|| TraceEvent::VerdictCacheMiss {
+                            constraint: candidate.constraint.name().to_string(),
+                            object: object.to_string(),
+                        });
+                        inserts[i] = Some((object, version));
+                        misses.push(i);
+                    }
+                }
+                None => misses.push(i),
+            }
+        }
+        if !misses.is_empty() {
+            let miss_candidates: Vec<BatchCandidate> =
+                misses.iter().map(|&i| candidates[i].clone()).collect();
+            let evals = batch::evaluate_batch(
+                &miss_candidates,
+                &self.containers,
+                &self.replication,
+                &self.topology,
+                exec,
+                tx,
+                env,
+                self.constraint_engine,
+                self.validation_parallelism,
+            );
+            for (&i, eval) in misses.iter().zip(evals) {
+                if let Some((object, version)) = inserts[i].take() {
+                    if let Ok(
+                        degree @ (SatisfactionDegree::Satisfied | SatisfactionDegree::Violated),
+                    ) = eval.outcome
+                    {
+                        self.ccm.store_verdict(
+                            object,
+                            exec,
+                            candidates[i].constraint.name().clone(),
+                            crate::ccm::CachedVerdict {
+                                version,
+                                degree,
+                                accessed: eval.accessed.clone(),
+                            },
+                        );
+                    }
+                }
+                results[i] = Some((eval, miss_charge));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every candidate is answered by probe or evaluation"))
+            .collect()
     }
 
     /// Serial merge phase for one evaluated candidate: staleness
     /// degradation, statistics, telemetry and the virtual-time charge
-    /// for the check.
+    /// for the check (per the candidate's [`ValidationCharge`]).
     pub(crate) fn merge_validation(
         &mut self,
         constraint: &RegisteredConstraint,
-        eval: RawEvaluation,
+        eval: (RawEvaluation, ValidationCharge),
         exec: NodeId,
         tx: TxId,
     ) -> Result<ValidationVerdict> {
+        let (eval, charge) = eval;
         let now = self.clock.now();
         let verdict = {
             let access = ReplicaAccess::new(
@@ -1837,7 +2140,11 @@ impl Cluster {
             );
             self.ccm.finish_validation(constraint, eval, &access, now)?
         };
-        self.clock.advance(self.costs.constraint_check);
+        self.clock.advance(match charge {
+            ValidationCharge::Interpreted => self.costs.constraint_check,
+            ValidationCharge::Compiled => self.costs.compiled_constraint_check,
+            ValidationCharge::CacheHit => self.costs.verdict_cache_probe,
+        });
         Ok(verdict)
     }
 
@@ -1850,7 +2157,7 @@ impl Cluster {
         tx: TxId,
         constraint: &RegisteredConstraint,
         context_object: Option<ObjectId>,
-        eval: RawEvaluation,
+        eval: (RawEvaluation, ValidationCharge),
     ) -> Result<()> {
         let verdict = self.merge_validation(constraint, eval, exec, tx)?;
         let was_threat = verdict.degree.is_threat();

@@ -48,7 +48,20 @@ pub struct CostModel {
     pub ccm_interceptor: SimDuration,
     /// Executing one constraint's `validate` (beyond repository
     /// lookup); the Chapter 5 tests return constants, so this is small.
+    /// This is the *interpreted* engine's cost — the Dresden-OCL-style
+    /// tool-generated check Chapter 2 measures.
     pub constraint_check: SimDuration,
+    /// Executing one constraint through the compiled stack-VM engine.
+    /// Chapter 2 attributes most of the interpreted overhead to
+    /// re-walking tool-generated checking code; the flat program
+    /// removes that share.
+    pub compiled_constraint_check: SimDuration,
+    /// Probing the verdict cache (version-vector comparison) when a
+    /// cacheable candidate is answered without evaluation.
+    pub verdict_cache_probe: SimDuration,
+    /// Lowering one constraint expression to its compiled program
+    /// (paid once per constraint, at registration or engine switch).
+    pub constraint_compile: SimDuration,
     /// One consistency-threat negotiation (callback round).
     pub negotiation: SimDuration,
     /// Fixed cost of persisting and replicating a *new* threat: at
@@ -91,6 +104,9 @@ impl Default for CostModel {
             replication_interceptor: SimDuration::from_micros(2_000),
             ccm_interceptor: SimDuration::from_micros(450),
             constraint_check: SimDuration::from_micros(1_000),
+            compiled_constraint_check: SimDuration::from_micros(120),
+            verdict_cache_probe: SimDuration::from_micros(20),
+            constraint_compile: SimDuration::from_micros(2_000),
             negotiation: SimDuration::from_micros(3_500),
             threat_new_fixed: SimDuration::from_micros(95_000),
             threat_link_fixed: SimDuration::from_micros(60_000),
@@ -117,6 +133,9 @@ impl CostModel {
             replication_interceptor: SimDuration::ZERO,
             ccm_interceptor: SimDuration::ZERO,
             constraint_check: SimDuration::ZERO,
+            compiled_constraint_check: SimDuration::ZERO,
+            verdict_cache_probe: SimDuration::ZERO,
+            constraint_compile: SimDuration::ZERO,
             negotiation: SimDuration::ZERO,
             threat_new_fixed: SimDuration::ZERO,
             threat_link_fixed: SimDuration::ZERO,
@@ -157,6 +176,13 @@ mod tests {
         assert!((130.0..160.0).contains(&per_sec(c.base_invocation + c.db_read)));
         assert!((65.0..90.0).contains(&per_sec(c.base_invocation + c.db_write)));
         assert!((50.0..70.0).contains(&per_sec(c.base_invocation + c.db_write + c.create_extra)));
+    }
+
+    #[test]
+    fn compiled_and_cached_checks_are_strictly_cheaper() {
+        let c = CostModel::default();
+        assert!(c.compiled_constraint_check < c.constraint_check);
+        assert!(c.verdict_cache_probe < c.compiled_constraint_check);
     }
 
     #[test]

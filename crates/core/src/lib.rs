@@ -79,8 +79,8 @@ pub mod web;
 
 pub use batch::ValidationParallelism;
 pub use ccm::{
-    evaluate_candidate, CallInfo, Ccm, CcmStats, NegotiationTiming, PendingCheck, RawEvaluation,
-    ReplicaAccess, ValidationVerdict,
+    evaluate_candidate, CachedVerdict, CallInfo, Ccm, CcmStats, NegotiationTiming, PartitionEnv,
+    PendingCheck, RawEvaluation, ReplicaAccess, ValidationVerdict,
 };
 pub use cluster::{
     getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo, InDoubtTx,
@@ -109,6 +109,7 @@ pub use threat::{
 };
 
 // Re-export the pieces users need to assemble a cluster.
+pub use dedisys_constraints::ConstraintEngine;
 pub use dedisys_replication::{
     HighestVersionWins, ProtocolKind, ReplicaConflict, ReplicaConsistencyHandler,
 };

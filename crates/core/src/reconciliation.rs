@@ -240,6 +240,10 @@ impl Cluster {
             let (replication, containers) = self.replication_and_containers();
             replication.reconcile_replicas_scoped(&topology, observer, containers, replica_handler)
         };
+        // The replica phase rewrites committed states wholesale
+        // (missed updates, conflict resolutions) without bumping
+        // through the commit path — memoized verdicts are stale.
+        self.clear_verdict_cache_with_event();
         // Charge: every missed update/conflict resolution is one
         // propagation round; conflict resolution additionally reads the
         // divergent states.
@@ -364,7 +368,12 @@ impl Cluster {
             ));
         }
         let candidates: Vec<BatchCandidate> = batched.iter().map(|(_, c)| c.clone()).collect();
-        let evals = self.evaluate_candidates(&candidates, observer, recon_tx);
+        // Reconciliation's Phase A keeps its historical costing (no
+        // per-check clock charge), so the charge tag is dropped here.
+        let evals = self
+            .evaluate_candidates(&candidates, observer, recon_tx)
+            .into_iter()
+            .map(|(eval, _)| eval);
         let mut cached: BTreeMap<usize, RawEvaluation> =
             batched.into_iter().map(|(i, _)| i).zip(evals).collect();
         let mut state_dirty = false;
@@ -566,7 +575,8 @@ impl Cluster {
         constraint: &dedisys_constraints::RegisteredConstraint,
         identity: &ThreatIdentity,
     ) -> SatisfactionDegree {
-        let partition_weight = self.partition_fraction(observer);
+        let env = self.partition_env(observer);
+        let engine = self.constraint_engine();
         let now = self.clock().now();
         let (replication, containers, topology, ccm) = self.validation_env();
         let mut access = ReplicaAccess::new(containers, replication, topology, observer, recon_tx);
@@ -576,7 +586,8 @@ impl Cluster {
             None,
             BTreeMap::new(),
             &mut access,
-            partition_weight,
+            env,
+            engine,
             now,
         ) {
             Ok(verdict) => verdict.degree,

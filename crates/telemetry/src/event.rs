@@ -332,6 +332,42 @@ pub enum TraceEvent {
         /// (= shards; physical pool width never enters the trace).
         pool: u32,
     },
+    /// A constraint expression was lowered to a flat program for the
+    /// compiled validation engine.
+    ConstraintCompiled {
+        /// Constraint name.
+        constraint: String,
+        /// VM ops in the compiled program.
+        ops: u32,
+        /// Static reads (`self` fields + env keys) the program makes.
+        reads: u32,
+    },
+    /// A validation candidate was answered from the verdict cache: the
+    /// version of every object in its read-set was unchanged since the
+    /// cached evaluation.
+    VerdictCacheHit {
+        /// Constraint name.
+        constraint: String,
+        /// Context object (display form `Class#key`).
+        object: String,
+    },
+    /// A cacheable validation candidate missed the verdict cache and
+    /// was evaluated in full.
+    VerdictCacheMiss {
+        /// Constraint name.
+        constraint: String,
+        /// Context object (display form `Class#key`).
+        object: String,
+    },
+    /// Cached verdicts were dropped because their object was written,
+    /// deleted, or resettled by reconciliation/restart.
+    VerdictCacheInvalidate {
+        /// The invalidated object (display form `Class#key`), or `"*"`
+        /// for a whole-cache clear.
+        object: String,
+        /// Cache entries removed.
+        entries: u32,
+    },
     /// The replication ship path retried a backup install after an
     /// injected write failure, with exponential backoff.
     ReplicaShipRetry {
@@ -378,6 +414,10 @@ impl TraceEvent {
             TraceEvent::TwoPcInDoubt { .. } => "two_pc_in_doubt",
             TraceEvent::TwoPcResolved { .. } => "two_pc_resolved",
             TraceEvent::ValidationBatch { .. } => "validation_batch",
+            TraceEvent::ConstraintCompiled { .. } => "constraint_compiled",
+            TraceEvent::VerdictCacheHit { .. } => "verdict_cache_hit",
+            TraceEvent::VerdictCacheMiss { .. } => "verdict_cache_miss",
+            TraceEvent::VerdictCacheInvalidate { .. } => "verdict_cache_invalidate",
             TraceEvent::ReplicaShipRetry { .. } => "replica_ship_retry",
         }
     }

@@ -81,6 +81,16 @@ pub enum Error {
         /// Votes required.
         required: u32,
     },
+    /// A field or environment value a constraint reads is missing or
+    /// has the wrong type. Surfacing this instead of validating
+    /// against a default prevents misconfigured constraints from
+    /// passing spuriously.
+    IllTypedField {
+        /// The field or env key that was read.
+        name: String,
+        /// What the constraint expected to find (e.g. `"int"`).
+        expected: String,
+    },
     /// Invalid configuration (constraint descriptor, cluster setup, …).
     Config(String),
     /// A constraint-expression parse or evaluation error.
@@ -134,6 +144,9 @@ impl fmt::Display for Error {
                 f,
                 "no quorum for {object}: {available} of {required} votes available"
             ),
+            Error::IllTypedField { name, expected } => {
+                write!(f, "field or env value {name} is missing or not {expected}")
+            }
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::Expr(msg) => write!(f, "constraint expression error: {msg}"),
             Error::ModeRestriction(msg) => write!(f, "operation not allowed: {msg}"),

@@ -1,0 +1,311 @@
+//! Verdict transparency of the constraint engines and the verdict
+//! cache: across `{Interpreted, Compiled} × {cache on, off} ×
+//! {Serial, Threads(n)}`, every observable *verdict* — satisfaction
+//! degrees, threat identities, accepted/aborted operations, the
+//! cluster/CCM/replication/transaction counters — is identical. Only
+//! virtual time (checks get cheaper) and the cache's own telemetry may
+//! differ, which is exactly what the fingerprint below excludes.
+//!
+//! Within one engine/cache configuration the stronger contract of
+//! `tests/parallel_validation.rs` still holds: serial and pooled
+//! evaluation produce byte-identical JSONL traces.
+
+use dedisys_constraints::{
+    expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
+};
+use dedisys_core::{
+    nodes, ClusterBuilder, ConstraintEngine, DeferAll, HighestVersionWins, JsonlExporter,
+    ValidationParallelism,
+};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{ConstraintName, NodeId, ObjectId, SatisfactionDegree, Value};
+use proptest::prelude::*;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink into a shared buffer, read back after the cluster
+/// (and its exporter's `BufWriter`) is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("engines").with_class(
+        ClassDescriptor::new("Counter")
+            .with_field("n", Value::Int(0))
+            .with_field("max", Value::Int(100)),
+    )
+}
+
+/// Twelve copies of the bounded constraint: every write validates a
+/// multi-shard batch, every constraint sweep re-checks all objects
+/// (the verdict cache's bread-and-butter), and tradeability makes
+/// degraded runs produce threats and negotiation traffic too.
+fn constraints() -> Vec<RegisteredConstraint> {
+    (0..12)
+        .map(|i| {
+            RegisteredConstraint::new(
+                ConstraintMeta::new(format!("Bounded-{i:02}"))
+                    .tradeable(SatisfactionDegree::PossiblySatisfied),
+                Arc::new(ExprConstraint::parse("self.n <= self.max").unwrap()),
+            )
+            .context_class("Counter")
+            .affects("Counter", "setN", ContextPreparation::CalledObject)
+        })
+        .collect()
+}
+
+/// One step of a random workload schedule, decoded from raw tuples.
+type Step = (u8, u32, usize, i64);
+
+/// Everything a run may legitimately *not* vary across engine/cache
+/// configurations: mode + cluster/CCM/replication/tx counters (virtual
+/// time, the telemetry registry and the event count are excluded — the
+/// cache's probe charges and hit/miss events differ by design), the
+/// stored threat identities, and the violating-object lists returned
+/// by every constraint sweep.
+fn fingerprint(cluster: &dedisys_core::Cluster, sweeps: &[(String, Vec<ObjectId>)]) -> String {
+    let stats = serde_json::to_value(cluster.stats()).unwrap();
+    let verdicts = serde_json::json!({
+        "mode": stats["mode"],
+        "cluster": stats["cluster"],
+        "ccm": stats["ccm"],
+        "replication": stats["replication"],
+        "tx": stats["tx"],
+    });
+    format!(
+        "{verdicts}\nthreats: {:?}\nsweeps: {sweeps:?}",
+        cluster.threats().identities()
+    )
+}
+
+/// Runs `schedule` on a fresh cluster under the given configuration;
+/// returns the verdict fingerprint and the raw JSONL trace.
+fn run_schedule(
+    engine: ConstraintEngine,
+    cache: bool,
+    parallelism: ValidationParallelism,
+    schedule: &[Step],
+) -> (String, Vec<u8>) {
+    let buf = SharedBuf::default();
+    let mut cluster = ClusterBuilder::new(3, app())
+        .constraints(constraints())
+        .constraint_engine(engine)
+        .verdict_cache(cache)
+        .validation_parallelism(parallelism)
+        .build()
+        .unwrap();
+    cluster
+        .telemetry()
+        .attach(Box::new(JsonlExporter::new(Box::new(buf.clone()))));
+    let objects: Vec<ObjectId> = (0..4)
+        .map(|i| {
+            let id = ObjectId::new("Counter", format!("c{i}"));
+            let e = id.clone();
+            cluster
+                .run_tx(NodeId(0), move |c, tx| {
+                    c.create(NodeId(0), tx, EntityState::for_class(c.app(), &e)?)
+                })
+                .unwrap();
+            id
+        })
+        .collect();
+    let mut sweeps: Vec<(String, Vec<ObjectId>)> = Vec::new();
+    for &(action, node_raw, obj, value) in schedule {
+        match action % 8 {
+            0 => {
+                let _ = cluster.partition(&[nodes![0], nodes![1], nodes![2]]);
+            }
+            1 => {
+                cluster.heal();
+                cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+            }
+            2 => {
+                // A §3.3 constraint sweep: disable + re-enable with the
+                // mandated full re-check over every context object.
+                // Repeated sweeps over unchanged objects are where the
+                // verdict cache answers from memo — the violating list
+                // must nevertheless be identical.
+                let name = ConstraintName::from(format!("Bounded-{:02}", obj % 12));
+                let _ = cluster.set_constraint_enabled(&name, false);
+                if let Ok(violating) = cluster.enable_constraint_with_check(&name) {
+                    sweeps.push((name.to_string(), violating));
+                }
+            }
+            _ => {
+                let node = NodeId(node_raw % 3);
+                let id = objects[obj % objects.len()].clone();
+                // Degraded or over-limit writes may abort; transparency
+                // covers failures too.
+                let _ = cluster.run_tx(node, move |c, tx| {
+                    c.set_field(node, tx, &id, "n", Value::Int(value))
+                });
+            }
+        }
+    }
+    cluster.heal();
+    cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    let print = fingerprint(&cluster, &sweeps);
+    drop(cluster);
+    let trace = buf.0.lock().expect("trace buffer poisoned").clone();
+    (print, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole contract: every engine/cache configuration yields
+    /// the same verdict fingerprint as the interpreted, uncached
+    /// baseline over random schedules of writes, partitions, heals,
+    /// reconciliations and constraint sweeps.
+    #[test]
+    fn engines_and_cache_are_verdict_transparent(
+        workers in 2usize..9,
+        schedule in prop::collection::vec(
+            (any::<u8>(), 0u32..3, 0usize..12, 0i64..200),
+            1..24,
+        ),
+    ) {
+        let (baseline, _) = run_schedule(
+            ConstraintEngine::Interpreted,
+            false,
+            ValidationParallelism::Serial,
+            &schedule,
+        );
+        let configs = [
+            (ConstraintEngine::Interpreted, true, ValidationParallelism::Serial),
+            (ConstraintEngine::Compiled, false, ValidationParallelism::Serial),
+            (ConstraintEngine::Compiled, true, ValidationParallelism::Serial),
+            (ConstraintEngine::Compiled, true, ValidationParallelism::Threads(workers)),
+            (ConstraintEngine::Interpreted, true, ValidationParallelism::Threads(workers)),
+        ];
+        for (engine, cache, parallelism) in configs {
+            let (print, _) = run_schedule(engine, cache, parallelism, &schedule);
+            prop_assert_eq!(
+                &baseline,
+                &print,
+                "verdicts diverged under {:?} cache={} {:?}",
+                engine,
+                cache,
+                parallelism
+            );
+        }
+    }
+
+    /// Within one engine/cache configuration the parallelism contract
+    /// stays byte-exact: serial and pooled runs of the compiled,
+    /// cached engine produce identical JSONL traces (the cache probes
+    /// run serially in the merge path, never on workers).
+    #[test]
+    fn cached_compiled_runs_are_parallelism_invariant(
+        workers in 2usize..9,
+        schedule in prop::collection::vec(
+            (any::<u8>(), 0u32..3, 0usize..12, 0i64..200),
+            1..24,
+        ),
+    ) {
+        let (serial_print, serial_trace) = run_schedule(
+            ConstraintEngine::Compiled,
+            true,
+            ValidationParallelism::Serial,
+            &schedule,
+        );
+        let (par_print, par_trace) = run_schedule(
+            ConstraintEngine::Compiled,
+            true,
+            ValidationParallelism::Threads(workers),
+            &schedule,
+        );
+        prop_assert_eq!(serial_print, par_print);
+        prop_assert!(!serial_trace.is_empty(), "trace captured");
+        prop_assert_eq!(serial_trace, par_trace, "trace diverged at Threads({})", workers);
+    }
+}
+
+/// Repeated sweeps over unchanged objects actually hit the cache, a
+/// write invalidates exactly the touched object, and the cached run
+/// spends less virtual time than the uncached one on the same
+/// workload.
+#[test]
+fn verdict_cache_hits_invalidation_and_speedup() {
+    let build = |cache: bool| {
+        let mut cluster = ClusterBuilder::new(3, app())
+            .constraints(constraints())
+            .constraint_engine(ConstraintEngine::Compiled)
+            .verdict_cache(cache)
+            .build()
+            .unwrap();
+        for i in 0..4 {
+            let id = ObjectId::new("Counter", format!("c{i}"));
+            cluster
+                .run_tx(NodeId(0), move |c, tx| {
+                    c.create(NodeId(0), tx, EntityState::for_class(c.app(), &id)?)
+                })
+                .unwrap();
+        }
+        cluster
+    };
+    let sweep = |cluster: &mut dedisys_core::Cluster| {
+        for i in 0..12 {
+            let name = ConstraintName::from(format!("Bounded-{i:02}"));
+            cluster.set_constraint_enabled(&name, false).unwrap();
+            cluster.enable_constraint_with_check(&name).unwrap();
+        }
+    };
+
+    let mut cached = build(true);
+    sweep(&mut cached); // cold: 12 constraints × 4 objects miss + fill
+    let after_cold = cached.stats();
+    let misses = after_cold.telemetry.counters["ccm.verdict_cache.miss"];
+    assert_eq!(
+        misses, 48,
+        "cold sweep misses once per (constraint, object)"
+    );
+    assert!(cached.verdict_cache_len() > 0);
+    sweep(&mut cached); // warm: answered from memo
+    let after_warm = cached.stats();
+    assert_eq!(
+        after_warm.telemetry.counters["ccm.verdict_cache.hit"], 48,
+        "warm sweep hits once per (constraint, object)"
+    );
+    assert_eq!(
+        after_warm.telemetry.counters["ccm.verdict_cache.miss"], misses,
+        "warm sweep adds no misses"
+    );
+
+    // A committed write invalidates the touched object's entries only.
+    let id = ObjectId::new("Counter", "c0");
+    let before = cached.verdict_cache_len();
+    cached
+        .run_tx(NodeId(0), {
+            let id = id.clone();
+            move |c, tx| c.set_field(NodeId(0), tx, &id, "n", Value::Int(5))
+        })
+        .unwrap();
+    let after = cached.verdict_cache_len();
+    assert!(after < before, "write invalidates the object's entries");
+    assert!(after > 0, "other objects' entries survive");
+
+    // Same workload without the cache: more virtual time, same verdicts.
+    let mut uncached = build(false);
+    sweep(&mut uncached);
+    sweep(&mut uncached);
+    assert_eq!(after_warm.ccm.validations, uncached.stats().ccm.validations);
+    assert!(
+        after_warm.now_ns < uncached.stats().now_ns,
+        "cached sweeps must be cheaper in virtual time"
+    );
+}

@@ -3,7 +3,9 @@
 use dedisys_constraints::expr::{self, ExprConstraint};
 use dedisys_constraints::{MapAccess, ValidationContext};
 use dedisys_core::nodes;
+#[allow(deprecated)]
 use dedisys_core::partition_sensitive::partition_share;
+use dedisys_core::partition_sensitive::partition_share_weighted;
 use dedisys_gc::{FifoReceiver, FifoSender};
 use dedisys_gms::NodeWeights;
 use dedisys_net::Topology;
@@ -70,6 +72,7 @@ proptest! {
     /// The partition share of §5.5.2 never exceeds the remainder and
     /// two complementary partitions never exceed it together.
     #[test]
+    #[allow(deprecated)]
     fn partition_share_is_conservative(remaining in 0i64..100_000, permille in 0u32..=1000) {
         let f = f64::from(permille) / 1000.0;
         let share = partition_share(remaining, f);
@@ -77,6 +80,34 @@ proptest! {
         prop_assert!(share <= remaining.max(0));
         let complement = partition_share(remaining, 1.0 - f);
         prop_assert!(share + complement <= remaining.max(0));
+    }
+
+    /// Integer-rational shares (§5.5.2 bugfix): over *any* disjoint
+    /// weighting of the cluster the shares never sum above the
+    /// remainder, each share is within bounds, and the undivided
+    /// cluster receives exactly the remainder — properties the float
+    /// path cannot guarantee under unlucky rounding.
+    #[test]
+    fn weighted_partition_shares_are_conservative(
+        remaining in 0i64..1_000_000,
+        weights in prop::collection::vec(0u32..1_000, 1..6),
+    ) {
+        let total: u32 = weights.iter().sum();
+        let shares: Vec<i64> = weights
+            .iter()
+            .map(|&w| partition_share_weighted(remaining, w, total))
+            .collect();
+        for &share in &shares {
+            prop_assert!(share >= 0);
+            prop_assert!(share <= remaining.max(0));
+        }
+        prop_assert!(shares.iter().sum::<i64>() <= remaining.max(0));
+        if total > 0 {
+            prop_assert_eq!(
+                partition_share_weighted(remaining, total, total),
+                remaining.max(0)
+            );
+        }
     }
 
     /// Topology splits partition the node set: every node is in exactly
