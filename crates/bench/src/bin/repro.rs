@@ -12,9 +12,21 @@
 //! per-experiment index and EXPERIMENTS.md for a recorded run.
 //!
 //! `repro chaos-soak [--seed S] [--nodes N] [--ops O] [--faults F]
-//! [--sweep K] [--trace <path>]` runs the seeded chaos engine instead:
-//! one reproducible fault-injection run (optionally traced to JSONL),
-//! or a sweep over seeds `0..K`. Exits 1 on any invariant violation.
+//! [--sweep K] [--detector] [--trace <path>]` runs the seeded chaos
+//! engine instead: one reproducible fault-injection run (optionally
+//! traced to JSONL), or a sweep over seeds `0..K`. With `--detector`
+//! the cluster runs the adaptive failure-detection pipeline under a
+//! weighted-quorum primary policy and the plan draws from the
+//! extended fault vocabulary (link flaps, asymmetric loss, jitter,
+//! torn journal writes). Exits 1 on any invariant violation.
+//!
+//! `repro flap-sweep [--seed S] [--nodes N] [--flaps F] [--sweep K]
+//! [--trace <path>]` runs the failure-detection damping study: link
+//! flapping at several periods against the fixed-timeout +
+//! passthrough baseline and the φ-accrual detector across damping
+//! windows, printing the spurious-transition table. Exits 1 unless
+//! the adaptive pipeline is strictly quieter than the baseline on
+//! every row (and on every seed of a `--sweep`).
 //!
 //! `repro fig-par [--trace <path>]` runs the batch-validation pool
 //! study: the same validation-heavy workload under serial and
@@ -36,7 +48,7 @@
 //! object per line, stamped in virtual time only, so two runs of the
 //! same experiment write byte-identical files.
 
-use dedisys_bench::{ch2, ch5, chaos_soak, fig_compile, fig_par};
+use dedisys_bench::{ch2, ch5, chaos_soak, fig_compile, fig_par, flap_sweep};
 use std::path::PathBuf;
 
 const CH2: &[&str] = &[
@@ -66,7 +78,11 @@ fn usage() -> ! {
     eprintln!("usage: repro <experiment>|ch2|ch5|all [--trace <path>]");
     eprintln!(
         "       repro chaos-soak [--seed S] [--nodes N] [--ops O] [--faults F] \
-         [--sweep K] [--trace <path>]"
+         [--sweep K] [--detector] [--trace <path>]"
+    );
+    eprintln!(
+        "       repro flap-sweep [--seed S] [--nodes N] [--flaps F] [--sweep K] \
+         [--trace <path>]"
     );
     eprintln!("       repro fig-par [--trace <path>]");
     eprintln!("       repro fig-compile [--trace <path>]");
@@ -104,6 +120,10 @@ fn main() {
     }
     if args[0] == "chaos-soak" {
         chaos_soak_main(&args[1..], trace);
+        return;
+    }
+    if args[0] == "flap-sweep" {
+        flap_sweep_main(&args[1..], trace);
         return;
     }
     if args[0] == "fig-par" {
@@ -169,6 +189,10 @@ fn chaos_soak_main(args: &[String], trace: Option<PathBuf>) {
             "--sweep" => {
                 opts.sweep = Some(value(&mut i, "--sweep").parse().expect("--sweep: u64"));
             }
+            "--detector" => {
+                opts.detector = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown chaos-soak flag '{other}'");
                 usage();
@@ -184,6 +208,48 @@ fn chaos_soak_main(args: &[String], trace: Option<PathBuf>) {
         std::fs::File::create(path).expect("create trace file");
     }
     chaos_soak::run(&opts);
+}
+
+fn flap_sweep_main(args: &[String], trace: Option<PathBuf>) {
+    let mut opts = flap_sweep::FlapSweepOptions {
+        trace,
+        ..flap_sweep::FlapSweepOptions::default()
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 2;
+        match args.get(*i - 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} needs a value");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => opts.seed = value(&mut i, "--seed").parse().expect("--seed: u64"),
+            "--nodes" => opts.nodes = value(&mut i, "--nodes").parse().expect("--nodes: u32"),
+            "--flaps" => opts.flaps = value(&mut i, "--flaps").parse().expect("--flaps: u32"),
+            "--sweep" => {
+                opts.sweep = Some(value(&mut i, "--sweep").parse().expect("--sweep: u64"));
+            }
+            other => {
+                eprintln!("unknown flap-sweep flag '{other}'");
+                usage();
+            }
+        }
+    }
+    assert!(opts.nodes >= 3, "flap-sweep needs a quorum-capable cluster");
+    if opts.sweep.is_some() && opts.trace.is_some() {
+        eprintln!("--trace applies to single runs only, not sweeps");
+        usage();
+    }
+    if let Some(path) = &opts.trace {
+        // Truncate once; every cell's exporter appends.
+        std::fs::File::create(path).expect("create trace file");
+    }
+    flap_sweep::run(&opts);
 }
 
 fn dispatch(id: &str) {

@@ -26,6 +26,10 @@ pub struct SoakOptions {
     pub sweep: Option<u64>,
     /// JSONL trace destination (single runs only).
     pub trace: Option<PathBuf>,
+    /// Drive membership through the adaptive failure-detection
+    /// pipeline (φ-accrual + flap damping + weighted quorum) and draw
+    /// faults from the extended vocabulary.
+    pub detector: bool,
 }
 
 impl Default for SoakOptions {
@@ -37,6 +41,7 @@ impl Default for SoakOptions {
             faults: 24,
             sweep: None,
             trace: None,
+            detector: false,
         }
     }
 }
@@ -47,6 +52,7 @@ fn config(opts: &SoakOptions, seed: u64) -> ChaosConfig {
         ops: opts.ops,
         faults: opts.faults,
         seed,
+        detector: opts.detector,
         ..ChaosConfig::default()
     }
 }
@@ -98,8 +104,10 @@ fn sweep(opts: &SoakOptions, seeds: u64) {
         }
     }
     println!(
-        "chaos-soak sweep: {seeds} seeds x {} ops x {} faults — {dirty} seed(s) with violations",
-        opts.ops, opts.faults
+        "chaos-soak sweep{}: {seeds} seeds x {} ops x {} faults — {dirty} seed(s) with violations",
+        if opts.detector { " (detector)" } else { "" },
+        opts.ops,
+        opts.faults
     );
     if dirty > 0 {
         std::process::exit(1);
@@ -107,7 +115,12 @@ fn sweep(opts: &SoakOptions, seeds: u64) {
 }
 
 fn print_report(report: &ChaosReport, opts: &SoakOptions) {
-    println!("chaos-soak seed {} ({} nodes)", report.seed, opts.nodes);
+    println!(
+        "chaos-soak seed {} ({} nodes{})",
+        report.seed,
+        opts.nodes,
+        if opts.detector { ", detector" } else { "" }
+    );
     println!(
         "  workload: {} ok, {} failed (expected under faults)",
         report.ops_ok, report.ops_failed

@@ -21,10 +21,16 @@
 //!   fig-compile`): interpreted vs compiled vs compiled+verdict-cache
 //!   validation cost in deterministic virtual time, with the
 //!   verdict-transparency contract checked on every run.
+//! * [`flap_sweep`] — the failure-detection damping study (`repro
+//!   flap-sweep`): spurious mode transitions under link flapping,
+//!   fixed-timeout + passthrough baseline vs the φ-accrual detector
+//!   with flap-damped view stabilization, per flap period and
+//!   damping window.
 
 pub mod ch2;
 pub mod ch5;
 pub mod chaos_soak;
 pub mod fig_compile;
 pub mod fig_par;
+pub mod flap_sweep;
 pub mod table;

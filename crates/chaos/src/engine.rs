@@ -13,7 +13,8 @@ use crate::invariant::{InvariantChecker, InvariantViolation};
 use crate::plan::{FaultPlan, FaultStep};
 use crate::rng::ChaosRng;
 use dedisys_core::{
-    Cluster, ClusterBuilder, DeferAll, HighestVersionWins, StatsSnapshot, ValidationParallelism,
+    Cluster, ClusterBuilder, DeferAll, DetectorKind, HighestVersionWins, LinkFault,
+    MinorityWriteHandling, PrimaryPartitionPolicy, StatsSnapshot, ValidationParallelism,
 };
 use dedisys_net::{LatencyModel, Router, Topology};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
@@ -40,6 +41,13 @@ pub struct ChaosConfig {
     /// setting must produce the same report, stats and trace — the
     /// parallel-determinism property tests sweep this knob.
     pub parallelism: ValidationParallelism,
+    /// Drive membership through the adaptive failure-detection
+    /// pipeline: the cluster runs a φ-accrual detector with flap
+    /// damping and a weighted-quorum primary policy, and the random
+    /// plan draws from the extended fault vocabulary (link flaps,
+    /// asymmetric loss, jitter, torn journal writes). Off by default
+    /// so classic seeds keep their historical schedules.
+    pub detector: bool,
 }
 
 impl Default for ChaosConfig {
@@ -51,6 +59,7 @@ impl Default for ChaosConfig {
             seed: 0,
             item_pool: 12,
             parallelism: ValidationParallelism::Serial,
+            detector: false,
         }
     }
 }
@@ -120,7 +129,15 @@ impl ChaosEngine {
     /// Propagates cluster-construction and seeding failures.
     pub fn new(config: ChaosConfig) -> Result<Self> {
         assert!(config.nodes >= 2, "chaos needs at least two nodes");
-        let mut cluster = ClusterBuilder::new(config.nodes, chaos_app()).build()?;
+        let mut builder = ClusterBuilder::new(config.nodes, chaos_app());
+        if config.detector {
+            builder = builder
+                .detector(DetectorKind::Adaptive)
+                .detector_seed(config.seed)
+                .primary_policy(PrimaryPartitionPolicy::WeightedQuorum)
+                .minority_writes(MinorityWriteHandling::Degrade);
+        }
+        let mut cluster = builder.build()?;
         cluster.set_validation_parallelism(config.parallelism);
         let gossip = Router::new(
             Topology::fully_connected(config.nodes),
@@ -157,12 +174,21 @@ impl ChaosEngine {
     /// Propagates workload-seeding failures; fault application and
     /// workload errors are absorbed into the report.
     pub fn run(mut self) -> Result<ChaosReport> {
-        let plan = FaultPlan::random(
-            self.config.seed,
-            self.config.nodes,
-            self.config.ops,
-            self.config.faults,
-        );
+        let plan = if self.config.detector {
+            FaultPlan::random_adaptive(
+                self.config.seed,
+                self.config.nodes,
+                self.config.ops,
+                self.config.faults,
+            )
+        } else {
+            FaultPlan::random(
+                self.config.seed,
+                self.config.nodes,
+                self.config.ops,
+                self.config.faults,
+            )
+        };
         self.run_plan(&plan)
     }
 
@@ -185,6 +211,9 @@ impl ChaosEngine {
             }
             self.one_op();
             self.in_doubt_resolved += self.cluster.resolve_in_doubt() as u64;
+            // The workload advanced the virtual clock; let the
+            // failure detector process whatever heartbeats landed.
+            self.cluster.poll_detector();
         }
         for planned in steps {
             self.apply_step(step_no, &planned.step);
@@ -329,12 +358,73 @@ impl ChaosEngine {
                 self.cluster.inject_replica_lag(*node, *updates);
                 true
             }
+            FaultStep::LinkJitter { micros } => {
+                self.cluster.set_default_link_jitter(*micros).is_ok()
+            }
+            FaultStep::LinkFlap {
+                node,
+                flaps,
+                period_millis,
+            } => self.link_flap(*node, *flaps, *period_millis),
+            FaultStep::AsymmetricLoss {
+                from,
+                to,
+                per_mille,
+            } => self
+                .cluster
+                .set_link_fault(
+                    *from,
+                    *to,
+                    LinkFault {
+                        loss_per_mille: *per_mille,
+                        ..LinkFault::default()
+                    },
+                )
+                .is_ok(),
+            FaultStep::WalTornWrite { node } => {
+                self.live_nodes().len() > 1
+                    && !self.cluster.is_crashed(*node)
+                    && self.cluster.corrupt_journal_tail(*node, 1).is_ok()
+                    && self.cluster.crash(*node).is_ok()
+            }
         };
         if applied {
             self.faults_applied += 1;
         } else {
             self.faults_skipped += 1;
         }
+    }
+
+    /// Severs and restores `node`'s physical links `flaps` times,
+    /// advancing the detector through each half-cycle — the
+    /// stabilizer's flap damping is what keeps this from translating
+    /// into `2 × flaps` installed views.
+    fn link_flap(&mut self, node: NodeId, flaps: u32, period_millis: u64) -> bool {
+        if !self.cluster.detector_enabled() || self.cluster.is_crashed(node) {
+            return false;
+        }
+        let others: Vec<NodeId> = self
+            .cluster
+            .topology()
+            .nodes()
+            .filter(|n| *n != node)
+            .collect();
+        let period = SimDuration::from_millis(period_millis);
+        for _ in 0..flaps {
+            if self
+                .cluster
+                .drop_links(&[vec![node], others.clone()])
+                .is_err()
+            {
+                return false;
+            }
+            self.cluster.run_detector_for(period);
+            if self.cluster.heal_links().is_err() {
+                return false;
+            }
+            self.cluster.run_detector_for(period);
+        }
+        true
     }
 
     /// Exchanges `messages` gossip heartbeats under a loss window or a
@@ -391,6 +481,20 @@ impl ChaosEngine {
             let _ = self.cluster.restart(node);
         }
         self.cluster.heal();
+        if self.cluster.detector_enabled() {
+            // Give the pipeline time to observe the healed fabric and
+            // decay any accumulated flap penalties, then insist on
+            // quiescence: zero standing suspicions, one partition.
+            let _ = self.cluster.set_default_link_jitter(0);
+            self.cluster.run_detector_for(SimDuration::from_secs(2));
+            let mut rounds = 0;
+            while rounds < 120
+                && (self.cluster.standing_suspicions() > 0 || !self.cluster.topology().is_healthy())
+            {
+                self.cluster.run_detector_for(SimDuration::from_secs(1));
+                rounds += 1;
+            }
+        }
         let timeout = self.cluster.costs().in_doubt_timeout;
         self.cluster.clock().advance(timeout);
         self.in_doubt_resolved += self.cluster.resolve_in_doubt() as u64;
@@ -443,6 +547,57 @@ mod tests {
                 report.violations
             );
         }
+    }
+
+    fn run_detector_seed(seed: u64) -> ChaosReport {
+        let engine = ChaosEngine::new(ChaosConfig {
+            seed,
+            ops: 150,
+            faults: 12,
+            detector: true,
+            ..ChaosConfig::default()
+        })
+        .expect("engine");
+        engine.run().expect("run")
+    }
+
+    #[test]
+    fn detector_runs_are_reproducible() {
+        let a = run_detector_seed(11);
+        let b = run_detector_seed(11);
+        assert_eq!(a.ops_ok, b.ops_ok);
+        assert_eq!(a.ops_failed, b.ops_failed);
+        assert_eq!(a.faults_applied, b.faults_applied);
+        assert_eq!(a.final_stats.now_ns, b.final_stats.now_ns);
+        assert_eq!(a.final_stats.events_emitted, b.final_stats.events_emitted);
+    }
+
+    #[test]
+    fn detector_schedules_keep_invariants() {
+        for seed in 0..10 {
+            let report = run_detector_seed(seed);
+            assert!(
+                report.clean(),
+                "seed {seed} violated invariants: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn torn_journal_write_recovers_and_converges() {
+        let plan = FaultPlan::new()
+            .at(60, FaultStep::WalTornWrite { node: NodeId(1) })
+            .at(120, FaultStep::Restart(NodeId(1)));
+        let engine = ChaosEngine::new(ChaosConfig {
+            seed: 5,
+            ops: 200,
+            ..ChaosConfig::default()
+        })
+        .expect("engine");
+        let report = engine.run_plan(&plan).expect("run");
+        assert!(report.clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.faults_applied, 2);
     }
 
     #[test]

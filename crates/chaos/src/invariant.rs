@@ -90,6 +90,20 @@ impl InvariantChecker {
                 detail: "mode is healthy while nodes are crashed".into(),
             });
         }
+
+        // §5.5.2: under a quorum-based primary policy at most one
+        // partition may accept primary-mode writes per topology epoch.
+        // The cluster witnesses every admitted primary write; a second
+        // member-set at the same epoch is a split-brain.
+        if cluster.primary_conflicts() > 0 {
+            out.push(InvariantViolation {
+                invariant: "primary_exclusivity",
+                detail: format!(
+                    "{} primary-mode writes admitted by a second partition",
+                    cluster.primary_conflicts()
+                ),
+            });
+        }
         out
     }
 
@@ -141,6 +155,26 @@ impl InvariantChecker {
                 invariant: "reconciled",
                 detail: "threats or degraded writes remain after reconcile".into(),
             });
+        }
+        // With the failure-detection pipeline enabled, a healed and
+        // quiescent cluster must carry no standing suspicions and must
+        // have converged back to the healthy mode.
+        if cluster.detector_enabled() {
+            if cluster.standing_suspicions() != 0 {
+                out.push(InvariantViolation {
+                    invariant: "suspicions_cleared",
+                    detail: format!(
+                        "{} standing suspicions after heal + quiescence",
+                        cluster.standing_suspicions()
+                    ),
+                });
+            }
+            if cluster.mode() != SystemMode::Healthy {
+                out.push(InvariantViolation {
+                    invariant: "mode_healthy",
+                    detail: format!("mode is {:?} after the repair sequence", cluster.mode()),
+                });
+            }
         }
         if cluster.in_doubt_count() != 0 {
             out.push(InvariantViolation {

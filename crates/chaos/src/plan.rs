@@ -55,6 +55,43 @@ pub enum FaultStep {
         /// Updates the backup misses.
         updates: u32,
     },
+    /// A standing jitter floor on the failure-detector fabric: every
+    /// heartbeat is delayed by a deterministic extra in
+    /// `0..=micros` µs. Requires the detector pipeline.
+    LinkJitter {
+        /// Maximum extra heartbeat delay, in microseconds.
+        micros: u64,
+    },
+    /// Repeatedly severs and restores `node`'s physical links, letting
+    /// the detector observe every transition — the stabilizer's flap
+    /// damping must absorb most of them. Requires the detector
+    /// pipeline.
+    LinkFlap {
+        /// The flapping node.
+        node: NodeId,
+        /// Down/up cycles.
+        flaps: u32,
+        /// Virtual time spent in each half-cycle, in milliseconds.
+        period_millis: u64,
+    },
+    /// One-directional heartbeat loss `from → to` while the reverse
+    /// direction keeps delivering — the classic asymmetric-failure
+    /// detector trap. Requires the detector pipeline.
+    AsymmetricLoss {
+        /// Sender whose heartbeats are dropped.
+        from: NodeId,
+        /// Receiver that stops hearing `from`.
+        to: NodeId,
+        /// Loss rate on the faulty direction (0–1000).
+        per_mille: u16,
+    },
+    /// Tears `node`'s last journal write (checksum corruption) and
+    /// crashes it — recovery must truncate the torn tail and
+    /// reconciliation must resync the lost state.
+    WalTornWrite {
+        /// The node whose journal tail is torn.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for FaultStep {
@@ -91,6 +128,18 @@ impl fmt::Display for FaultStep {
             FaultStep::ReplicaLag { node, updates } => {
                 write!(f, "replica_lag({node},{updates})")
             }
+            FaultStep::LinkJitter { micros } => write!(f, "link_jitter({micros}us)"),
+            FaultStep::LinkFlap {
+                node,
+                flaps,
+                period_millis,
+            } => write!(f, "link_flap({node},{flaps}x{period_millis}ms)"),
+            FaultStep::AsymmetricLoss {
+                from,
+                to,
+                per_mille,
+            } => write!(f, "asym_loss({from}->{to},{per_mille}‰)"),
+            FaultStep::WalTornWrite { node } => write!(f, "wal_torn({node})"),
         }
     }
 }
@@ -210,6 +259,97 @@ impl FaultPlan {
         }
         Self { steps }
     }
+
+    /// Like [`FaultPlan::random`], but drawing from the full fault
+    /// vocabulary of the adaptive failure-detection pipeline: link
+    /// flaps, asymmetric loss, heartbeat jitter and torn journal
+    /// writes join the classic crash/partition mix. A separate
+    /// generator (and a perturbed seed stream) so plans for the
+    /// non-detector path stay byte-identical across releases.
+    pub fn random_adaptive(seed: u64, nodes: u32, ops: u64, faults: usize) -> Self {
+        let mut rng = ChaosRng::new(seed ^ 0xADA7_71FE_0000_5EED);
+        let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+        let mut steps = Vec::with_capacity(faults);
+        let mut indices: Vec<u64> = (0..faults).map(|_| rng.below(ops.max(1))).collect();
+        indices.sort_unstable();
+        for at_op in indices {
+            let live: Vec<NodeId> = (0..nodes)
+                .map(NodeId)
+                .filter(|n| !crashed.contains(n))
+                .collect();
+            let step = match rng.below(100) {
+                // Crash a live node (keep at least one survivor).
+                0..=11 if live.len() > 1 => {
+                    let victim = *rng.pick(&live);
+                    crashed.insert(victim);
+                    FaultStep::Crash(victim)
+                }
+                // Tear the journal tail, then crash (same survivor rule).
+                12..=19 if live.len() > 1 => {
+                    let victim = *rng.pick(&live);
+                    crashed.insert(victim);
+                    FaultStep::WalTornWrite { node: victim }
+                }
+                // Restart a crashed node.
+                20..=35 if !crashed.is_empty() => {
+                    let back: Vec<NodeId> = crashed.iter().copied().collect();
+                    let node = *rng.pick(&back);
+                    crashed.remove(&node);
+                    FaultStep::Restart(node)
+                }
+                // Flap a live node's links — the damping stressor.
+                36..=49 if live.len() > 1 => FaultStep::LinkFlap {
+                    node: *rng.pick(&live),
+                    flaps: 2 + rng.below(4) as u32,
+                    period_millis: 100 + rng.below(300),
+                },
+                // One-directional heartbeat loss between two live nodes.
+                50..=59 if live.len() > 1 => {
+                    let from = *rng.pick(&live);
+                    let rest: Vec<NodeId> = live.iter().copied().filter(|n| *n != from).collect();
+                    FaultStep::AsymmetricLoss {
+                        from,
+                        to: *rng.pick(&rest),
+                        per_mille: 200 + rng.below(700) as u16,
+                    }
+                }
+                // Raise (or clear, at 0) the standing heartbeat jitter.
+                60..=67 => FaultStep::LinkJitter {
+                    micros: rng.below(4) * 10_000,
+                },
+                // Scripted split of the live nodes into two groups.
+                68..=77 if live.len() >= 2 => {
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    for &n in &live {
+                        if rng.chance(50) {
+                            a.push(n);
+                        } else {
+                            b.push(n);
+                        }
+                    }
+                    if a.is_empty() {
+                        a.push(b.pop().expect("live >= 2"));
+                    }
+                    if b.is_empty() {
+                        b.push(a.pop().expect("live >= 2"));
+                    }
+                    FaultStep::Partition(vec![a, b])
+                }
+                78..=87 => FaultStep::Heal,
+                88..=93 => FaultStep::WriteFaultWindow {
+                    node: NodeId(rng.below(u64::from(nodes)) as u32),
+                    failures: 1 + rng.below(5) as u32,
+                },
+                _ => FaultStep::ReplicaLag {
+                    node: NodeId(rng.below(u64::from(nodes)) as u32),
+                    updates: 1 + rng.below(3) as u32,
+                },
+            };
+            steps.push(PlannedFault { at_op, step });
+        }
+        Self { steps }
+    }
 }
 
 #[cfg(test)]
@@ -258,5 +398,42 @@ mod tests {
         let s = FaultStep::Partition(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
         assert_eq!(s.to_string(), "partition(n0,n1|n2)");
         assert_eq!(FaultStep::Crash(NodeId(7)).to_string(), "crash(n7)");
+        let flap = FaultStep::LinkFlap {
+            node: NodeId(2),
+            flaps: 3,
+            period_millis: 150,
+        };
+        assert_eq!(flap.to_string(), "link_flap(n2,3x150ms)");
+        assert_eq!(
+            FaultStep::WalTornWrite { node: NodeId(1) }.to_string(),
+            "wal_torn(n1)"
+        );
+    }
+
+    #[test]
+    fn adaptive_plans_are_seed_reproducible_and_distinct() {
+        let a = FaultPlan::random_adaptive(99, 4, 200, 24);
+        let b = FaultPlan::random_adaptive(99, 4, 200, 24);
+        assert_eq!(a, b);
+        let classic = FaultPlan::random(99, 4, 200, 24);
+        assert_ne!(a, classic, "adaptive plans draw from their own stream");
+    }
+
+    #[test]
+    fn adaptive_plans_never_crash_the_last_node() {
+        for seed in 0..50 {
+            let plan = FaultPlan::random_adaptive(seed, 3, 100, 30);
+            let mut crashed = 0u32;
+            for p in plan.steps() {
+                match &p.step {
+                    FaultStep::Crash(_) | FaultStep::WalTornWrite { .. } => {
+                        crashed += 1;
+                        assert!(crashed < 3, "seed {seed} crashed every node");
+                    }
+                    FaultStep::Restart(_) => crashed -= 1,
+                    _ => {}
+                }
+            }
+        }
     }
 }

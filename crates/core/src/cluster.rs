@@ -22,7 +22,11 @@ use dedisys_constraints::{
     ConstraintEngine, ConstraintKind, ConstraintRepository, LookupKind, LookupMode,
     RegisteredConstraint, ValidationContext,
 };
-use dedisys_gms::{NodeWeights, ViewTracker};
+use dedisys_gms::{
+    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipConfig, MembershipEvent,
+    MembershipSim, MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig,
+    ViewTracker,
+};
 use dedisys_net::{SimClock, Topology};
 use dedisys_object::{
     AppDescriptor, EntityContainer, EntityState, InterceptorChain, Invocation, MethodKind,
@@ -30,13 +34,13 @@ use dedisys_object::{
 };
 use dedisys_replication::{ProtocolKind, ReplicationManager};
 use dedisys_telemetry::{
-    CostBreakdown, InvocationOutcome, MetricsSnapshot, Telemetry, TraceEvent, TriggerKind,
-    TwoPcPhase,
+    CostBreakdown, InvocationOutcome, MetricsSnapshot, Telemetry, TraceEvent, TransitionCause,
+    TriggerKind, TwoPcPhase,
 };
 use dedisys_tx::{LockTable, TransactionManager};
 use dedisys_types::{
-    ConstraintName, Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimTime,
-    SystemMode, TxId, Value,
+    ConstraintName, Error, MethodName, NodeId, ObjectId, Result, SatisfactionDegree, SimDuration,
+    SimTime, SystemMode, TxId, Value,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -143,6 +147,14 @@ pub struct ClusterBuilder {
     validation_parallelism: ValidationParallelism,
     constraint_engine: ConstraintEngine,
     verdict_cache: bool,
+    detector_enabled: bool,
+    detector_kind: DetectorKind,
+    detector_config: DetectorConfig,
+    adaptive_config: AdaptiveConfig,
+    stabilizer_config: StabilizerConfig,
+    detector_seed: u64,
+    primary_policy: PrimaryPartitionPolicy,
+    minority_writes: MinorityWriteHandling,
     app: AppDescriptor,
     methods: MethodTable,
     constraints: Vec<RegisteredConstraint>,
@@ -181,6 +193,14 @@ impl ClusterBuilder {
             validation_parallelism: ValidationParallelism::default(),
             constraint_engine: ConstraintEngine::default(),
             verdict_cache: false,
+            detector_enabled: false,
+            detector_kind: DetectorKind::default(),
+            detector_config: DetectorConfig::default(),
+            adaptive_config: AdaptiveConfig::default(),
+            stabilizer_config: StabilizerConfig::default(),
+            detector_seed: 0,
+            primary_policy: PrimaryPartitionPolicy::default(),
+            minority_writes: MinorityWriteHandling::default(),
             app,
             methods: MethodTable::new(),
             constraints: Vec::new(),
@@ -270,6 +290,68 @@ impl ClusterBuilder {
     /// verdict-transparent — only the virtual-time charge differs.
     pub fn verdict_cache(mut self, enabled: bool) -> Self {
         self.verdict_cache = enabled;
+        self
+    }
+
+    /// Enables the detector-driven membership pipeline with the given
+    /// failure-detector kind (default: disabled — tests script topology
+    /// changes explicitly via [`Cluster::partition`] and friends).
+    ///
+    /// With the pipeline enabled, physical link faults injected via
+    /// [`Cluster::drop_links`] / [`Cluster::set_link_fault`] are
+    /// *detected*: heartbeats are exchanged on the virtual clock,
+    /// suspicion is raised per the chosen detector, flap damping and
+    /// hysteresis stabilize the observed view, and the stabilized
+    /// partitioning is installed with a
+    /// `mode_transition { cause: detector }` event.
+    pub fn detector(mut self, kind: DetectorKind) -> Self {
+        self.detector_enabled = true;
+        self.detector_kind = kind;
+        self
+    }
+
+    /// Overrides the heartbeat/timeout configuration used by the
+    /// failure detector (default: [`DetectorConfig::default`]).
+    pub fn detector_config(mut self, config: DetectorConfig) -> Self {
+        self.detector_config = config;
+        self
+    }
+
+    /// Overrides the φ-accrual parameters used when the detector kind
+    /// is [`DetectorKind::Adaptive`].
+    pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive_config = config;
+        self
+    }
+
+    /// Overrides the hysteresis / flap-damping parameters of the view
+    /// stabilizer.
+    pub fn stabilizer_config(mut self, config: StabilizerConfig) -> Self {
+        self.stabilizer_config = config;
+        self
+    }
+
+    /// Seeds the deterministic loss/jitter draws of the membership
+    /// pipeline (default: 0). Same seed ⇒ byte-identical event stream.
+    pub fn detector_seed(mut self, seed: u64) -> Self {
+        self.detector_seed = seed;
+        self
+    }
+
+    /// Selects how a partition classifies itself primary (§5.5.2;
+    /// default: [`PrimaryPartitionPolicy::AlwaysPrimary`], the
+    /// historical behaviour where every partition accepts writes).
+    pub fn primary_policy(mut self, policy: PrimaryPartitionPolicy) -> Self {
+        self.primary_policy = policy;
+        self
+    }
+
+    /// Selects what happens to writes issued in a minority partition
+    /// under a quorum-based primary policy (default:
+    /// [`MinorityWriteHandling::Degrade`] — admitted as degraded-mode
+    /// writes that record consistency threats).
+    pub fn minority_writes(mut self, handling: MinorityWriteHandling) -> Self {
+        self.minority_writes = handling;
         self
     }
 
@@ -384,10 +466,29 @@ impl ClusterBuilder {
                 }
             }
         }
+        let membership = self.detector_enabled.then(|| {
+            MembershipSim::new(
+                self.nodes,
+                MembershipConfig {
+                    kind: self.detector_kind,
+                    detector: self.detector_config,
+                    adaptive: self.adaptive_config,
+                    stabilizer: self.stabilizer_config,
+                    seed: self.detector_seed,
+                    ..MembershipConfig::default()
+                },
+                clock.clone(),
+            )
+        });
         Ok(Cluster {
             clock,
             telemetry,
             topology,
+            membership,
+            primary_policy: self.primary_policy,
+            minority_writes: self.minority_writes,
+            primary_witness: BTreeMap::new(),
+            primary_conflicts: 0,
             weights,
             containers: (0..self.nodes)
                 .map(|_| EntityContainer::new(&self.app))
@@ -426,6 +527,22 @@ pub struct Cluster {
     clock: SimClock,
     telemetry: Telemetry,
     topology: Topology,
+    /// The detector-driven membership pipeline
+    /// ([`ClusterBuilder::detector`]); `None` when topology changes
+    /// are scripted only.
+    membership: Option<MembershipSim>,
+    /// How a partition classifies itself primary (§5.5.2).
+    primary_policy: PrimaryPartitionPolicy,
+    /// What happens to minority-partition writes under a quorum policy.
+    minority_writes: MinorityWriteHandling,
+    /// Per-topology-epoch witness of the one partition whose
+    /// primary-mode writes were admitted — the safety invariant is that
+    /// no *second*, different partition ever witnesses at the same
+    /// epoch.
+    primary_witness: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Times a second partition was caught accepting primary-mode
+    /// writes at an epoch that already had a primary (must stay 0).
+    primary_conflicts: u64,
     weights: NodeWeights,
     containers: Vec<EntityContainer>,
     app: AppDescriptor,
@@ -853,12 +970,13 @@ impl Cluster {
         let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
         self.topology.split(&refs);
         self.install_views();
+        self.sync_membership_scripted();
         let to = if self.topology.is_healthy() {
             SystemMode::Healthy
         } else {
             SystemMode::Degraded
         };
-        Ok(self.set_mode(to))
+        Ok(self.set_mode(to, TransitionCause::Scripted))
     }
 
     /// Isolates one node (connectivity loss — the node keeps running)
@@ -874,7 +992,8 @@ impl Cluster {
         }
         self.topology.isolate(node);
         self.install_views();
-        Ok(self.set_mode(SystemMode::Degraded))
+        self.sync_membership_scripted();
+        Ok(self.set_mode(SystemMode::Degraded, TransitionCause::Scripted))
     }
 
     /// Repairs all connectivity failures; the system enters the
@@ -897,6 +1016,13 @@ impl Cluster {
             self.topology.split(&[&live]);
         }
         self.install_views();
+        // A scripted heal repairs the physical layer too — standing
+        // link faults would otherwise make detection re-partition the
+        // cluster immediately.
+        if let Some(membership) = self.membership.as_mut() {
+            membership.clear_link_faults();
+        }
+        self.sync_membership_scripted();
         let to = if !self.crashed.is_empty() {
             SystemMode::Degraded
         } else if self.needs_reconciliation() {
@@ -904,7 +1030,7 @@ impl Cluster {
         } else {
             SystemMode::Healthy
         };
-        self.set_mode(to)
+        self.set_mode(to, TransitionCause::Scripted)
     }
 
     // ------------------------------------------------------------------
@@ -972,12 +1098,13 @@ impl Cluster {
         let _lost_buffers = self.containers[node.index()].crash_volatile();
         self.topology.isolate(node);
         self.install_views();
+        self.sync_membership_scripted();
         self.telemetry.emit(|| TraceEvent::NodeCrash {
             node,
             aborted_txs: aborted,
             in_doubt_txs: in_doubt,
         });
-        Ok(self.set_mode(SystemMode::Degraded))
+        Ok(self.set_mode(SystemMode::Degraded, TransitionCause::Scripted))
     }
 
     /// Restarts a crashed node: replays the persistent journal into a
@@ -1002,10 +1129,23 @@ impl Cluster {
                 "node {node} is not crashed; nothing to restart"
             )));
         }
-        let replayed = self.containers[node.index()].recover_from_journal()?;
+        let report = self.containers[node.index()].recover_from_journal()?;
+        let replayed = report.replayed;
         self.crashed.remove(&node);
         self.clock
             .advance(self.costs.wal_replay_per_entry * replayed);
+        if report.truncated > 0 {
+            // A journal write was torn by the crash; the checksummed
+            // tail was dropped and the lost state will be resynced by
+            // reconciliation like any missed update.
+            self.telemetry
+                .metrics()
+                .add("store.wal.truncated", report.truncated);
+            self.telemetry.emit(|| TraceEvent::WalTruncated {
+                node,
+                truncated: report.truncated,
+            });
+        }
         // The journal replay may have rewritten entity state wholesale;
         // memoized verdicts are no longer trustworthy.
         self.clear_verdict_cache_with_event();
@@ -1031,8 +1171,49 @@ impl Cluster {
             if !self.topology.reachable(node, target) {
                 self.topology.merge(node, target);
             }
+            if report.truncated > 0 {
+                // The torn tail dropped committed state the rest of
+                // the group still holds. Replica reconciliation only
+                // tracks degraded-mode writes, so transfer the rejoin
+                // target's committed image outright; installs go
+                // through the journal, so the transfer survives a
+                // further crash.
+                let reference: Vec<EntityState> = {
+                    let source = &self.containers[target.index()];
+                    source
+                        .committed_ids()
+                        .filter_map(|id| source.committed_entity(id).cloned())
+                        .collect()
+                };
+                let stale: Vec<ObjectId> = {
+                    let source = &self.containers[target.index()];
+                    self.containers[node.index()]
+                        .committed_ids()
+                        .filter(|id| source.committed_entity(id).is_none())
+                        .cloned()
+                        .collect()
+                };
+                let mut transferred = 0u64;
+                let container = &mut self.containers[node.index()];
+                for entity in reference {
+                    if container.committed_entity(entity.id()) != Some(&entity) {
+                        container.install_committed(entity);
+                        transferred += 1;
+                    }
+                }
+                for id in &stale {
+                    container.remove_committed(id);
+                    transferred += 1;
+                }
+                self.clock
+                    .advance(self.costs.wal_replay_per_entry * transferred);
+                self.telemetry
+                    .metrics()
+                    .add("store.wal.resynced", transferred);
+            }
         }
         self.install_views();
+        self.sync_membership_scripted();
         self.telemetry.emit(|| TraceEvent::NodeRestart {
             node,
             replayed_entries: replayed,
@@ -1045,7 +1226,7 @@ impl Cluster {
         } else {
             SystemMode::Healthy
         };
-        Ok(self.set_mode(to))
+        Ok(self.set_mode(to, TransitionCause::Scripted))
     }
 
     /// Runs the in-doubt recovery protocol: every in-doubt transaction
@@ -1079,15 +1260,32 @@ impl Cluster {
     }
 
     /// Installs `to` as the system mode, emitting a `mode_transition`
-    /// trace event on actual change. Returns the (new) current mode.
-    pub(crate) fn set_mode(&mut self, to: SystemMode) -> SystemMode {
+    /// trace event (tagged with who drove it — a scripted call or the
+    /// failure-detection pipeline) on actual change. Returns the (new)
+    /// current mode.
+    pub(crate) fn set_mode(&mut self, to: SystemMode, cause: TransitionCause) -> SystemMode {
         let from = self.mode;
         if from != to {
             self.mode = to;
+            if cause == TransitionCause::Detector {
+                self.telemetry.metrics().incr("gms.detector.transitions");
+            }
             self.telemetry
-                .emit(|| TraceEvent::ModeTransition { from, to });
+                .emit(|| TraceEvent::ModeTransition { from, to, cause });
         }
         to
+    }
+
+    /// Re-aligns the detector pipeline with a scripted topology change
+    /// so detection does not "undo" an explicit fault-injection call
+    /// while it converges on its own.
+    fn sync_membership_scripted(&mut self) {
+        if let Some(membership) = self.membership.as_mut() {
+            for node in self.topology.nodes() {
+                membership.set_crashed(node, self.crashed.contains(&node));
+            }
+            membership.force_partitions(self.topology.partitions());
+        }
     }
 
     /// Whether degraded-mode residue (threats, unsynced replicas)
@@ -1122,6 +1320,327 @@ impl Cluster {
     /// updates; the lagged replica is recorded for reconciliation.
     pub fn inject_replica_lag(&mut self, node: NodeId, updates: u32) {
         self.replication.inject_replica_lag(node, updates);
+    }
+
+    /// Corrupts the checksum of the last `entries` journal entries on
+    /// `node` — a torn write the next [`Cluster::restart`] detects and
+    /// truncates. Returns the number of entries corrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for node ids outside the cluster.
+    pub fn corrupt_journal_tail(&mut self, node: NodeId, entries: usize) -> Result<usize> {
+        if node.0 >= self.topology.node_count() {
+            return Err(Error::UnknownNode(node));
+        }
+        Ok(self.containers[node.index()].corrupt_journal_tail(entries))
+    }
+
+    // ------------------------------------------------------------------
+    // Detector-driven membership (φ-accrual / fixed, flap damping)
+    // ------------------------------------------------------------------
+
+    /// Whether the detector-driven membership pipeline is running
+    /// ([`ClusterBuilder::detector`]).
+    pub fn detector_enabled(&self) -> bool {
+        self.membership.is_some()
+    }
+
+    /// The detector kind in force (meaningful only with the pipeline
+    /// enabled; returns the builder default otherwise).
+    pub fn detector_kind(&self) -> DetectorKind {
+        self.membership
+            .as_ref()
+            .map(|m| m.config().kind)
+            .unwrap_or_default()
+    }
+
+    /// The heartbeat/timeout configuration in force.
+    pub fn detector_config(&self) -> DetectorConfig {
+        self.membership
+            .as_ref()
+            .map(|m| m.config().detector)
+            .unwrap_or_default()
+    }
+
+    /// The φ-accrual configuration in force.
+    pub fn adaptive_config(&self) -> AdaptiveConfig {
+        self.membership
+            .as_ref()
+            .map(|m| m.config().adaptive)
+            .unwrap_or_default()
+    }
+
+    /// The view-stabilizer configuration in force.
+    pub fn stabilizer_config(&self) -> StabilizerConfig {
+        self.membership
+            .as_ref()
+            .map(|m| m.config().stabilizer)
+            .unwrap_or_default()
+    }
+
+    /// The primary-partition policy in force (§5.5.2).
+    pub fn primary_policy(&self) -> PrimaryPartitionPolicy {
+        self.primary_policy
+    }
+
+    /// How minority-partition writes are handled under a quorum policy.
+    pub fn minority_writes(&self) -> MinorityWriteHandling {
+        self.minority_writes
+    }
+
+    /// Read access to the membership pipeline (inspection).
+    pub fn membership(&self) -> Option<&MembershipSim> {
+        self.membership.as_ref()
+    }
+
+    /// Live-observer → live-peer suspicions currently standing in the
+    /// pipeline (0 when disabled). A healed, quiescent cluster must
+    /// converge back to 0.
+    pub fn standing_suspicions(&self) -> usize {
+        self.membership
+            .as_ref()
+            .map_or(0, MembershipSim::standing_suspicions)
+    }
+
+    /// Times a second, different partition was caught accepting
+    /// primary-mode writes at a topology epoch that already had a
+    /// primary. Under any quorum policy this must stay 0 — the
+    /// chaos invariant checker asserts it.
+    pub fn primary_conflicts(&self) -> u64 {
+        self.primary_conflicts
+    }
+
+    /// Whether `node`'s current partition classifies as primary under
+    /// the configured [`PrimaryPartitionPolicy`].
+    pub fn is_primary(&self, node: NodeId) -> bool {
+        self.primary_policy
+            .is_primary(self.topology.partition_of(node), &self.weights)
+    }
+
+    /// Severs the physical links *between* the given groups without
+    /// telling the cluster — the failure-detection pipeline has to
+    /// notice on its own (contrast [`Cluster::partition`], which is
+    /// authoritative and instant).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Config`] — the pipeline is disabled.
+    /// * [`Error::UnknownNode`] / [`Error::DuplicateNode`] — malformed
+    ///   groups.
+    pub fn drop_links(&mut self, groups: &[Vec<NodeId>]) -> Result<()> {
+        if self.membership.is_none() {
+            return Err(Error::Config(
+                "detector pipeline disabled; enable it via ClusterBuilder::detector".into(),
+            ));
+        }
+        let count = self.topology.node_count();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for group in groups {
+            for &node in group {
+                if node.0 >= count {
+                    return Err(Error::UnknownNode(node));
+                }
+                if !seen.insert(node) {
+                    return Err(Error::DuplicateNode(node));
+                }
+            }
+        }
+        let raw: Vec<Vec<u32>> = groups
+            .iter()
+            .map(|g| g.iter().map(|n| n.0).collect())
+            .collect();
+        let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
+        self.membership
+            .as_mut()
+            .expect("checked above")
+            .drop_links(&refs);
+        Ok(())
+    }
+
+    /// Repairs every physical link and clears standing link faults —
+    /// detection then converges back to one healthy view (contrast
+    /// [`Cluster::heal`], which is authoritative and instant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the pipeline is disabled.
+    pub fn heal_links(&mut self) -> Result<()> {
+        let Some(membership) = self.membership.as_mut() else {
+            return Err(Error::Config(
+                "detector pipeline disabled; enable it via ClusterBuilder::detector".into(),
+            ));
+        };
+        membership.clear_link_faults();
+        membership.heal_links();
+        Ok(())
+    }
+
+    /// Sets a directed physical link fault (down / deterministic loss
+    /// rate / jitter) for the pipeline to detect.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Config`] — the pipeline is disabled.
+    /// * [`Error::UnknownNode`] — an endpoint is outside the cluster.
+    pub fn set_link_fault(&mut self, from: NodeId, to: NodeId, fault: LinkFault) -> Result<()> {
+        let count = self.topology.node_count();
+        for node in [from, to] {
+            if node.0 >= count {
+                return Err(Error::UnknownNode(node));
+            }
+        }
+        let Some(membership) = self.membership.as_mut() else {
+            return Err(Error::Config(
+                "detector pipeline disabled; enable it via ClusterBuilder::detector".into(),
+            ));
+        };
+        membership.set_link_fault(from, to, fault);
+        Ok(())
+    }
+
+    /// Sets the default heartbeat jitter on every physical link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the pipeline is disabled.
+    pub fn set_default_link_jitter(&mut self, jitter_micros: u64) -> Result<()> {
+        let Some(membership) = self.membership.as_mut() else {
+            return Err(Error::Config(
+                "detector pipeline disabled; enable it via ClusterBuilder::detector".into(),
+            ));
+        };
+        membership.set_default_jitter(jitter_micros);
+        Ok(())
+    }
+
+    /// Runs the membership pipeline up to the current virtual time,
+    /// translating its observations into telemetry and installing every
+    /// stabilized partitioning (topology + views + mode, with
+    /// `cause: detector`). Returns the number of views installed.
+    ///
+    /// A no-op (returning 0) when the pipeline is disabled.
+    pub fn poll_detector(&mut self) -> usize {
+        let Some(membership) = self.membership.as_mut() else {
+            return 0;
+        };
+        let events = membership.poll();
+        let mut installed = 0;
+        for event in events {
+            match event {
+                MembershipEvent::SuspicionRaised { observer, suspect } => {
+                    self.telemetry
+                        .metrics()
+                        .incr("gms.detector.suspicions_raised");
+                    self.telemetry
+                        .emit(|| TraceEvent::SuspicionRaised { observer, suspect });
+                }
+                MembershipEvent::SuspicionCleared { observer, peer } => {
+                    self.telemetry
+                        .metrics()
+                        .incr("gms.detector.suspicions_cleared");
+                    self.telemetry
+                        .emit(|| TraceEvent::SuspicionCleared { observer, peer });
+                }
+                MembershipEvent::FlapDamped {
+                    node,
+                    penalty_milli,
+                } => {
+                    self.telemetry.metrics().incr("gms.detector.flaps_damped");
+                    self.telemetry.emit(|| TraceEvent::FlapDamped {
+                        node,
+                        penalty_milli,
+                    });
+                }
+                MembershipEvent::ViewStabilized { partitions } => {
+                    self.telemetry
+                        .metrics()
+                        .incr("gms.detector.views_stabilized");
+                    let count = partitions.len() as u32;
+                    let largest = partitions.iter().map(BTreeSet::len).max().unwrap_or(0) as u32;
+                    self.telemetry.emit(|| TraceEvent::ViewStabilized {
+                        partitions: count,
+                        largest,
+                    });
+                    self.install_detected_partitions(&partitions);
+                    installed += 1;
+                }
+            }
+        }
+        installed
+    }
+
+    /// Advances the shared clock by `duration` and then polls the
+    /// detector ([`Cluster::poll_detector`]). Returns the number of
+    /// stabilized views installed.
+    pub fn run_detector_for(&mut self, duration: SimDuration) -> usize {
+        self.clock.advance(duration);
+        self.poll_detector()
+    }
+
+    /// Installs a stabilized partitioning detected by the pipeline:
+    /// topology, per-node views, and the mode transition the paper's
+    /// replication service would trigger (Figure 1.4), tagged
+    /// `cause: detector`.
+    fn install_detected_partitions(&mut self, partitions: &[BTreeSet<NodeId>]) {
+        let raw: Vec<Vec<u32>> = partitions
+            .iter()
+            .map(|g| g.iter().map(|n| n.0).collect())
+            .collect();
+        let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
+        self.topology.split(&refs);
+        self.install_views();
+        let to = if !self.topology.is_healthy() || !self.crashed.is_empty() {
+            SystemMode::Degraded
+        } else if self.needs_reconciliation() {
+            SystemMode::Reconciliation
+        } else {
+            SystemMode::Healthy
+        };
+        self.set_mode(to, TransitionCause::Detector);
+    }
+
+    /// Gate for write-path operations under a quorum-based primary
+    /// policy: refuses (or admits as degraded) writes issued in a
+    /// minority partition, and witnesses primary-classified writes per
+    /// topology epoch for the exclusivity invariant.
+    fn check_primary_write(&mut self, node: NodeId) -> Result<()> {
+        if !self.primary_policy.is_quorum() {
+            return Ok(());
+        }
+        if self.is_primary(node) {
+            let epoch = self.topology.epoch();
+            let members = self.topology.partition_of(node);
+            let unseen = match self.primary_witness.get(&epoch) {
+                Some(existing) if existing != members => {
+                    self.primary_conflicts += 1;
+                    self.telemetry
+                        .metrics()
+                        .incr("gms.detector.primary_conflicts");
+                    false
+                }
+                Some(_) => false,
+                None => true,
+            };
+            if unseen {
+                self.primary_witness.insert(epoch, members.clone());
+            }
+            return Ok(());
+        }
+        match self.minority_writes {
+            MinorityWriteHandling::Refuse => {
+                self.telemetry
+                    .metrics()
+                    .incr("gms.detector.minority_writes_refused");
+                Err(Error::NotPrimary {
+                    node,
+                    partition_size: self.topology.partition_of(node).len() as u32,
+                })
+            }
+            // Admitted: the write runs under degraded-mode rules and
+            // records consistency threats like any partition write.
+            MinorityWriteHandling::Degrade => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1546,6 +2065,7 @@ impl Cluster {
         if self.crashed.contains(&node) {
             return Err(Error::NodeCrashed(node));
         }
+        self.check_primary_write(node)?;
         self.clock.advance(self.costs.base_invocation);
         if self.replication_enabled {
             self.clock.advance(self.costs.replication_interceptor);
@@ -1587,6 +2107,7 @@ impl Cluster {
         if self.crashed.contains(&node) {
             return Err(Error::NodeCrashed(node));
         }
+        self.check_primary_write(node)?;
         self.clock.advance(self.costs.base_invocation);
         if self.replication_enabled {
             self.clock.advance(self.costs.replication_interceptor);
@@ -1724,6 +2245,7 @@ impl Cluster {
         let t_r3 = self.clock.now();
         let exec = match kind {
             MethodKind::Write => {
+                self.check_primary_write(node)?;
                 if self.replication_enabled {
                     self.replication
                         .write_target(target, node, &self.topology)?

@@ -110,9 +110,14 @@ pub use threat::{
 
 // Re-export the pieces users need to assemble a cluster.
 pub use dedisys_constraints::ConstraintEngine;
+pub use dedisys_gms::{
+    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipConfig, MembershipSim,
+    MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig,
+};
 pub use dedisys_replication::{
     HighestVersionWins, ProtocolKind, ReplicaConflict, ReplicaConsistencyHandler,
 };
 pub use dedisys_telemetry::{
     JsonlExporter, MetricsSnapshot, RingRecorder, Telemetry, TraceEvent, TraceRecord, TraceSink,
+    TransitionCause,
 };

@@ -14,7 +14,7 @@ use crate::cluster::Cluster;
 use crate::threat::{ConsistencyThreat, ThreatIdentity};
 use dedisys_object::EntityState;
 use dedisys_replication::{ReconcileReport, ReplicaConflict, ReplicaConsistencyHandler};
-use dedisys_telemetry::TraceEvent;
+use dedisys_telemetry::{TraceEvent, TransitionCause};
 use dedisys_types::{
     Error, NodeId, ObjectId, Result, SatisfactionDegree, SimDuration, SystemMode, TxId, Value,
 };
@@ -230,7 +230,7 @@ impl Cluster {
         replica_handler: &mut dyn ReplicaConsistencyHandler,
         constraint_handler: &mut dyn ConstraintReconciliationHandler,
     ) -> ReconciliationSummary {
-        self.set_mode(SystemMode::Reconciliation);
+        self.set_mode(SystemMode::Reconciliation, TransitionCause::Scripted);
         let mut summary = ReconciliationSummary::default();
 
         // Step 1: replica reconciliation.
@@ -315,9 +315,9 @@ impl Cluster {
         // degraded and keeps its histories for the remaining objects.
         if self.topology().is_healthy() {
             self.replication.clear_degraded_state();
-            self.set_mode(SystemMode::Healthy);
+            self.set_mode(SystemMode::Healthy, TransitionCause::Scripted);
         } else {
-            self.set_mode(SystemMode::Degraded);
+            self.set_mode(SystemMode::Degraded, TransitionCause::Scripted);
         }
         summary
     }

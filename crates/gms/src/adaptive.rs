@@ -1,0 +1,237 @@
+//! φ-accrual-style adaptive failure detection (Hayashibara et al.)
+//! on the deterministic virtual clock.
+//!
+//! The fixed-timeout detector treats every link the same; under jittery
+//! links it either suspects too eagerly (false positives → view flaps)
+//! or too lazily (slow detection). The accrual detector instead keeps a
+//! sliding window of observed heartbeat inter-arrival times per peer
+//! and outputs a *suspicion level* φ that grows with the current
+//! silence relative to the observed arrival process. The consumer picks
+//! a threshold: small φ = fast-but-trigger-happy, large φ =
+//! conservative.
+//!
+//! **No floats on the hot path.** Under the exponential inter-arrival
+//! assumption the original definition reduces to
+//!
+//! ```text
+//! φ(Δ) = -log10 P(no arrival within Δ) = Δ / (mean · ln 10) ≈ 0.434 · Δ / mean
+//! ```
+//!
+//! which we evaluate in fixed point as `φ·1000 = Δns · 434 / mean_ns`.
+//! All state is integer, so two runs with the same schedule produce
+//! bit-identical suspicion sequences.
+
+use dedisys_types::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// `1000 · log10(e)` — the fixed-point scale factor turning
+/// `Δ / mean` into `φ · 1000` under the exponential model.
+const PHI_SCALE_MILLI: u128 = 434;
+
+/// Which failure-detection algorithm a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorKind {
+    /// Fixed silence timeout (the original detector): suspect a peer
+    /// not heard from within `suspect_timeout`.
+    #[default]
+    FixedTimeout,
+    /// φ-accrual adaptive detector: suspect when the fixed-point
+    /// suspicion level crosses [`AdaptiveConfig::phi_threshold_milli`].
+    Adaptive,
+}
+
+/// Tuning of the adaptive detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Sliding-window capacity of inter-arrival samples per peer.
+    pub window: usize,
+    /// Below this many samples the detector falls back to the fixed
+    /// timeout (a cold window has no meaningful mean).
+    pub min_samples: usize,
+    /// Suspicion threshold as `φ · 1000`. The default 1300 suspects
+    /// after a silence of ≈ 3 mean inter-arrival periods
+    /// (`Δ = 1300 · mean / 434 ≈ 3.0 · mean`).
+    pub phi_threshold_milli: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            min_samples: 4,
+            phi_threshold_milli: 1300,
+        }
+    }
+}
+
+/// Per-peer accrual state: the inter-arrival window and its running
+/// sum (so the mean is O(1) to read).
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveDetector {
+    samples: VecDeque<u64>,
+    sum_ns: u64,
+    last_arrival: Option<SimTime>,
+}
+
+impl AdaptiveDetector {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a heartbeat arrival at `at`, folding the inter-arrival
+    /// time into the window (capacity `window`). Out-of-order arrivals
+    /// (jitter can reorder deliveries) are ignored for interval
+    /// purposes but still refresh the last-arrival mark when newer.
+    pub fn record_arrival(&mut self, at: SimTime, window: usize) {
+        if let Some(last) = self.last_arrival {
+            if at <= last {
+                return;
+            }
+            let interval = at.since(last).as_nanos();
+            self.samples.push_back(interval);
+            self.sum_ns += interval;
+            while self.samples.len() > window.max(1) {
+                self.sum_ns -= self.samples.pop_front().expect("non-empty");
+            }
+        }
+        self.last_arrival = Some(at);
+    }
+
+    /// Number of inter-arrival samples gathered so far.
+    pub fn samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean inter-arrival time in nanoseconds (`None` while empty).
+    pub fn mean_interval_ns(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some((self.sum_ns / self.samples.len() as u64).max(1))
+        }
+    }
+
+    /// The instant of the last recorded arrival.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    /// Current suspicion level as `φ · 1000` at `now`, or `None` while
+    /// the window is empty. Monotonic in the silence duration.
+    pub fn phi_milli(&self, now: SimTime) -> Option<u64> {
+        let mean = self.mean_interval_ns()?;
+        let last = self.last_arrival?;
+        if now <= last {
+            return Some(0);
+        }
+        let elapsed = now.since(last).as_nanos() as u128;
+        let phi = elapsed * PHI_SCALE_MILLI / mean as u128;
+        Some(phi.min(u64::MAX as u128) as u64)
+    }
+
+    /// Suspicion decision at `now`: accrual once the window is warm
+    /// (`min_samples`), fixed `fallback_timeout` silence before that.
+    pub fn is_suspect(
+        &self,
+        now: SimTime,
+        config: &AdaptiveConfig,
+        fallback_timeout: SimDuration,
+    ) -> bool {
+        let Some(last) = self.last_arrival else {
+            return false;
+        };
+        if now <= last {
+            return false;
+        }
+        if self.samples.len() < config.min_samples {
+            return now.since(last) >= fallback_timeout;
+        }
+        self.phi_milli(now).unwrap_or(0) >= config.phi_threshold_milli
+    }
+
+    /// Resets the arrival mark to `at` without touching the learned
+    /// window — used when a scripted topology change authoritatively
+    /// reconnects a link (the history of a healthy link stays valid).
+    pub fn mark_heard(&mut self, at: SimTime) {
+        self.last_arrival = Some(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut d = AdaptiveDetector::new();
+        for i in 0..10 {
+            d.record_arrival(t(i * 100), 16);
+        }
+        assert_eq!(d.mean_interval_ns(), Some(100_000_000));
+        // Silence of one mean interval ⇒ φ ≈ 0.434.
+        assert_eq!(d.phi_milli(t(1000)), Some(434));
+        // Three mean intervals ⇒ φ ≈ 1.3 (the default threshold).
+        assert_eq!(d.phi_milli(t(1200)), Some(434 * 3));
+        assert!(d.phi_milli(t(1200)).unwrap() >= AdaptiveConfig::default().phi_threshold_milli);
+    }
+
+    #[test]
+    fn warm_window_tolerates_jitter_better_than_fixed_timeout() {
+        // Peer with a slow (300 ms) but steady heartbeat: the fixed
+        // 350 ms timeout flags it during normal operation; the accrual
+        // detector has learned the rhythm and stays calm until ≈ 3
+        // intervals of true silence.
+        let cfg = AdaptiveConfig::default();
+        let fixed = SimDuration::from_millis(350);
+        let mut d = AdaptiveDetector::new();
+        for i in 0..10 {
+            d.record_arrival(t(i * 300), 16);
+        }
+        let now = t(9 * 300 + 400); // 400 ms of silence
+        assert!(
+            now.since(d.last_arrival().unwrap()) >= fixed,
+            "fixed would fire"
+        );
+        assert!(!d.is_suspect(now, &cfg, fixed), "accrual holds");
+        let much_later = t(9 * 300 + 1000);
+        assert!(d.is_suspect(much_later, &cfg, fixed));
+    }
+
+    #[test]
+    fn cold_window_falls_back_to_fixed_timeout() {
+        let cfg = AdaptiveConfig::default();
+        let mut d = AdaptiveDetector::new();
+        d.record_arrival(t(0), 16);
+        d.record_arrival(t(100), 16); // 1 sample < min_samples
+        assert!(!d.is_suspect(t(200), &cfg, SimDuration::from_millis(350)));
+        assert!(d.is_suspect(t(500), &cfg, SimDuration::from_millis(350)));
+    }
+
+    #[test]
+    fn window_is_bounded_and_out_of_order_ignored() {
+        let mut d = AdaptiveDetector::new();
+        for i in 0..100 {
+            d.record_arrival(t(i * 10), 8);
+        }
+        assert_eq!(d.samples(), 8);
+        let before = d.samples();
+        d.record_arrival(t(5), 8); // stale
+        assert_eq!(d.samples(), before);
+    }
+
+    #[test]
+    fn no_arrivals_means_no_suspicion() {
+        let d = AdaptiveDetector::new();
+        assert!(!d.is_suspect(
+            t(10_000),
+            &AdaptiveConfig::default(),
+            SimDuration::from_millis(1)
+        ));
+        assert_eq!(d.phi_milli(t(10_000)), None);
+    }
+}

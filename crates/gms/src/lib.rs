@@ -16,6 +16,18 @@
 //!   the discrete-event kernel, demonstrating how views are *detected*
 //!   (the cluster façade derives views directly from the topology,
 //!   which is behaviourally equivalent once detection converges).
+//! * [`AdaptiveDetector`] / [`DetectorKind`] — a φ-accrual-style
+//!   adaptive detector (integer fixed-point, virtual-clock only) that
+//!   learns each link's heartbeat rhythm instead of using one global
+//!   timeout.
+//! * [`ViewStabilizer`] — hysteresis + BGP-style flap damping between
+//!   raw suspicion and installed views.
+//! * [`PrimaryPartitionPolicy`] — how a partition classifies itself
+//!   primary or minority (`MajorityNodes`, `WeightedQuorum`,
+//!   `AlwaysPrimary`).
+//! * [`MembershipSim`] — the full pipeline (physical link faults →
+//!   heartbeats → suspicion → damping → stabilized partitionings) on
+//!   the shared virtual clock.
 //!
 //! ## Example
 //!
@@ -36,10 +48,18 @@
 //! assert!((weights.partition_fraction(tracker.current().members()) - 1.0 / 3.0).abs() < 1e-9);
 //! ```
 
+mod adaptive;
 mod detector;
+mod membership;
+mod policy;
+mod stabilizer;
 mod view;
 mod weight;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveDetector, DetectorKind};
 pub use detector::{DetectorConfig, DetectorEvent, FailureDetectorSim};
+pub use membership::{LinkFault, MembershipConfig, MembershipEvent, MembershipSim};
+pub use policy::{MinorityWriteHandling, PrimaryPartitionPolicy};
+pub use stabilizer::{StabilizerConfig, ViewStabilizer};
 pub use view::{View, ViewChange, ViewTracker};
 pub use weight::NodeWeights;

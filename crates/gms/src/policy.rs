@@ -1,0 +1,135 @@
+//! Primary-partition classification (§5.5.2).
+//!
+//! When the system splits, each partition must decide *on its own*
+//! whether it may keep acting as the primary. The classic answers are
+//! node-count majority and Gifford-style weighted voting (reusing
+//! [`NodeWeights`]); both guarantee at most one primary partition at a
+//! time because two disjoint sets cannot both hold more than half of
+//! the votes. `AlwaysPrimary` reproduces the system's historical
+//! behaviour — every partition keeps accepting (degraded) writes and
+//! integrity threats are negotiated at reconciliation.
+
+use crate::NodeWeights;
+use dedisys_types::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How a partition classifies itself primary or minority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrimaryPartitionPolicy {
+    /// Every partition is primary (the availability-first historical
+    /// behaviour; integrity is defended by threat negotiation alone).
+    #[default]
+    AlwaysPrimary,
+    /// Primary iff the partition holds a strict majority of nodes.
+    MajorityNodes,
+    /// Primary iff the partition holds a strict majority of the total
+    /// node weight (Gifford weighted voting over [`NodeWeights`]).
+    WeightedQuorum,
+}
+
+impl PrimaryPartitionPolicy {
+    /// Whether a partition with `members` is primary under this policy.
+    ///
+    /// Strict-majority comparisons are exact integer arithmetic, so two
+    /// disjoint partitions can never both be primary under
+    /// `MajorityNodes` or `WeightedQuorum`.
+    pub fn is_primary(&self, members: &BTreeSet<NodeId>, weights: &NodeWeights) -> bool {
+        match self {
+            PrimaryPartitionPolicy::AlwaysPrimary => true,
+            PrimaryPartitionPolicy::MajorityNodes => {
+                2 * members.len() as u64 > weights.node_count() as u64
+            }
+            PrimaryPartitionPolicy::WeightedQuorum => {
+                2 * u64::from(weights.partition_weight(members)) > u64::from(weights.total())
+            }
+        }
+    }
+
+    /// Whether this policy actually excludes minorities (i.e. is a
+    /// quorum policy rather than `AlwaysPrimary`).
+    pub fn is_quorum(&self) -> bool {
+        !matches!(self, PrimaryPartitionPolicy::AlwaysPrimary)
+    }
+}
+
+impl fmt::Display for PrimaryPartitionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimaryPartitionPolicy::AlwaysPrimary => write!(f, "always-primary"),
+            PrimaryPartitionPolicy::MajorityNodes => write!(f, "majority-nodes"),
+            PrimaryPartitionPolicy::WeightedQuorum => write!(f, "weighted-quorum"),
+        }
+    }
+}
+
+/// What happens to a write originating in a minority partition when a
+/// quorum policy is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinorityWriteHandling {
+    /// Admit the write into degraded mode: availability first, the
+    /// resulting consistency threats are negotiated as usual.
+    #[default]
+    Degrade,
+    /// Refuse the write with `Error::NotPrimary`: integrity first.
+    Refuse,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<NodeId> {
+        ids.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn always_primary_accepts_everything() {
+        let w = NodeWeights::uniform(5);
+        assert!(PrimaryPartitionPolicy::AlwaysPrimary.is_primary(&set(&[3]), &w));
+        assert!(!PrimaryPartitionPolicy::AlwaysPrimary.is_quorum());
+    }
+
+    #[test]
+    fn majority_nodes_requires_strict_majority() {
+        let w = NodeWeights::uniform(4);
+        let p = PrimaryPartitionPolicy::MajorityNodes;
+        assert!(p.is_primary(&set(&[0, 1, 2]), &w));
+        assert!(!p.is_primary(&set(&[0, 1]), &w), "exact half is minority");
+        assert!(!p.is_primary(&set(&[3]), &w));
+    }
+
+    #[test]
+    fn weighted_quorum_follows_the_weights() {
+        // n0 carries weight 5 of 8: it is primary alone.
+        let w = NodeWeights::explicit(vec![5, 1, 1, 1]);
+        let p = PrimaryPartitionPolicy::WeightedQuorum;
+        assert!(p.is_primary(&set(&[0]), &w));
+        assert!(!p.is_primary(&set(&[1, 2, 3]), &w));
+    }
+
+    #[test]
+    fn disjoint_partitions_cannot_both_be_primary() {
+        for policy in [
+            PrimaryPartitionPolicy::MajorityNodes,
+            PrimaryPartitionPolicy::WeightedQuorum,
+        ] {
+            let w = NodeWeights::explicit(vec![2, 3, 1, 1, 4]);
+            // Every 2-way split of 5 nodes.
+            for mask in 0u32..(1 << 5) {
+                let a: BTreeSet<NodeId> = (0..5)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(NodeId)
+                    .collect();
+                let b: BTreeSet<NodeId> = (0..5)
+                    .filter(|i| mask & (1 << i) == 0)
+                    .map(NodeId)
+                    .collect();
+                assert!(
+                    !(policy.is_primary(&a, &w) && policy.is_primary(&b, &w)),
+                    "{policy}: {a:?} and {b:?} both primary"
+                );
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Per-node entity storage with transactional write buffering.
 
 use crate::{AppDescriptor, EntityState};
-use dedisys_store::{TableStore, WriteAheadLog};
+use dedisys_store::{ReplayReport, TableStore, WriteAheadLog};
 use dedisys_types::{ClassName, Error, ObjectId, Result, SimTime, TxId, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -277,14 +277,17 @@ impl EntityContainer {
     }
 
     /// Replays the durable journal to reconstruct the committed state
-    /// after [`EntityContainer::crash_volatile`]. Returns the number of
-    /// journal entries replayed.
+    /// after [`EntityContainer::crash_volatile`]. A torn tail (entries
+    /// whose per-entry checksum fails — a journal write interrupted by
+    /// the crash) is truncated first; the report says how many entries
+    /// were replayed and how many were dropped.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Persistence`] if a journal record fails to
-    /// deserialize (corrupted journal).
-    pub fn recover_from_journal(&mut self) -> Result<u64> {
+    /// Returns [`Error::Persistence`] if an intact journal record fails
+    /// to deserialize (corrupted journal body).
+    pub fn recover_from_journal(&mut self) -> Result<ReplayReport> {
+        let truncated = self.journal.truncate_torn_tail();
         let mut table = TableStore::new();
         self.journal.replay_into(&mut table);
         let replayed = self.journal.len() as u64;
@@ -293,7 +296,17 @@ impl EntityContainer {
             let entity = EntityState::from_json(record)?;
             self.committed.insert(entity.id().clone(), entity);
         }
-        Ok(replayed)
+        Ok(ReplayReport {
+            replayed,
+            truncated,
+        })
+    }
+
+    /// Fault injection: corrupts the checksum of the last `entries`
+    /// journal entries, simulating a torn write caught by a crash.
+    /// Returns the number of entries corrupted.
+    pub fn corrupt_journal_tail(&mut self, entries: usize) -> usize {
+        self.journal.corrupt_tail(entries)
     }
 
     /// All committed entities of `class`, in id order (query
@@ -453,8 +466,9 @@ mod tests {
         assert!(c.is_empty(), "committed map wiped");
         assert!(c.journal_len() > 0, "journal survives the crash");
 
-        let replayed = c.recover_from_journal().unwrap();
-        assert!(replayed >= 1);
+        let report = c.recover_from_journal().unwrap();
+        assert!(report.replayed >= 1);
+        assert_eq!(report.truncated, 0);
         assert_eq!(
             c.committed_entity(&id).unwrap().field("seats"),
             &Value::Int(80)
@@ -483,6 +497,23 @@ mod tests {
             c.committed_entity(&other).unwrap().field("seats"),
             &Value::Int(7)
         );
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_on_recovery() {
+        let mut c = EntityContainer::new(&app());
+        let id = flight(&mut c, tx(1), "F1");
+        c.commit(tx(1));
+        let id2 = flight(&mut c, tx(2), "F2");
+        c.commit(tx(2));
+
+        // The write of F2 was torn mid-crash.
+        assert_eq!(c.corrupt_journal_tail(1), 1);
+        c.crash_volatile();
+        let report = c.recover_from_journal().unwrap();
+        assert_eq!(report.truncated, 1);
+        assert!(c.committed_entity(&id).is_some(), "intact prefix kept");
+        assert!(c.committed_entity(&id2).is_none(), "torn write dropped");
     }
 
     #[test]

@@ -36,5 +36,5 @@ mod persistence;
 
 pub use history::{HistoryEntry, VersionHistory};
 pub use kv::TableStore;
-pub use log::{LogEntry, LogOp, WriteAheadLog};
+pub use log::{LogEntry, LogOp, ReplayReport, WriteAheadLog};
 pub use persistence::{Persistence, StoreCosts, StoreStats};

@@ -1,6 +1,6 @@
 //! A cost-accounted persistence service.
 
-use crate::{TableStore, WriteAheadLog};
+use crate::{ReplayReport, TableStore, WriteAheadLog};
 use dedisys_net::SimClock;
 use dedisys_types::SimDuration;
 use std::fmt;
@@ -144,12 +144,24 @@ impl Persistence {
         rows
     }
 
-    /// Simulates a crash: drops in-memory state and recovers from the
-    /// WAL. Returns the number of replayed entries.
-    pub fn recover_from_wal(&mut self) -> usize {
+    /// Simulates a crash: drops in-memory state, truncates any torn
+    /// tail off the WAL (entries whose per-entry checksum fails, e.g.
+    /// a write interrupted by the crash), and replays the intact
+    /// prefix. Returns what was replayed and what was dropped.
+    pub fn recover_from_wal(&mut self) -> ReplayReport {
+        let truncated = self.wal.truncate_torn_tail();
         self.store = TableStore::new();
         self.wal.replay_into(&mut self.store);
-        self.wal.len()
+        ReplayReport {
+            replayed: self.wal.len() as u64,
+            truncated,
+        }
+    }
+
+    /// Fault injection: corrupts the checksum of the last `entries`
+    /// WAL entries (a torn write). Returns the number corrupted.
+    pub fn corrupt_wal_tail(&mut self, entries: usize) -> usize {
+        self.wal.corrupt_tail(entries)
     }
 }
 
@@ -187,10 +199,24 @@ mod tests {
         p.put("t", "a", "1".into());
         p.put("t", "b", "2".into());
         p.delete("t", "a");
-        let replayed = p.recover_from_wal();
-        assert_eq!(replayed, 3);
+        let report = p.recover_from_wal();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.truncated, 0);
         assert_eq!(p.store().get("t", "b"), Some("2"));
         assert_eq!(p.store().get("t", "a"), None);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_recovery() {
+        let mut p = Persistence::new(SimClock::new(), StoreCosts::free());
+        p.put("t", "a", "1".into());
+        p.put("t", "b", "2".into());
+        assert_eq!(p.corrupt_wal_tail(1), 1);
+        let report = p.recover_from_wal();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.truncated, 1);
+        assert_eq!(p.store().get("t", "a"), Some("1"));
+        assert_eq!(p.store().get("t", "b"), None, "torn write must not survive");
     }
 
     #[test]

@@ -124,6 +124,7 @@ mod tests {
         TraceEvent::ModeTransition {
             from: SystemMode::Healthy,
             to: SystemMode::Degraded,
+            cause: crate::event::TransitionCause::Scripted,
         }
     }
 

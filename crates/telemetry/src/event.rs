@@ -91,6 +91,18 @@ pub enum TwoPcPhase {
     Rollback,
 }
 
+/// What drove a [`TraceEvent::ModeTransition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TransitionCause {
+    /// A scripted topology operation (`partition`, `heal`, `crash`,
+    /// `restart`, `isolate`) — the test-driver entry path.
+    Scripted,
+    /// A stabilized view change from the failure-detection pipeline —
+    /// the production entry path.
+    Detector,
+}
+
 /// A typed trace event.
 ///
 /// Serialized with an external `kind` tag so a JSONL stream is easy to
@@ -226,6 +238,46 @@ pub enum TraceEvent {
         from: SystemMode,
         /// New mode.
         to: SystemMode,
+        /// What drove the transition (scripted call vs detector).
+        cause: TransitionCause,
+    },
+    /// A failure detector started suspecting a peer (raw, pre-damping).
+    SuspicionRaised {
+        /// The suspecting node.
+        observer: NodeId,
+        /// The node that fell silent.
+        suspect: NodeId,
+    },
+    /// A failure detector heard from a suspected peer again.
+    SuspicionCleared {
+        /// The formerly suspecting node.
+        observer: NodeId,
+        /// The peer that came back.
+        peer: NodeId,
+    },
+    /// A suspicion flip was absorbed by flap damping instead of being
+    /// allowed to drive a view change (BGP-style route damping).
+    FlapDamped {
+        /// The flapping node.
+        node: NodeId,
+        /// Its decayed damping penalty after the flip (milli-units).
+        penalty_milli: u64,
+    },
+    /// A detected partitioning survived the stabilizer's hysteresis
+    /// window and was installed cluster-wide.
+    ViewStabilized {
+        /// Number of partitions in the stabilized view.
+        partitions: u32,
+        /// Size of the largest partition.
+        largest: u32,
+    },
+    /// WAL replay found a torn tail: entries failing their checksum
+    /// were truncated before the store was rebuilt.
+    WalTruncated {
+        /// The recovering node.
+        node: NodeId,
+        /// Entries dropped from the tail.
+        truncated: u64,
     },
     /// Replica reconciliation (step 1 of the reconciliation phase)
     /// completed.
@@ -404,6 +456,11 @@ impl TraceEvent {
             TraceEvent::StalenessHit { .. } => "staleness_hit",
             TraceEvent::ViewChange { .. } => "view_change",
             TraceEvent::ModeTransition { .. } => "mode_transition",
+            TraceEvent::SuspicionRaised { .. } => "suspicion_raised",
+            TraceEvent::SuspicionCleared { .. } => "suspicion_cleared",
+            TraceEvent::FlapDamped { .. } => "flap_damped",
+            TraceEvent::ViewStabilized { .. } => "view_stabilized",
+            TraceEvent::WalTruncated { .. } => "wal_truncated",
             TraceEvent::ReconcileReplicaPhase { .. } => "reconcile_replica_phase",
             TraceEvent::ReconcileConstraintPhase { .. } => "reconcile_constraint_phase",
             TraceEvent::ReconcileSkipped { .. } => "reconcile_skipped",
@@ -448,6 +505,7 @@ mod tests {
             event: TraceEvent::ModeTransition {
                 from: SystemMode::Healthy,
                 to: SystemMode::Degraded,
+                cause: TransitionCause::Scripted,
             },
         };
         let json = serde_json::to_string(&record).unwrap();

@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 ///
 /// ```
 /// use dedisys_net::SimClock;
-/// use dedisys_telemetry::{RingRecorder, Telemetry, TraceEvent};
+/// use dedisys_telemetry::{RingRecorder, Telemetry, TraceEvent, TransitionCause};
 /// use dedisys_types::SystemMode;
 ///
 /// let bus = Telemetry::new(SimClock::new());
@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex};
 /// bus.emit(|| TraceEvent::ModeTransition {
 ///     from: SystemMode::Healthy,
 ///     to: SystemMode::Degraded,
+///     cause: TransitionCause::Scripted,
 /// });
 /// assert_eq!(ring.records().len(), 1);
 /// ```

@@ -98,6 +98,14 @@ pub enum Error {
     /// The invoked operation is not permitted in the current system
     /// mode (e.g. writes blocked in a non-primary partition).
     ModeRestriction(String),
+    /// A write originated in a minority partition while a quorum-based
+    /// primary-partition policy refuses minority writes.
+    NotPrimary {
+        /// The node that attempted the write.
+        node: NodeId,
+        /// Number of nodes in the node's partition.
+        partition_size: u32,
+    },
     /// Serialization/persistence failure.
     Persistence(String),
 }
@@ -150,6 +158,13 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::Expr(msg) => write!(f, "constraint expression error: {msg}"),
             Error::ModeRestriction(msg) => write!(f, "operation not allowed: {msg}"),
+            Error::NotPrimary {
+                node,
+                partition_size,
+            } => write!(
+                f,
+                "node {node} is in a minority partition of {partition_size} node(s); writes refused"
+            ),
             Error::Persistence(msg) => write!(f, "persistence error: {msg}"),
         }
     }

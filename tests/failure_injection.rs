@@ -7,12 +7,13 @@ use dedisys_constraints::{
 };
 use dedisys_core::nodes;
 use dedisys_core::{
-    ClusterBuilder, DeferAll, HighestVersionWins, HistoryPolicy, ReconcileInstructions,
+    ClusterBuilder, DeferAll, DetectorKind, HighestVersionWins, HistoryPolicy,
+    ReconcileInstructions, StabilizerConfig,
 };
 use dedisys_net::SimClock;
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_store::{Persistence, StoreCosts};
-use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, Value};
+use dedisys_types::{NodeId, ObjectId, SatisfactionDegree, SimDuration, SystemMode, Value};
 use std::sync::Arc;
 
 fn app() -> AppDescriptor {
@@ -279,10 +280,90 @@ fn wal_recovery_restores_store_state_after_crash() {
         persistence.delete("threats", &format!("t{i}"));
     }
     let before: Vec<(String, String)> = persistence.scan("threats");
-    let replayed = persistence.recover_from_wal();
-    assert_eq!(replayed, 75);
+    let report = persistence.recover_from_wal();
+    assert_eq!(report.replayed, 75);
+    assert_eq!(report.truncated, 0);
     assert_eq!(persistence.scan("threats"), before);
     assert_eq!(persistence.store().table_len("threats"), 25);
+}
+
+/// The torn tail of an interrupted write is dropped, not replayed: the
+/// checksummed WAL catches the half-written entry and recovery keeps
+/// only the intact prefix.
+#[test]
+fn wal_recovery_truncates_a_torn_tail() {
+    let clock = SimClock::new();
+    let mut persistence = Persistence::new(clock, StoreCosts::default());
+    for i in 0..10 {
+        persistence.put("threats", &format!("t{i}"), format!("{{\"id\":{i}}}"));
+    }
+    assert_eq!(persistence.corrupt_wal_tail(3), 3);
+    let report = persistence.recover_from_wal();
+    assert_eq!(report.replayed, 7);
+    assert_eq!(report.truncated, 3);
+    assert_eq!(persistence.store().table_len("threats"), 7);
+    assert!(persistence.store().get("threats", "t6").is_some());
+    assert!(persistence.store().get("threats", "t7").is_none());
+}
+
+/// The scripted-partition lifecycle of
+/// `node_crash_is_a_singleton_partition_and_recovery_reconciles` run
+/// once more the way a real deployment enters degraded mode: links are
+/// physically cut, the φ-accrual detector notices, the stabilized view
+/// is installed with `cause: detector`, and healing the links converges
+/// the pipeline back to one healthy view with zero standing suspicions.
+#[test]
+fn detector_driven_partition_matches_scripted_behaviour() {
+    // Hysteresis on, but suppression out of reach: one clean cut/heal
+    // cycle is not a flap and must not pin any node.
+    let stabilizer = StabilizerConfig {
+        suppress_milli: 10_000,
+        reuse_milli: 5_000,
+        ..StabilizerConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(3, app())
+        .constraint(bounded_constraint())
+        .detector(DetectorKind::Adaptive)
+        .stabilizer_config(stabilizer)
+        .detector_seed(7)
+        .build()
+        .unwrap();
+    let id = seed(&mut cluster);
+
+    // Physically cut node 2 off — the cluster is NOT told.
+    cluster.drop_links(&[nodes![0, 1], nodes![2]]).unwrap();
+    assert_eq!(
+        cluster.mode(),
+        SystemMode::Healthy,
+        "nothing detected yet without running the pipeline"
+    );
+    let installed = cluster.run_detector_for(SimDuration::from_secs(2));
+    assert!(installed >= 1, "detector installed the degraded view");
+    assert_eq!(cluster.mode(), SystemMode::Degraded);
+    assert_eq!(cluster.topology().partitions().len(), 2);
+
+    // Majority-side write records a threat, exactly as when scripted.
+    cluster
+        .run_tx(NodeId(0), |c, tx| {
+            c.set_field(NodeId(0), tx, &id, "n", Value::Int(5))
+        })
+        .unwrap();
+    assert!(!cluster.threats().is_empty());
+
+    // Physical repair: detection clears suspicion and re-installs the
+    // full view; degraded residue sends the system to reconciliation.
+    cluster.heal_links().unwrap();
+    cluster.run_detector_for(SimDuration::from_secs(4));
+    assert_eq!(cluster.standing_suspicions(), 0, "healed + quiescent");
+    assert_eq!(cluster.mode(), SystemMode::Reconciliation);
+
+    cluster.reconcile(&mut HighestVersionWins, &mut DeferAll);
+    assert_eq!(cluster.mode(), SystemMode::Healthy);
+    assert_eq!(
+        cluster.entity_on(NodeId(2), &id).unwrap().field("n"),
+        &Value::Int(5),
+        "late node caught up after detector-driven heal"
+    );
 }
 
 #[test]

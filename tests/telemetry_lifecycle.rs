@@ -106,7 +106,7 @@ fn lifecycle_emits_the_expected_event_stream() {
         .records_of_kind("mode_transition")
         .iter()
         .map(|r| match r.event {
-            TraceEvent::ModeTransition { from, to } => (from, to),
+            TraceEvent::ModeTransition { from, to, .. } => (from, to),
             _ => unreachable!(),
         })
         .collect();
