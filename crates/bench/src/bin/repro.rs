@@ -28,6 +28,14 @@
 //! the adaptive pipeline is strictly quieter than the baseline on
 //! every row (and on every seed of a `--sweep`).
 //!
+//! `repro overload-sweep [--seed S] [--nodes N] [--ticks T]
+//! [--trace <path>]` runs the request-plane overload study: goodput
+//! and Critical-class p99 latency per offered load and system mode,
+//! token-bucket admission + priority shedding against a no-admission
+//! FIFO baseline on the same arrivals. Exits 1 unless the plane's
+//! Critical p99 is strictly below the baseline's at the highest
+//! offered load in both modes.
+//!
 //! `repro fig-par [--trace <path>]` runs the batch-validation pool
 //! study: the same validation-heavy workload under serial and
 //! `Threads(8)` evaluation, reporting the wall-clock speedup and
@@ -48,7 +56,7 @@
 //! object per line, stamped in virtual time only, so two runs of the
 //! same experiment write byte-identical files.
 
-use dedisys_bench::{ch2, ch5, chaos_soak, fig_compile, fig_par, flap_sweep};
+use dedisys_bench::{ch2, ch5, chaos_soak, fig_compile, fig_par, flap_sweep, overload_sweep};
 use std::path::PathBuf;
 
 const CH2: &[&str] = &[
@@ -83,6 +91,9 @@ fn usage() -> ! {
     eprintln!(
         "       repro flap-sweep [--seed S] [--nodes N] [--flaps F] [--sweep K] \
          [--trace <path>]"
+    );
+    eprintln!(
+        "       repro overload-sweep [--seed S] [--nodes N] [--ticks T] [--trace <path>]"
     );
     eprintln!("       repro fig-par [--trace <path>]");
     eprintln!("       repro fig-compile [--trace <path>]");
@@ -124,6 +135,10 @@ fn main() {
     }
     if args[0] == "flap-sweep" {
         flap_sweep_main(&args[1..], trace);
+        return;
+    }
+    if args[0] == "overload-sweep" {
+        overload_sweep_main(&args[1..], trace);
         return;
     }
     if args[0] == "fig-par" {
@@ -250,6 +265,42 @@ fn flap_sweep_main(args: &[String], trace: Option<PathBuf>) {
         std::fs::File::create(path).expect("create trace file");
     }
     flap_sweep::run(&opts);
+}
+
+fn overload_sweep_main(args: &[String], trace: Option<PathBuf>) {
+    let mut opts = overload_sweep::OverloadOptions {
+        trace,
+        ..overload_sweep::OverloadOptions::default()
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 2;
+        match args.get(*i - 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} needs a value");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => opts.seed = value(&mut i, "--seed").parse().expect("--seed: u64"),
+            "--nodes" => opts.nodes = value(&mut i, "--nodes").parse().expect("--nodes: u32"),
+            "--ticks" => opts.ticks = value(&mut i, "--ticks").parse().expect("--ticks: u32"),
+            other => {
+                eprintln!("unknown overload-sweep flag '{other}'");
+                usage();
+            }
+        }
+    }
+    assert!(opts.nodes >= 2, "overload-sweep needs at least two nodes");
+    assert!(opts.ticks >= 1, "overload-sweep needs at least one tick");
+    if let Some(path) = &opts.trace {
+        // Truncate once; every cell's exporter appends.
+        std::fs::File::create(path).expect("create trace file");
+    }
+    overload_sweep::run(&opts);
 }
 
 fn dispatch(id: &str) {

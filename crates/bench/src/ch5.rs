@@ -454,7 +454,9 @@ pub fn fig5_6() -> Vec<ReconRow> {
         (HistoryPolicy::FullHistory, "Full threat history"),
         (HistoryPolicy::Reduced, "Reduced (compacted)"),
     ] {
-        let mut cluster = builder(2).threat_policy(policy).build_traced();
+        let mut cluster = builder(2)
+            .configure(|c| c.durability.threat_policy = policy)
+            .build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 200);
         cluster.partition(&[nodes![0], nodes![1]]).unwrap();
@@ -523,7 +525,9 @@ pub fn fig5_6_incremental() -> Vec<IncrementalRow> {
             (ReconcileStrategy::FullScan, "full scan"),
             (ReconcileStrategy::Incremental, "incremental"),
         ] {
-            let mut cluster = builder(3).reconcile_strategy(strategy).build_traced();
+            let mut cluster = builder(3)
+                .configure(|c| c.durability.reconcile_strategy = strategy)
+                .build_traced();
             let node = NodeId(0);
             let touch = create_pool_prefixed(&mut cluster, node, "Guarded", "touch", TOUCH);
             let away_pool = create_pool_prefixed(&mut cluster, node, "Guarded", "away", away);
@@ -589,7 +593,9 @@ pub fn fig5_8() -> Vec<(String, Vec<f64>)> {
             "Accepted threats (identical only once)",
         ),
     ] {
-        let mut cluster = builder(2).threat_policy(policy).build_traced();
+        let mut cluster = builder(2)
+            .configure(|c| c.durability.threat_policy = policy)
+            .build_traced();
         let node = NodeId(0);
         let pool = create_pool(&mut cluster, node, "Guarded", 200);
         cluster.partition(&[nodes![0], nodes![1]]).unwrap();

@@ -187,8 +187,10 @@ pub fn measure(engine: ConstraintEngine, cache: bool, label: &str, rounds: usize
     let buf = SharedBuf::default();
     let mut cluster = ClusterBuilder::new(3, app())
         .constraints(constraints())
-        .constraint_engine(engine)
-        .verdict_cache(cache)
+        .configure(|c| {
+            c.validation.engine = engine;
+            c.validation.verdict_cache = cache;
+        })
         .build()
         .expect("cluster");
     cluster

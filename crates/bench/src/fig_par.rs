@@ -100,7 +100,8 @@ pub struct ModeRun {
 /// Runs the workload under one parallelism setting.
 pub fn measure(parallelism: ValidationParallelism, label: &str, ops: usize, spin: u32) -> ModeRun {
     let buf = SharedBuf::default();
-    let mut builder = ClusterBuilder::new(3, app()).validation_parallelism(parallelism);
+    let mut builder =
+        ClusterBuilder::new(3, app()).configure(|c| c.validation.parallelism = parallelism);
     for i in 0..CONSTRAINTS {
         builder = builder.constraint(spin_constraint(i, spin));
     }

@@ -88,11 +88,14 @@ fn run_cell(
     let app = AppDescriptor::new("flap-sweep")
         .with_class(ClassDescriptor::new("Item").with_field("n", Value::Int(0)));
     let mut cluster = ClusterBuilder::new(opts.nodes, app)
-        .detector(kind)
-        .stabilizer_config(stabilizer)
-        .detector_seed(opts.seed)
-        .primary_policy(PrimaryPartitionPolicy::WeightedQuorum)
-        .minority_writes(MinorityWriteHandling::Degrade)
+        .configure(|c| {
+            c.membership.detector_enabled = true;
+            c.membership.detector = kind;
+            c.membership.stabilizer = stabilizer;
+            c.membership.seed = opts.seed;
+            c.membership.primary_policy = PrimaryPartitionPolicy::WeightedQuorum;
+            c.membership.minority_writes = MinorityWriteHandling::Degrade;
+        })
         .build()
         .expect("flap-sweep cluster");
     if let Some(path) = trace {

@@ -26,6 +26,11 @@
 //!   fixed-timeout + passthrough baseline vs the φ-accrual detector
 //!   with flap-damped view stabilization, per flap period and
 //!   damping window.
+//! * [`overload_sweep`] — the request-plane overload study (`repro
+//!   overload-sweep`): goodput and Critical-class p99 latency per
+//!   offered load and system mode, token-bucket admission + priority
+//!   shedding vs a no-admission FIFO baseline, with the
+//!   strictly-better-tail contract checked on every run.
 
 pub mod ch2;
 pub mod ch5;
@@ -33,4 +38,5 @@ pub mod chaos_soak;
 pub mod fig_compile;
 pub mod fig_par;
 pub mod flap_sweep;
+pub mod overload_sweep;
 pub mod table;

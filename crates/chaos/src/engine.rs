@@ -14,12 +14,13 @@ use crate::plan::{FaultPlan, FaultStep};
 use crate::rng::ChaosRng;
 use dedisys_core::{
     Cluster, ClusterBuilder, DeferAll, DetectorKind, HighestVersionWins, LinkFault,
-    MinorityWriteHandling, PrimaryPartitionPolicy, StatsSnapshot, ValidationParallelism,
+    MinorityWriteHandling, PlaneStats, PrimaryPartitionPolicy, RequestPlane, StatsSnapshot,
+    ValidationParallelism,
 };
 use dedisys_net::{LatencyModel, Router, Topology};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_telemetry::TraceEvent;
-use dedisys_types::{NodeId, ObjectId, Result, SimDuration, TxId, Value};
+use dedisys_types::{NodeId, ObjectId, PriorityClass, Result, SimDuration, TxId, Value};
 
 /// Gossip-fabric base latency (per hop) outside latency spikes.
 const GOSSIP_BASE_MICROS: u64 = 500;
@@ -48,6 +49,15 @@ pub struct ChaosConfig {
     /// asymmetric loss, jitter, torn journal writes). Off by default
     /// so classic seeds keep their historical schedules.
     pub detector: bool,
+    /// Route the read/write share of the workload through a
+    /// [`RequestPlane`]: requests are admitted under token-bucket and
+    /// queue-bound control, carry seed-derived priority classes, and
+    /// drain interleaved with the fault schedule. The invariant
+    /// checker then also asserts request conservation (no admitted
+    /// request is lost) and the per-node queue bound after every
+    /// fault. Off by default so classic seeds keep their historical
+    /// schedules.
+    pub workload_plane: bool,
 }
 
 impl Default for ChaosConfig {
@@ -60,6 +70,7 @@ impl Default for ChaosConfig {
             item_pool: 12,
             parallelism: ValidationParallelism::Serial,
             detector: false,
+            workload_plane: false,
         }
     }
 }
@@ -82,6 +93,9 @@ pub struct ChaosReport {
     pub in_doubt_resolved: u64,
     /// Every invariant violation observed (must be empty).
     pub violations: Vec<InvariantViolation>,
+    /// Request-plane counters (all zero unless
+    /// [`ChaosConfig::workload_plane`] was set).
+    pub plane: PlaneStats,
     /// Final cluster statistics snapshot.
     pub final_stats: StatsSnapshot,
 }
@@ -110,6 +124,9 @@ pub struct ChaosEngine {
     /// Side-channel gossip fabric for link-loss and latency faults;
     /// mirrors the cluster topology and shares its virtual clock.
     gossip: Router<u64>,
+    /// The request plane the read/write workload routes through when
+    /// [`ChaosConfig::workload_plane`] is set (idle otherwise).
+    plane: RequestPlane,
     items: Vec<ObjectId>,
     created: u64,
     open_prepared: Vec<TxId>,
@@ -131,11 +148,13 @@ impl ChaosEngine {
         assert!(config.nodes >= 2, "chaos needs at least two nodes");
         let mut builder = ClusterBuilder::new(config.nodes, chaos_app());
         if config.detector {
-            builder = builder
-                .detector(DetectorKind::Adaptive)
-                .detector_seed(config.seed)
-                .primary_policy(PrimaryPartitionPolicy::WeightedQuorum)
-                .minority_writes(MinorityWriteHandling::Degrade);
+            builder = builder.configure(|c| {
+                c.membership.detector_enabled = true;
+                c.membership.detector = DetectorKind::Adaptive;
+                c.membership.seed = config.seed;
+                c.membership.primary_policy = PrimaryPartitionPolicy::WeightedQuorum;
+                c.membership.minority_writes = MinorityWriteHandling::Degrade;
+            });
         }
         let mut cluster = builder.build()?;
         cluster.set_validation_parallelism(config.parallelism);
@@ -147,6 +166,7 @@ impl ChaosEngine {
         Ok(Self {
             rng: ChaosRng::new(config.seed ^ 0xC0FF_EE00_C0FF_EE00),
             gossip,
+            plane: RequestPlane::new(),
             cluster,
             items: Vec::new(),
             created: 0,
@@ -206,10 +226,14 @@ impl ChaosEngine {
                 let planned = steps.next().expect("peeked");
                 self.apply_step(step_no, &planned.step);
                 step_no += 1;
-                self.violations
-                    .extend(InvariantChecker::check_running(&self.cluster));
+                self.check_invariants();
             }
             self.one_op();
+            // Dispatch one queued request per workload op, so plane
+            // traffic drains interleaved with faults and new arrivals.
+            if self.config.workload_plane {
+                self.plane.step(&mut self.cluster);
+            }
             self.in_doubt_resolved += self.cluster.resolve_in_doubt() as u64;
             // The workload advanced the virtual clock; let the
             // failure detector process whatever heartbeats landed.
@@ -218,8 +242,7 @@ impl ChaosEngine {
         for planned in steps {
             self.apply_step(step_no, &planned.step);
             step_no += 1;
-            self.violations
-                .extend(InvariantChecker::check_running(&self.cluster));
+            self.check_invariants();
         }
         self.finish();
         let final_stats = self.cluster.stats();
@@ -231,8 +254,20 @@ impl ChaosEngine {
             faults_skipped: self.faults_skipped,
             in_doubt_resolved: self.in_doubt_resolved,
             violations: self.violations,
+            plane: *self.plane.stats(),
             final_stats,
         })
+    }
+
+    /// The post-fault invariant sweep: the running-cluster checks,
+    /// plus request accounting when the plane carries the workload.
+    fn check_invariants(&mut self) {
+        self.violations
+            .extend(InvariantChecker::check_running(&self.cluster));
+        if self.config.workload_plane {
+            self.violations
+                .extend(InvariantChecker::check_plane(&self.plane, &self.cluster));
+        }
     }
 
     fn seed_items(&mut self) -> Result<()> {
@@ -308,18 +343,54 @@ impl ChaosEngine {
         } else if roll < 75 {
             let id = self.rng.pick(&self.items).clone();
             let value = Value::Int(self.rng.below(1_000) as i64);
-            self.cluster
-                .run_tx(node, move |c, tx| c.set_field(node, tx, &id, "n", value))
+            if self.config.workload_plane {
+                self.submit_plane(node, move |mut session| {
+                    session.set_field(&id, "n", value)?;
+                    session.commit()
+                })
+            } else {
+                self.cluster
+                    .run_tx(node, move |c, tx| c.set_field(node, tx, &id, "n", value))
+            }
         } else {
             let id = self.rng.pick(&self.items).clone();
-            self.cluster
-                .run_tx(node, move |c, tx| c.get_field(node, tx, &id, "n"))
-                .map(|_| ())
+            if self.config.workload_plane {
+                self.submit_plane(node, move |mut session| {
+                    session.get_field(&id, "n").map(|_| ())
+                })
+            } else {
+                self.cluster
+                    .run_tx(node, move |c, tx| c.get_field(node, tx, &id, "n"))
+                    .map(|_| ())
+            }
         };
         match result {
             Ok(()) => self.ops_ok += 1,
             Err(_) => self.ops_failed += 1,
         }
+    }
+
+    /// Submits one workload closure through the request plane under a
+    /// seed-derived priority class. Admission errors (empty bucket,
+    /// full queue, non-primary refusal) surface as failed ops; the
+    /// execution outcome lands in the plane counters when the request
+    /// is dispatched later.
+    fn submit_plane(
+        &mut self,
+        node: NodeId,
+        work: impl for<'a> FnOnce(dedisys_core::Session<'a>) -> Result<()> + 'static,
+    ) -> Result<()> {
+        let class_roll = self.rng.below(100);
+        let class = if class_roll < 15 {
+            PriorityClass::Critical
+        } else if class_roll < 70 {
+            PriorityClass::Normal
+        } else {
+            PriorityClass::Background
+        };
+        self.plane
+            .submit(&mut self.cluster, node, class, work)
+            .map(|_| ())
     }
 
     fn apply_step(&mut self, step_no: u32, step: &FaultStep) {
@@ -495,6 +566,20 @@ impl ChaosEngine {
                 rounds += 1;
             }
         }
+        // With every node restarted and the fabric healed, drain the
+        // plane: whatever survived admission must now complete, shed
+        // or miss its deadline — nothing may simply vanish.
+        if self.config.workload_plane {
+            let report = self.plane.run_until_idle(&mut self.cluster);
+            if report.queued != 0 {
+                self.violations.push(InvariantViolation {
+                    invariant: "plane_drained",
+                    detail: format!("{} requests still queued after repair", report.queued),
+                });
+            }
+            self.violations
+                .extend(InvariantChecker::check_plane(&self.plane, &self.cluster));
+        }
         let timeout = self.cluster.costs().in_doubt_timeout;
         self.cluster.clock().advance(timeout);
         self.in_doubt_resolved += self.cluster.resolve_in_doubt() as u64;
@@ -581,6 +666,47 @@ mod tests {
                 "seed {seed} violated invariants: {:?}",
                 report.violations
             );
+        }
+    }
+
+    fn run_plane_seed(seed: u64, ops: u64, faults: usize) -> ChaosReport {
+        let engine = ChaosEngine::new(ChaosConfig {
+            seed,
+            ops,
+            faults,
+            workload_plane: true,
+            ..ChaosConfig::default()
+        })
+        .expect("engine");
+        engine.run().expect("run")
+    }
+
+    #[test]
+    fn plane_runs_are_reproducible() {
+        let a = run_plane_seed(13, 200, 16);
+        let b = run_plane_seed(13, 200, 16);
+        assert_eq!(a.ops_ok, b.ops_ok);
+        assert_eq!(a.ops_failed, b.ops_failed);
+        assert_eq!(a.plane, b.plane);
+        assert_eq!(a.final_stats.now_ns, b.final_stats.now_ns);
+        assert_eq!(a.final_stats.events_emitted, b.final_stats.events_emitted);
+    }
+
+    #[test]
+    fn plane_workload_conserves_requests_across_seeds() {
+        // The issue-level contract: request conservation (no admitted
+        // request lost) and the queue bound hold across a wide seed
+        // sweep, checked after every fault and after the final drain.
+        for seed in 0..200 {
+            let report = run_plane_seed(seed, 60, 6);
+            assert!(
+                report.clean(),
+                "seed {seed} violated invariants: {:?}",
+                report.violations
+            );
+            let t = report.plane;
+            let total = t.critical.offered + t.normal.offered + t.background.offered;
+            assert!(total > 0, "seed {seed} routed nothing through the plane");
         }
     }
 

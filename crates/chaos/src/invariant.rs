@@ -4,7 +4,7 @@
 //! registries and reports violations as data, so a soak run can
 //! aggregate them and a test can assert the list is empty.
 
-use dedisys_core::Cluster;
+use dedisys_core::{Cluster, RequestPlane};
 use dedisys_net::NetStats;
 use dedisys_types::SystemMode;
 
@@ -103,6 +103,42 @@ impl InvariantChecker {
                     cluster.primary_conflicts()
                 ),
             });
+        }
+        out
+    }
+
+    /// Request-accounting invariants on the request plane: no admitted
+    /// request vanishes (conservation: `offered == admitted + rejected`
+    /// and `admitted == completed + shed + deadline_missed + queued`)
+    /// and every per-node queue respects the configured bound.
+    pub fn check_plane(plane: &RequestPlane, cluster: &Cluster) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        if !plane.conserves() {
+            let t = plane.stats().total();
+            out.push(InvariantViolation {
+                invariant: "plane_conservation",
+                detail: format!(
+                    "offered={} admitted={} rejected={} completed={} shed={} \
+                     deadline_missed={} queued={}",
+                    t.offered,
+                    t.admitted,
+                    t.rejected,
+                    t.completed,
+                    t.shed,
+                    t.deadline_missed,
+                    plane.queued_total()
+                ),
+            });
+        }
+        let bound = cluster.config().plane.queue_capacity;
+        for node in cluster.topology().nodes() {
+            let depth = plane.queue_depth(node);
+            if depth > bound {
+                out.push(InvariantViolation {
+                    invariant: "plane_queue_bound",
+                    detail: format!("{node} queues {depth} requests over the bound {bound}"),
+                });
+            }
         }
         out
     }

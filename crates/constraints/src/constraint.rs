@@ -19,7 +19,7 @@ pub enum ConstraintEngine {
     #[default]
     Interpreted,
     /// Run the flat program lowered once per constraint by
-    /// [`crate::expr::compile`] on a stack VM.
+    /// [`fn@crate::expr::compile`] on a stack VM.
     Compiled,
 }
 

@@ -6,7 +6,7 @@
 //! AST on every trigger re-pays that interpretation cost each time;
 //! [`compile`] pays it once per constraint instead:
 //!
-//! * the tree is linearized into postorder [`Op`]s over arena pools
+//! * the tree is linearized into postorder `Op`s over arena pools
 //!   (constants, names, classes) — no per-evaluation allocation or
 //!   recursion;
 //! * constant subexpressions are folded at compile time (through the

@@ -522,6 +522,11 @@ impl Ccm {
         self.app_default_min_degree = degree;
     }
 
+    /// The application-wide default minimum satisfaction degree.
+    pub fn app_default_min_degree(&self) -> SatisfactionDegree {
+        self.app_default_min_degree
+    }
+
     /// Selects immediate or deferred negotiation (§5.4).
     pub fn set_negotiation_timing(&mut self, timing: NegotiationTiming) {
         self.timing = timing;

@@ -13,6 +13,7 @@ use crate::ccm::{
     CallInfo, Ccm, NegotiationTiming, PartitionEnv, PendingCheck, RawEvaluation, ReplicaAccess,
     ValidationVerdict,
 };
+use crate::config::ClusterConfig;
 use crate::negotiation::NegotiationHandler;
 use crate::reconciliation::ReconcileStrategy;
 use crate::session::Session;
@@ -23,9 +24,9 @@ use dedisys_constraints::{
     RegisteredConstraint, ValidationContext,
 };
 use dedisys_gms::{
-    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipConfig, MembershipEvent,
-    MembershipSim, MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig,
-    ViewTracker,
+    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault,
+    MembershipConfig as GmsMembershipConfig, MembershipEvent, MembershipSim,
+    MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig, ViewTracker,
 };
 use dedisys_net::{SimClock, Topology};
 use dedisys_object::{
@@ -131,34 +132,23 @@ pub(crate) enum ValidationCharge {
 }
 
 /// Builder for [`Cluster`] (C-BUILDER).
+///
+/// Behavioural knobs live in one typed [`ClusterConfig`] reached via
+/// [`ClusterBuilder::config`] / [`ClusterBuilder::configure`]; the
+/// remaining builder methods cover structure that is not
+/// configuration (nodes, application, methods, constraints, protocol,
+/// weights, cost model).
 pub struct ClusterBuilder {
     nodes: u32,
     protocol: ProtocolKind,
     weights: Option<NodeWeights>,
     costs: CostModel,
-    lookup_mode: LookupMode,
-    threat_policy: HistoryPolicy,
-    negotiation_timing: NegotiationTiming,
-    reduced_replica_history: bool,
-    reconcile_strategy: ReconcileStrategy,
-    compaction_threshold: usize,
+    config: ClusterConfig,
     ccm_enabled: bool,
     replication_enabled: bool,
-    validation_parallelism: ValidationParallelism,
-    constraint_engine: ConstraintEngine,
-    verdict_cache: bool,
-    detector_enabled: bool,
-    detector_kind: DetectorKind,
-    detector_config: DetectorConfig,
-    adaptive_config: AdaptiveConfig,
-    stabilizer_config: StabilizerConfig,
-    detector_seed: u64,
-    primary_policy: PrimaryPartitionPolicy,
-    minority_writes: MinorityWriteHandling,
     app: AppDescriptor,
     methods: MethodTable,
     constraints: Vec<RegisteredConstraint>,
-    app_default_min_degree: SatisfactionDegree,
     default_instructions: ReconcileInstructions,
 }
 
@@ -182,31 +172,52 @@ impl ClusterBuilder {
             protocol: ProtocolKind::PrimaryPerPartition,
             weights: None,
             costs: CostModel::default(),
-            lookup_mode: LookupMode::Cached,
-            threat_policy: HistoryPolicy::IdenticalOnce,
-            negotiation_timing: NegotiationTiming::Immediate,
-            reduced_replica_history: false,
-            reconcile_strategy: ReconcileStrategy::default(),
-            compaction_threshold: 32,
+            config: ClusterConfig::default(),
             ccm_enabled: true,
             replication_enabled: true,
-            validation_parallelism: ValidationParallelism::default(),
-            constraint_engine: ConstraintEngine::default(),
-            verdict_cache: false,
-            detector_enabled: false,
-            detector_kind: DetectorKind::default(),
-            detector_config: DetectorConfig::default(),
-            adaptive_config: AdaptiveConfig::default(),
-            stabilizer_config: StabilizerConfig::default(),
-            detector_seed: 0,
-            primary_policy: PrimaryPartitionPolicy::default(),
-            minority_writes: MinorityWriteHandling::default(),
             app,
             methods: MethodTable::new(),
             constraints: Vec::new(),
-            app_default_min_degree: SatisfactionDegree::Satisfied,
             default_instructions: ReconcileInstructions::default(),
         }
+    }
+
+    /// Mutable access to the typed configuration — the primary way to
+    /// set behavioural knobs:
+    ///
+    /// ```no_run
+    /// # use dedisys_core::ClusterBuilder;
+    /// # use dedisys_object::AppDescriptor;
+    /// let mut builder = ClusterBuilder::new(3, AppDescriptor::new("app"));
+    /// builder.config().validation.verdict_cache = true;
+    /// builder.config().durability.compaction_threshold = 8;
+    /// let cluster = builder.build()?;
+    /// # Ok::<(), dedisys_types::Error>(())
+    /// ```
+    pub fn config(&mut self) -> &mut ClusterConfig {
+        &mut self.config
+    }
+
+    /// Chainable variant of [`ClusterBuilder::config`]:
+    ///
+    /// ```no_run
+    /// # use dedisys_core::ClusterBuilder;
+    /// # use dedisys_object::AppDescriptor;
+    /// let cluster = ClusterBuilder::new(3, AppDescriptor::new("app"))
+    ///     .configure(|c| c.validation.verdict_cache = true)
+    ///     .build()?;
+    /// # Ok::<(), dedisys_types::Error>(())
+    /// ```
+    pub fn configure(mut self, f: impl FnOnce(&mut ClusterConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Replaces the entire configuration (e.g. one prepared offline or
+    /// taken from another cluster via [`Cluster::config`]).
+    pub fn with_config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Selects the replication protocol (default: P4).
@@ -228,40 +239,58 @@ impl ClusterBuilder {
     }
 
     /// Selects the constraint-repository lookup mode.
+    #[deprecated(since = "0.3.0", note = "set `config().validation.lookup_mode` instead")]
     pub fn lookup_mode(mut self, mode: LookupMode) -> Self {
-        self.lookup_mode = mode;
+        self.config.validation.lookup_mode = mode;
         self
     }
 
     /// Selects the threat-history policy (§5.5.1).
+    #[deprecated(since = "0.3.0", note = "set `config().durability.threat_policy` instead")]
     pub fn threat_policy(mut self, policy: HistoryPolicy) -> Self {
-        self.threat_policy = policy;
+        self.config.durability.threat_policy = policy;
         self
     }
 
     /// Selects immediate or deferred threat negotiation (§5.4).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().validation.negotiation_timing` instead"
+    )]
     pub fn negotiation_timing(mut self, timing: NegotiationTiming) -> Self {
-        self.negotiation_timing = timing;
+        self.config.validation.negotiation_timing = timing;
         self
     }
 
     /// Uses the reduced replica state history (latest state only).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().durability.reduced_replica_history` instead"
+    )]
     pub fn reduced_replica_history(mut self, reduced: bool) -> Self {
-        self.reduced_replica_history = reduced;
+        self.config.durability.reduced_replica_history = reduced;
         self
     }
 
     /// Selects how constraint reconciliation picks the threats to
     /// re-evaluate (default: the object-indexed incremental engine).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().durability.reconcile_strategy` instead"
+    )]
     pub fn reconcile_strategy(mut self, strategy: ReconcileStrategy) -> Self {
-        self.reconcile_strategy = strategy;
+        self.config.durability.reconcile_strategy = strategy;
         self
     }
 
     /// Number of duplicate threat records tolerated before the
     /// [`HistoryPolicy::Reduced`] store folds them (default: 32).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().durability.compaction_threshold` instead"
+    )]
     pub fn compaction_threshold(mut self, records: usize) -> Self {
-        self.compaction_threshold = records.max(1);
+        self.config.durability.compaction_threshold = records.max(1);
         self
     }
 
@@ -269,8 +298,9 @@ impl ClusterBuilder {
     /// [`ValidationParallelism::Serial`]). Parallel evaluation changes
     /// wall-clock time only — virtual time, statistics and the
     /// telemetry trace stay byte-identical to serial execution.
+    #[deprecated(since = "0.3.0", note = "set `config().validation.parallelism` instead")]
     pub fn validation_parallelism(mut self, parallelism: ValidationParallelism) -> Self {
-        self.validation_parallelism = parallelism;
+        self.config.validation.parallelism = parallelism;
         self
     }
 
@@ -279,8 +309,9 @@ impl ClusterBuilder {
     /// verdict-transparent: satisfaction degrees, threats and
     /// statistics counters are identical across engines — only the
     /// virtual-time cost per check changes.
+    #[deprecated(since = "0.3.0", note = "set `config().validation.engine` instead")]
     pub fn constraint_engine(mut self, engine: ConstraintEngine) -> Self {
-        self.constraint_engine = engine;
+        self.config.validation.engine = engine;
         self
     }
 
@@ -288,8 +319,9 @@ impl ClusterBuilder {
     /// invariant verdicts are answered by a version-keyed probe
     /// instead of re-evaluation; writes invalidate. Cache hits are
     /// verdict-transparent — only the virtual-time charge differs.
+    #[deprecated(since = "0.3.0", note = "set `config().validation.verdict_cache` instead")]
     pub fn verdict_cache(mut self, enabled: bool) -> Self {
-        self.verdict_cache = enabled;
+        self.config.validation.verdict_cache = enabled;
         self
     }
 
@@ -304,45 +336,60 @@ impl ClusterBuilder {
     /// hysteresis stabilize the observed view, and the stabilized
     /// partitioning is installed with a
     /// `mode_transition { cause: detector }` event.
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().membership.detector_enabled` and `.detector` instead"
+    )]
     pub fn detector(mut self, kind: DetectorKind) -> Self {
-        self.detector_enabled = true;
-        self.detector_kind = kind;
+        self.config.membership.detector_enabled = true;
+        self.config.membership.detector = kind;
         self
     }
 
     /// Overrides the heartbeat/timeout configuration used by the
     /// failure detector (default: [`DetectorConfig::default`]).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().membership.detector_config` instead"
+    )]
     pub fn detector_config(mut self, config: DetectorConfig) -> Self {
-        self.detector_config = config;
+        self.config.membership.detector_config = config;
         self
     }
 
     /// Overrides the φ-accrual parameters used when the detector kind
     /// is [`DetectorKind::Adaptive`].
+    #[deprecated(since = "0.3.0", note = "set `config().membership.adaptive` instead")]
     pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
-        self.adaptive_config = config;
+        self.config.membership.adaptive = config;
         self
     }
 
     /// Overrides the hysteresis / flap-damping parameters of the view
     /// stabilizer.
+    #[deprecated(since = "0.3.0", note = "set `config().membership.stabilizer` instead")]
     pub fn stabilizer_config(mut self, config: StabilizerConfig) -> Self {
-        self.stabilizer_config = config;
+        self.config.membership.stabilizer = config;
         self
     }
 
     /// Seeds the deterministic loss/jitter draws of the membership
     /// pipeline (default: 0). Same seed ⇒ byte-identical event stream.
+    #[deprecated(since = "0.3.0", note = "set `config().membership.seed` instead")]
     pub fn detector_seed(mut self, seed: u64) -> Self {
-        self.detector_seed = seed;
+        self.config.membership.seed = seed;
         self
     }
 
     /// Selects how a partition classifies itself primary (§5.5.2;
     /// default: [`PrimaryPartitionPolicy::AlwaysPrimary`], the
     /// historical behaviour where every partition accepts writes).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().membership.primary_policy` instead"
+    )]
     pub fn primary_policy(mut self, policy: PrimaryPartitionPolicy) -> Self {
-        self.primary_policy = policy;
+        self.config.membership.primary_policy = policy;
         self
     }
 
@@ -350,8 +397,12 @@ impl ClusterBuilder {
     /// under a quorum-based primary policy (default:
     /// [`MinorityWriteHandling::Degrade`] — admitted as degraded-mode
     /// writes that record consistency threats).
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().membership.minority_writes` instead"
+    )]
     pub fn minority_writes(mut self, handling: MinorityWriteHandling) -> Self {
-        self.minority_writes = handling;
+        self.config.membership.minority_writes = handling;
         self
     }
 
@@ -393,8 +444,12 @@ impl ClusterBuilder {
     }
 
     /// Sets the application-wide default minimum satisfaction degree.
+    #[deprecated(
+        since = "0.3.0",
+        note = "set `config().validation.app_default_min_degree` instead"
+    )]
     pub fn app_default_min_degree(mut self, degree: SatisfactionDegree) -> Self {
-        self.app_default_min_degree = degree;
+        self.config.validation.app_default_min_degree = degree;
         self
     }
 
@@ -414,6 +469,10 @@ impl ClusterBuilder {
         if self.nodes == 0 {
             return Err(Error::Config("a cluster needs at least one node".into()));
         }
+        let mut config = self.config;
+        // A zero threshold would compact on every duplicate; the old
+        // setter clamped, the typed field clamps at build time.
+        config.durability.compaction_threshold = config.durability.compaction_threshold.max(1);
         let weights = self
             .weights
             .unwrap_or_else(|| NodeWeights::uniform(self.nodes));
@@ -430,17 +489,17 @@ impl ClusterBuilder {
         // deterministic timeline.
         let telemetry = Telemetry::new(clock.clone());
         let topology = Topology::fully_connected(self.nodes);
-        let mut repository = ConstraintRepository::new(self.lookup_mode);
+        let mut repository = ConstraintRepository::new(config.validation.lookup_mode);
         for c in self.constraints {
             repository.register(c)?;
         }
-        let mut ccm = Ccm::new(self.threat_policy);
-        ccm.set_app_default_min_degree(self.app_default_min_degree);
+        let mut ccm = Ccm::new(config.durability.threat_policy);
+        ccm.set_app_default_min_degree(config.validation.app_default_min_degree);
         ccm.set_default_instructions(self.default_instructions);
-        ccm.set_negotiation_timing(self.negotiation_timing);
+        ccm.set_negotiation_timing(config.validation.negotiation_timing);
         ccm.attach_telemetry(telemetry.clone());
         let mut replication = ReplicationManager::new(self.protocol, weights.clone());
-        replication.set_reduced_history(self.reduced_replica_history);
+        replication.set_reduced_history(config.durability.reduced_replica_history);
         replication.attach_telemetry(telemetry.clone());
         let mut tx_manager = TransactionManager::new();
         tx_manager.attach_telemetry(telemetry.clone());
@@ -451,7 +510,7 @@ impl ClusterBuilder {
                 tracker
             })
             .collect();
-        if self.constraint_engine == ConstraintEngine::Compiled {
+        if config.validation.engine == ConstraintEngine::Compiled {
             // Lower every registered constraint up front so the first
             // validation doesn't pay the (lazy) compile, and charge the
             // one-time lowering cost on the virtual clock.
@@ -466,16 +525,16 @@ impl ClusterBuilder {
                 }
             }
         }
-        let membership = self.detector_enabled.then(|| {
+        let membership = config.membership.detector_enabled.then(|| {
             MembershipSim::new(
                 self.nodes,
-                MembershipConfig {
-                    kind: self.detector_kind,
-                    detector: self.detector_config,
-                    adaptive: self.adaptive_config,
-                    stabilizer: self.stabilizer_config,
-                    seed: self.detector_seed,
-                    ..MembershipConfig::default()
+                GmsMembershipConfig {
+                    kind: config.membership.detector,
+                    detector: config.membership.detector_config,
+                    adaptive: config.membership.adaptive,
+                    stabilizer: config.membership.stabilizer,
+                    seed: config.membership.seed,
+                    ..GmsMembershipConfig::default()
                 },
                 clock.clone(),
             )
@@ -485,8 +544,7 @@ impl ClusterBuilder {
             telemetry,
             topology,
             membership,
-            primary_policy: self.primary_policy,
-            minority_writes: self.minority_writes,
+            config,
             primary_witness: BTreeMap::new(),
             primary_conflicts: 0,
             weights,
@@ -511,13 +569,8 @@ impl ClusterBuilder {
             metrics: ClusterMetrics::default(),
             inv_cost: CostBreakdown::default(),
             hooks: InterceptorChain::new(),
-            reconcile_strategy: self.reconcile_strategy,
-            compaction_threshold: self.compaction_threshold,
             ccm_enabled: self.ccm_enabled,
             replication_enabled: self.replication_enabled,
-            validation_parallelism: self.validation_parallelism,
-            constraint_engine: self.constraint_engine,
-            verdict_cache: self.verdict_cache,
         })
     }
 }
@@ -527,14 +580,12 @@ pub struct Cluster {
     clock: SimClock,
     telemetry: Telemetry,
     topology: Topology,
-    /// The detector-driven membership pipeline
-    /// ([`ClusterBuilder::detector`]); `None` when topology changes
-    /// are scripted only.
+    /// The detector-driven membership pipeline; `None` when topology
+    /// changes are scripted only.
     membership: Option<MembershipSim>,
-    /// How a partition classifies itself primary (§5.5.2).
-    primary_policy: PrimaryPartitionPolicy,
-    /// What happens to minority-partition writes under a quorum policy.
-    minority_writes: MinorityWriteHandling,
+    /// The typed configuration in force ([`Cluster::config`]); runtime
+    /// deltas land here through [`Cluster::reconfigure`].
+    config: ClusterConfig,
     /// Per-topology-epoch witness of the one partition whose
     /// primary-mode writes were admitted — the safety invariant is that
     /// no *second*, different partition ever witnesses at the same
@@ -569,13 +620,8 @@ pub struct Cluster {
     /// Scratch R1–R5 breakdown of the invocation in flight.
     inv_cost: CostBreakdown,
     hooks: InterceptorChain<HookInfo>,
-    reconcile_strategy: ReconcileStrategy,
-    compaction_threshold: usize,
     ccm_enabled: bool,
     replication_enabled: bool,
-    validation_parallelism: ValidationParallelism,
-    constraint_engine: ConstraintEngine,
-    verdict_cache: bool,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -654,26 +700,109 @@ impl Cluster {
         self.ccm.threat_store()
     }
 
+    /// The typed configuration in force. This is the same value the
+    /// builder was given (modulo clamping), updated by every
+    /// [`Cluster::reconfigure`] since.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Applies a configuration delta to the running cluster.
+    ///
+    /// `f` receives a copy of the current config to mutate; the
+    /// changed fields are then applied atomically — with their side
+    /// effects (an engine switch lowers constraints and clears the
+    /// verdict cache; a cache toggle clears it; negotiation timing,
+    /// default degree and replica history are pushed into their
+    /// subsystems) — and one `reconfigure` trace event naming the
+    /// dotted paths that changed is emitted. Returns those paths
+    /// (empty when `f` changed nothing; no event is emitted then).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] — without applying *any* field — if
+    /// `f` touched a build-time field (`validation.lookup_mode`,
+    /// `durability.threat_policy`, or anything under
+    /// `membership.detector*` / `membership.adaptive` /
+    /// `membership.stabilizer` / `membership.seed`).
+    pub fn reconfigure(&mut self, f: impl FnOnce(&mut ClusterConfig)) -> Result<Vec<String>> {
+        let mut next = self.config;
+        f(&mut next);
+        next.durability.compaction_threshold = next.durability.compaction_threshold.max(1);
+        let immutable = self.config.immutable_diff(&next);
+        if !immutable.is_empty() {
+            return Err(Error::Config(format!(
+                "cannot reconfigure build-time field(s): {}",
+                immutable.join(", ")
+            )));
+        }
+        let changed = self.config.diff(&next);
+        if changed.is_empty() {
+            return Ok(changed);
+        }
+        let prev = self.config;
+        self.config = next;
+        if prev.validation.engine != next.validation.engine {
+            if next.validation.engine == ConstraintEngine::Compiled {
+                let mut compiled = Vec::new();
+                for c in self.repository.enabled() {
+                    if let Some(info) = c.implementation.compiled() {
+                        compiled.push((c.meta.name.to_string(), info));
+                    }
+                }
+                for (name, info) in compiled {
+                    self.telemetry.emit(|| TraceEvent::ConstraintCompiled {
+                        constraint: name.clone(),
+                        ops: info.ops,
+                        reads: info.reads,
+                    });
+                    self.clock.advance(self.costs.constraint_compile);
+                }
+            }
+            self.clear_verdict_cache_with_event();
+        }
+        if prev.validation.verdict_cache != next.validation.verdict_cache {
+            self.clear_verdict_cache_with_event();
+        }
+        if prev.validation.negotiation_timing != next.validation.negotiation_timing {
+            self.ccm
+                .set_negotiation_timing(next.validation.negotiation_timing);
+        }
+        if prev.validation.app_default_min_degree != next.validation.app_default_min_degree {
+            self.ccm
+                .set_app_default_min_degree(next.validation.app_default_min_degree);
+        }
+        if prev.durability.reduced_replica_history != next.durability.reduced_replica_history {
+            self.replication
+                .set_reduced_history(next.durability.reduced_replica_history);
+        }
+        let paths = changed.clone();
+        self.telemetry
+            .emit(move || TraceEvent::Reconfigure { changed: paths });
+        Ok(changed)
+    }
+
     /// The constraint-reconciliation strategy in force.
     pub fn reconcile_strategy(&self) -> ReconcileStrategy {
-        self.reconcile_strategy
+        self.config.durability.reconcile_strategy
     }
 
     /// The validation-batch evaluation setting in force.
     pub fn validation_parallelism(&self) -> ValidationParallelism {
-        self.validation_parallelism
+        self.config.validation.parallelism
     }
 
     /// Switches validation-batch evaluation at runtime (e.g. to
     /// compare serial and parallel wall-clock on one cluster). The
     /// observable outcome of every operation is unaffected.
     pub fn set_validation_parallelism(&mut self, parallelism: ValidationParallelism) {
-        self.validation_parallelism = parallelism;
+        self.reconfigure(|c| c.validation.parallelism = parallelism)
+            .expect("parallelism is runtime-reconfigurable");
     }
 
     /// The constraint evaluation engine in force.
     pub fn constraint_engine(&self) -> ConstraintEngine {
-        self.constraint_engine
+        self.config.validation.engine
     }
 
     /// Switches the constraint evaluation engine at runtime. Verdicts,
@@ -683,43 +812,39 @@ impl Cluster {
     /// constraint that is not compiled yet. The verdict cache is
     /// cleared on any engine change.
     pub fn set_constraint_engine(&mut self, engine: ConstraintEngine) {
-        if engine == self.constraint_engine {
-            return;
-        }
-        self.constraint_engine = engine;
-        if engine == ConstraintEngine::Compiled {
-            let mut compiled = Vec::new();
-            for c in self.repository.enabled() {
-                if let Some(info) = c.implementation.compiled() {
-                    compiled.push((c.meta.name.to_string(), info));
-                }
-            }
-            for (name, info) in compiled {
-                self.telemetry.emit(|| TraceEvent::ConstraintCompiled {
-                    constraint: name.clone(),
-                    ops: info.ops,
-                    reads: info.reads,
-                });
-                self.clock.advance(self.costs.constraint_compile);
-            }
-        }
-        self.clear_verdict_cache_with_event();
+        self.reconfigure(|c| c.validation.engine = engine)
+            .expect("engine is runtime-reconfigurable");
     }
 
     /// Whether the verdict cache is enabled.
     pub fn verdict_cache_enabled(&self) -> bool {
-        self.verdict_cache
+        self.config.validation.verdict_cache
+    }
+
+    /// The threat-negotiation timing in force, read back from the CCM
+    /// (not from the config copy) so tests can check the two agree.
+    pub fn negotiation_timing(&self) -> NegotiationTiming {
+        self.ccm.negotiation_timing()
+    }
+
+    /// The application-wide default minimum satisfaction degree in
+    /// force, read back from the CCM.
+    pub fn app_default_min_degree(&self) -> SatisfactionDegree {
+        self.ccm.app_default_min_degree()
+    }
+
+    /// Whether replicas keep only the latest state, read back from the
+    /// replication manager.
+    pub fn reduced_replica_history(&self) -> bool {
+        self.replication.reduced_history()
     }
 
     /// Enables or disables the verdict cache at runtime. Toggling in
     /// either direction clears the cache, so a re-enabled cache never
     /// serves entries from before the gap.
     pub fn set_verdict_cache(&mut self, enabled: bool) {
-        if enabled == self.verdict_cache {
-            return;
-        }
-        self.verdict_cache = enabled;
-        self.clear_verdict_cache_with_event();
+        self.reconfigure(|c| c.validation.verdict_cache = enabled)
+            .expect("verdict cache is runtime-reconfigurable");
     }
 
     /// Entries currently held by the verdict cache.
@@ -743,7 +868,8 @@ impl Cluster {
     /// Switches the constraint-reconciliation strategy at runtime
     /// (e.g. to compare full-scan vs incremental on one cluster).
     pub fn set_reconcile_strategy(&mut self, strategy: ReconcileStrategy) {
-        self.reconcile_strategy = strategy;
+        self.reconfigure(|c| c.durability.reconcile_strategy = strategy)
+            .expect("reconcile strategy is runtime-reconfigurable");
     }
 
     /// Folds duplicate threat records now, regardless of policy or
@@ -1163,11 +1289,11 @@ impl Cluster {
             self.presume_abort(tx);
         }
         // Rejoin the lowest-numbered live node's partition via GMS.
-        if let Some(target) = self
+        let rejoin_target = self
             .topology
             .nodes()
-            .find(|n| *n != node && !self.crashed.contains(n))
-        {
+            .find(|n| *n != node && !self.crashed.contains(n));
+        if let Some(target) = rejoin_target {
             if !self.topology.reachable(node, target) {
                 self.topology.merge(node, target);
             }
@@ -1381,12 +1507,12 @@ impl Cluster {
 
     /// The primary-partition policy in force (§5.5.2).
     pub fn primary_policy(&self) -> PrimaryPartitionPolicy {
-        self.primary_policy
+        self.config.membership.primary_policy
     }
 
     /// How minority-partition writes are handled under a quorum policy.
     pub fn minority_writes(&self) -> MinorityWriteHandling {
-        self.minority_writes
+        self.config.membership.minority_writes
     }
 
     /// Read access to the membership pipeline (inspection).
@@ -1414,7 +1540,9 @@ impl Cluster {
     /// Whether `node`'s current partition classifies as primary under
     /// the configured [`PrimaryPartitionPolicy`].
     pub fn is_primary(&self, node: NodeId) -> bool {
-        self.primary_policy
+        self.config
+            .membership
+            .primary_policy
             .is_primary(self.topology.partition_of(node), &self.weights)
     }
 
@@ -1605,7 +1733,7 @@ impl Cluster {
     /// minority partition, and witnesses primary-classified writes per
     /// topology epoch for the exclusivity invariant.
     fn check_primary_write(&mut self, node: NodeId) -> Result<()> {
-        if !self.primary_policy.is_quorum() {
+        if !self.config.membership.primary_policy.is_quorum() {
             return Ok(());
         }
         if self.is_primary(node) {
@@ -1627,7 +1755,7 @@ impl Cluster {
             }
             return Ok(());
         }
-        match self.minority_writes {
+        match self.config.membership.minority_writes {
             MinorityWriteHandling::Refuse => {
                 self.telemetry
                     .metrics()
@@ -1733,16 +1861,6 @@ impl Cluster {
     pub fn session(&mut self, node: NodeId) -> Session<'_> {
         let tx = self.begin_tx(node);
         Session::new(self, tx)
-    }
-
-    /// Begins a raw transaction on `node`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Cluster::session(node)` — the RAII handle rolls back on drop; \
-                `Session::detach()` recovers a raw TxId where needed"
-    )]
-    pub fn begin(&mut self, node: NodeId) -> TxId {
-        self.begin_tx(node)
     }
 
     pub(crate) fn begin_tx(&mut self, node: NodeId) -> TxId {
@@ -2486,7 +2604,7 @@ impl Cluster {
         exec: NodeId,
         tx: TxId,
     ) -> Option<(ObjectId, dedisys_types::Version)> {
-        if !self.verdict_cache {
+        if !self.config.validation.verdict_cache {
             return None;
         }
         if candidate.call.is_some() || !candidate.pre_state.is_empty() {
@@ -2555,7 +2673,7 @@ impl Cluster {
             });
         }
         let env = self.partition_env(exec);
-        let miss_charge = match self.constraint_engine {
+        let miss_charge = match self.config.validation.engine {
             ConstraintEngine::Interpreted => ValidationCharge::Interpreted,
             ConstraintEngine::Compiled => ValidationCharge::Compiled,
         };
@@ -2610,8 +2728,8 @@ impl Cluster {
                 exec,
                 tx,
                 env,
-                self.constraint_engine,
-                self.validation_parallelism,
+                self.config.validation.engine,
+                self.config.validation.parallelism,
             );
             for (&i, eval) in misses.iter().zip(evals) {
                 if let Some((object, version)) = inserts[i].take() {
@@ -2723,7 +2841,8 @@ impl Cluster {
         if self.ccm.threat_store().policy() != HistoryPolicy::Reduced {
             return;
         }
-        if self.ccm.threat_store().duplicate_records() < self.compaction_threshold {
+        if self.ccm.threat_store().duplicate_records() < self.config.durability.compaction_threshold
+        {
             return;
         }
         let report = self.ccm.threat_store_mut().compact();

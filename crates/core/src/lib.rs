@@ -68,10 +68,12 @@
 mod batch;
 mod ccm;
 mod cluster;
+mod config;
 mod costs;
 pub mod interactions;
 mod negotiation;
 pub mod partition_sensitive;
+pub mod plane;
 mod reconciliation;
 mod session;
 mod threat;
@@ -86,6 +88,10 @@ pub use cluster::{
     getter_name, setter_name, Cluster, ClusterBuilder, ClusterMetrics, HookInfo, InDoubtTx,
     StatsSnapshot,
 };
+pub use config::{
+    ClusterConfig, DurabilityConfig, MembershipConfig, PlaneConfig, ValidationConfig,
+};
+pub use plane::{ClassCounters, PlaneReport, PlaneStats, RequestPlane};
 pub use session::Session;
 
 /// Builds a `Vec<NodeId>` from integer literals — the terse spelling
@@ -111,7 +117,7 @@ pub use threat::{
 // Re-export the pieces users need to assemble a cluster.
 pub use dedisys_constraints::ConstraintEngine;
 pub use dedisys_gms::{
-    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipConfig, MembershipSim,
+    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipSim,
     MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig,
 };
 pub use dedisys_replication::{

@@ -22,29 +22,15 @@ use parking_lot::Mutex;
 /// total_weight⌋`), matching the integer weights the GMS counts: over
 /// any disjoint weighting of the cluster the shares never sum above
 /// `remaining`, and the full partition (`weight == total_weight`)
-/// receives exactly `remaining` — guarantees the float
-/// [`partition_share`] cannot make (e.g. `10 · (1/3 + 1/3 + 1/3)`
-/// truncates to 9 units or, with an unlucky rounding of the fraction,
-/// hands out one unit too many).
+/// receives exactly `remaining` — guarantees a float fraction cannot
+/// make (e.g. `10 · (1/3 + 1/3 + 1/3)` truncates to 9 units or, with
+/// an unlucky rounding of the fraction, hands out one unit too many).
 pub fn partition_share_weighted(remaining: i64, weight: u32, total_weight: u32) -> i64 {
     if remaining <= 0 || total_weight == 0 {
         return 0;
     }
     let exact = i128::from(remaining) * i128::from(weight) / i128::from(total_weight);
     i64::try_from(exact).unwrap_or(i64::MAX)
-}
-
-/// Share of a quantity granted to a partition with the given weight
-/// *fraction* (rounded down).
-#[deprecated(
-    note = "float fractions round unpredictably; use `partition_share_weighted` \
-            with the GMS's exact integer weight units"
-)]
-pub fn partition_share(remaining: i64, fraction: f64) -> i64 {
-    if remaining <= 0 {
-        return 0;
-    }
-    ((remaining as f64) * fraction).floor() as i64
 }
 
 fn int_field(ctx: &mut ValidationContext<'_>, name: &str) -> Result<i64> {
@@ -144,15 +130,6 @@ mod tests {
         w.put_field(&id, "seats", Value::Int(seats));
         w.put_field(&id, "sold", Value::Int(sold));
         (w, id)
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn shares_round_down() {
-        assert_eq!(partition_share(10, 1.0 / 3.0), 3);
-        assert_eq!(partition_share(10, 2.0 / 3.0), 6);
-        assert_eq!(partition_share(0, 0.5), 0);
-        assert_eq!(partition_share(-5, 0.5), 0);
     }
 
     #[test]

@@ -93,9 +93,8 @@ fn session_rolls_back_on_drop_and_raw_begin_still_works() {
         &Value::Int(0),
         "dropped session rolled back"
     );
-    // The deprecated raw surface keeps working during migration.
-    #[allow(deprecated)]
-    let tx = c.begin(NodeId(0));
+    // The raw TxId surface stays reachable via a detached session.
+    let tx = c.session(NodeId(0)).detach();
     c.set_field(NodeId(0), tx, &id, "v", Value::Int(3)).unwrap();
     c.commit(tx).unwrap();
     assert_eq!(

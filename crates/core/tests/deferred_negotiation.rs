@@ -32,7 +32,7 @@ fn constraint() -> RegisteredConstraint {
 fn degraded_cluster() -> (Cluster, ObjectId) {
     let mut cluster = ClusterBuilder::new(2, app())
         .constraint(constraint())
-        .negotiation_timing(NegotiationTiming::Deferred)
+        .configure(|c| c.validation.negotiation_timing = NegotiationTiming::Deferred)
         .build()
         .unwrap();
     let id = ObjectId::new("Counter", "c1");
@@ -112,7 +112,7 @@ fn dynamic_handler_sees_every_deferred_threat() {
 fn healthy_mode_is_unaffected_by_deferred_timing() {
     let mut cluster = ClusterBuilder::new(2, app())
         .constraint(constraint())
-        .negotiation_timing(NegotiationTiming::Deferred)
+        .configure(|c| c.validation.negotiation_timing = NegotiationTiming::Deferred)
         .build()
         .unwrap();
     let id = ObjectId::new("Counter", "c1");

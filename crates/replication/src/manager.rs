@@ -163,6 +163,12 @@ impl ReplicationManager {
         };
     }
 
+    /// Whether the degraded-mode history is reduced (latest state
+    /// only).
+    pub fn reduced_history(&self) -> bool {
+        !self.history.is_full_history()
+    }
+
     /// The degraded-mode state history.
     pub fn history(&self) -> &VersionHistory {
         &self.history

@@ -5,7 +5,9 @@
 //! reconciliation phases (§4.4) — so an exported stream reads as a
 //! protocol transcript of one simulated run.
 
-use dedisys_types::{NodeId, SatisfactionDegree, SimDuration, SimTime, SystemMode, TxId, ViewId};
+use dedisys_types::{
+    NodeId, PriorityClass, SatisfactionDegree, SimDuration, SimTime, SystemMode, TxId, ViewId,
+};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one business invocation.
@@ -101,6 +103,33 @@ pub enum TransitionCause {
     /// A stabilized view change from the failure-detection pipeline —
     /// the production entry path.
     Detector,
+}
+
+/// Why the request plane refused a request at the admission gate
+/// (before it ever entered a queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AdmissionReject {
+    /// The node's token bucket was empty.
+    Overloaded,
+    /// The class queue was full and nothing lower-priority could be
+    /// displaced.
+    QueueFull,
+    /// The node sits in a non-primary partition under a
+    /// refuse-minority-writes policy.
+    NotPrimary,
+}
+
+/// Why an *admitted* request was dropped from a queue before it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ShedCause {
+    /// Displaced by a higher-priority arrival while its queue was
+    /// full.
+    Displaced,
+    /// Shed by mode-coupled backpressure (degraded / minority
+    /// partitions drop `Background` work first).
+    ModePressure,
 }
 
 /// A typed trace event.
@@ -420,6 +449,76 @@ pub enum TraceEvent {
         /// Cache entries removed.
         entries: u32,
     },
+    /// The request plane admitted a request into a per-node class
+    /// queue.
+    RequestAdmitted {
+        /// Plane-wide request id (admission order).
+        request: u64,
+        /// The node whose plane admitted the request.
+        node: NodeId,
+        /// Priority class of the request.
+        class: PriorityClass,
+        /// Queue depth across all classes after admission.
+        depth: u32,
+    },
+    /// The request plane refused a request at the admission gate; the
+    /// caller sees a typed error and the request never queues.
+    RequestRejected {
+        /// Plane-wide request id (admission order).
+        request: u64,
+        /// The refusing node.
+        node: NodeId,
+        /// Priority class of the request.
+        class: PriorityClass,
+        /// Why admission was refused.
+        reason: AdmissionReject,
+    },
+    /// An admitted request was dropped from its queue before it ran.
+    RequestShed {
+        /// Plane-wide request id (admission order).
+        request: u64,
+        /// The node that shed the request.
+        node: NodeId,
+        /// Priority class of the shed request.
+        class: PriorityClass,
+        /// Why the request was shed.
+        cause: ShedCause,
+    },
+    /// An admitted request's virtual-time deadline expired while it
+    /// was queued; it was dropped *before* execution.
+    RequestDeadlineMissed {
+        /// Plane-wide request id (admission order).
+        request: u64,
+        /// The node the request was queued on.
+        node: NodeId,
+        /// Priority class of the request.
+        class: PriorityClass,
+        /// Virtual time the request spent queued before expiry.
+        waited_ns: u64,
+    },
+    /// An admitted request was dispatched and finished (its session
+    /// closure ran to commit or returned an error).
+    RequestCompleted {
+        /// Plane-wide request id (admission order).
+        request: u64,
+        /// The executing node.
+        node: NodeId,
+        /// Priority class of the request.
+        class: PriorityClass,
+        /// Business outcome of the closure.
+        outcome: InvocationOutcome,
+        /// Virtual time spent queued before dispatch.
+        queued_ns: u64,
+        /// Virtual time the closure itself consumed.
+        service_ns: u64,
+    },
+    /// A batch of cluster configuration deltas was applied atomically
+    /// through `Cluster::reconfigure`.
+    Reconfigure {
+        /// Dotted paths of the fields that changed
+        /// (e.g. `validation.parallelism`).
+        changed: Vec<String>,
+    },
     /// The replication ship path retried a backup install after an
     /// injected write failure, with exponential backoff.
     ReplicaShipRetry {
@@ -475,6 +574,12 @@ impl TraceEvent {
             TraceEvent::VerdictCacheHit { .. } => "verdict_cache_hit",
             TraceEvent::VerdictCacheMiss { .. } => "verdict_cache_miss",
             TraceEvent::VerdictCacheInvalidate { .. } => "verdict_cache_invalidate",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RequestRejected { .. } => "request_rejected",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::RequestDeadlineMissed { .. } => "request_deadline_missed",
+            TraceEvent::RequestCompleted { .. } => "request_completed",
+            TraceEvent::Reconfigure { .. } => "reconfigure",
             TraceEvent::ReplicaShipRetry { .. } => "replica_ship_retry",
         }
     }

@@ -32,8 +32,8 @@ mod ring;
 
 pub use bus::{Telemetry, TraceSink};
 pub use event::{
-    CostBreakdown, InvocationOutcome, ThreatStorage, TraceEvent, TraceRecord, TransitionCause,
-    TriggerKind, TwoPcPhase,
+    AdmissionReject, CostBreakdown, InvocationOutcome, ShedCause, ThreatStorage, TraceEvent,
+    TraceRecord, TransitionCause, TriggerKind, TwoPcPhase,
 };
 pub use jsonl::JsonlExporter;
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

@@ -108,6 +108,15 @@ pub enum Error {
     },
     /// Serialization/persistence failure.
     Persistence(String),
+    /// The request plane refused admission: the node's token bucket
+    /// is empty or its queue for the request's priority class is full
+    /// and nothing lower-priority could be displaced.
+    Overloaded {
+        /// The node whose plane refused the request.
+        node: NodeId,
+        /// Queue depth across all classes at refusal time.
+        depth: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -166,6 +175,10 @@ impl fmt::Display for Error {
                 "node {node} is in a minority partition of {partition_size} node(s); writes refused"
             ),
             Error::Persistence(msg) => write!(f, "persistence error: {msg}"),
+            Error::Overloaded { node, depth } => write!(
+                f,
+                "node {node} is overloaded ({depth} request(s) queued); admission refused"
+            ),
         }
     }
 }

@@ -35,6 +35,7 @@ mod degree;
 mod error;
 mod id;
 mod mode;
+mod plane;
 mod time;
 mod value;
 mod version;
@@ -46,6 +47,7 @@ pub use id::{
     ClassName, ConstraintName, MethodName, MethodSignature, NodeId, ObjectId, TxId, ViewId,
 };
 pub use mode::SystemMode;
+pub use plane::PriorityClass;
 pub use time::{SimDuration, SimTime};
 pub use value::Value;
 pub use version::{Version, VersionInfo};

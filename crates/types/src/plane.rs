@@ -1,0 +1,85 @@
+//! Request-plane vocabulary: the priority classes of the admission
+//! and shedding pipeline in front of the cluster.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Priority class of a client request entering the request plane.
+///
+/// The plane schedules strictly by class (all queued `Critical` work
+/// runs before any `Normal` work, which runs before any `Background`
+/// work) and sheds in the opposite order when queues fill or the
+/// system degrades: `Background` first, `Critical` last.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum PriorityClass {
+    /// Latency-sensitive foreground work (e.g. interactive writes).
+    /// Shed only as a last resort.
+    Critical,
+    /// Ordinary request traffic. The default class.
+    #[default]
+    Normal,
+    /// Deferrable housekeeping (prefetch, analytics, repair scans).
+    /// First to be shed under pressure and paused outside healthy
+    /// mode when the plane is configured to do so.
+    Background,
+}
+
+impl PriorityClass {
+    /// All classes, highest priority first. The scheduler drains
+    /// queues in this order.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Critical,
+        PriorityClass::Normal,
+        PriorityClass::Background,
+    ];
+
+    /// Scheduling rank: 0 is served first, 2 last.
+    pub fn rank(self) -> usize {
+        match self {
+            PriorityClass::Critical => 0,
+            PriorityClass::Normal => 1,
+            PriorityClass::Background => 2,
+        }
+    }
+
+    /// Short, stable label used in telemetry metric keys
+    /// (`plane.<label>.*`) and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Critical => "critical",
+            PriorityClass::Normal => "normal",
+            PriorityClass::Background => "background",
+        }
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_orders_all() {
+        let ranks: Vec<usize> = PriorityClass::ALL.iter().map(|c| c.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ord_matches_rank() {
+        assert!(PriorityClass::Critical < PriorityClass::Normal);
+        assert!(PriorityClass::Normal < PriorityClass::Background);
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(PriorityClass::default(), PriorityClass::Normal);
+    }
+}

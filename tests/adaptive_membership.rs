@@ -42,11 +42,14 @@ fn app() -> AppDescriptor {
 /// admitted as degraded.
 fn build(nodes: u32, seed: u64) -> Cluster {
     ClusterBuilder::new(nodes, app())
-        .detector(DetectorKind::Adaptive)
-        .stabilizer_config(StabilizerConfig::default())
-        .detector_seed(seed)
-        .primary_policy(PrimaryPartitionPolicy::WeightedQuorum)
-        .minority_writes(MinorityWriteHandling::Degrade)
+        .configure(|c| {
+            c.membership.detector_enabled = true;
+            c.membership.detector = DetectorKind::Adaptive;
+            c.membership.stabilizer = StabilizerConfig::default();
+            c.membership.seed = seed;
+            c.membership.primary_policy = PrimaryPartitionPolicy::WeightedQuorum;
+            c.membership.minority_writes = MinorityWriteHandling::Degrade;
+        })
         .build()
         .expect("detector cluster")
 }

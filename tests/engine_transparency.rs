@@ -103,9 +103,11 @@ fn run_schedule(
     let buf = SharedBuf::default();
     let mut cluster = ClusterBuilder::new(3, app())
         .constraints(constraints())
-        .constraint_engine(engine)
-        .verdict_cache(cache)
-        .validation_parallelism(parallelism)
+        .configure(|c| {
+            c.validation.engine = engine;
+            c.validation.verdict_cache = cache;
+            c.validation.parallelism = parallelism;
+        })
         .build()
         .unwrap();
     cluster
@@ -244,8 +246,10 @@ fn verdict_cache_hits_invalidation_and_speedup() {
     let build = |cache: bool| {
         let mut cluster = ClusterBuilder::new(3, app())
             .constraints(constraints())
-            .constraint_engine(ConstraintEngine::Compiled)
-            .verdict_cache(cache)
+            .configure(|c| {
+                c.validation.engine = ConstraintEngine::Compiled;
+                c.validation.verdict_cache = cache;
+            })
             .build()
             .unwrap();
         for i in 0..4 {

@@ -226,7 +226,7 @@ fn full_history_policy_stores_every_occurrence() {
     ] {
         let mut cluster = ClusterBuilder::new(2, app())
             .constraint(bounded_constraint())
-            .threat_policy(policy)
+            .configure(|c| c.durability.threat_policy = policy)
             .build()
             .unwrap();
         let id = seed(&mut cluster);
@@ -323,9 +323,12 @@ fn detector_driven_partition_matches_scripted_behaviour() {
     };
     let mut cluster = ClusterBuilder::new(3, app())
         .constraint(bounded_constraint())
-        .detector(DetectorKind::Adaptive)
-        .stabilizer_config(stabilizer)
-        .detector_seed(7)
+        .configure(|c| {
+            c.membership.detector_enabled = true;
+            c.membership.detector = DetectorKind::Adaptive;
+            c.membership.stabilizer = stabilizer;
+            c.membership.seed = 7;
+        })
         .build()
         .unwrap();
     let id = seed(&mut cluster);

@@ -69,7 +69,7 @@ fn run_schedule(parallelism: ValidationParallelism, schedule: &[Step]) -> (Strin
     let buf = SharedBuf::default();
     let mut cluster = ClusterBuilder::new(3, app())
         .constraints(constraints())
-        .validation_parallelism(parallelism)
+        .configure(|c| c.validation.parallelism = parallelism)
         .build()
         .unwrap();
     cluster
@@ -126,6 +126,7 @@ fn run_chaos(parallelism: ValidationParallelism, seed: u64) -> (String, (u64, u6
         item_pool: 8,
         seed,
         parallelism,
+        ..ChaosConfig::default()
     })
     .unwrap();
     engine

@@ -3,8 +3,6 @@
 use dedisys_constraints::expr::{self, ExprConstraint};
 use dedisys_constraints::{MapAccess, ValidationContext};
 use dedisys_core::nodes;
-#[allow(deprecated)]
-use dedisys_core::partition_sensitive::partition_share;
 use dedisys_core::partition_sensitive::partition_share_weighted;
 use dedisys_gc::{FifoReceiver, FifoSender};
 use dedisys_gms::NodeWeights;
@@ -67,19 +65,6 @@ proptest! {
         let shares = w.apportion(amount, &[left, right]);
         prop_assert_eq!(shares.iter().sum::<u64>(), amount);
         prop_assert!(shares.iter().all(|&s| s <= amount));
-    }
-
-    /// The partition share of §5.5.2 never exceeds the remainder and
-    /// two complementary partitions never exceed it together.
-    #[test]
-    #[allow(deprecated)]
-    fn partition_share_is_conservative(remaining in 0i64..100_000, permille in 0u32..=1000) {
-        let f = f64::from(permille) / 1000.0;
-        let share = partition_share(remaining, f);
-        prop_assert!(share >= 0);
-        prop_assert!(share <= remaining.max(0));
-        let complement = partition_share(remaining, 1.0 - f);
-        prop_assert!(share + complement <= remaining.max(0));
     }
 
     /// Integer-rational shares (§5.5.2 bugfix): over *any* disjoint
@@ -271,6 +256,7 @@ mod reconciliation_accounting {
     };
     use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
     use dedisys_types::SimTime;
+    use proptest::test_runner::TestCaseError;
     use std::sync::Arc;
 
     fn app() -> AppDescriptor {
@@ -345,7 +331,7 @@ mod reconciliation_accounting {
             };
             let mut cluster = ClusterBuilder::new(3, app())
                 .constraint(constraint())
-                .reconcile_strategy(strategy)
+                .configure(|c| c.durability.reconcile_strategy = strategy)
                 .build()
                 .unwrap();
             let objects: Vec<ObjectId> = (0..4)

@@ -1,0 +1,351 @@
+//! The deterministic request plane end to end: strict priority
+//! dispatch, token-bucket admission, displacement at the queue bound,
+//! deadline shedding, mode-coupled backpressure, Refuse-mode
+//! rejection, byte-identical same-seed traces and the conservation
+//! invariant.
+
+use dedisys_core::{
+    nodes, ClusterBuilder, JsonlExporter, MinorityWriteHandling, PrimaryPartitionPolicy,
+    RequestPlane, RingRecorder,
+};
+use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
+use dedisys_types::{Error, NodeId, ObjectId, PriorityClass, SimDuration, Value};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("plane")
+        .with_class(ClassDescriptor::new("Item").with_field("v", Value::Int(0)))
+}
+
+fn cluster_with(f: impl FnOnce(&mut dedisys_core::ClusterConfig)) -> dedisys_core::Cluster {
+    let mut c = ClusterBuilder::new(3, app()).configure(f).build().unwrap();
+    for i in 0..3 {
+        let id = ObjectId::new("Item", format!("i{i}"));
+        c.run_tx(NodeId(0), move |c, tx| {
+            c.create(NodeId(0), tx, EntityState::for_class(c.app(), &id)?)
+        })
+        .unwrap();
+    }
+    c
+}
+
+/// A submitted write that records its own execution order.
+fn write_order(
+    order: &Arc<Mutex<Vec<u64>>>,
+    tag: u64,
+) -> impl for<'a> FnOnce(dedisys_core::Session<'a>) -> dedisys_types::Result<()> + 'static {
+    let order = Arc::clone(order);
+    move |mut session| {
+        order.lock().unwrap().push(tag);
+        let id = ObjectId::new("Item", "i0");
+        session.set_field(&id, "v", Value::Int(tag as i64))?;
+        session.commit()
+    }
+}
+
+#[test]
+fn dispatch_is_strict_priority_then_fifo() {
+    let mut c = cluster_with(|_| {});
+    let mut plane = RequestPlane::new();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    // Submission order deliberately inverts priority order.
+    for (tag, class) in [
+        (1, PriorityClass::Background),
+        (2, PriorityClass::Normal),
+        (3, PriorityClass::Critical),
+        (4, PriorityClass::Background),
+        (5, PriorityClass::Normal),
+        (6, PriorityClass::Critical),
+    ] {
+        plane
+            .submit_with_deadline(&mut c, NodeId(0), class, None, write_order(&order, tag))
+            .unwrap();
+    }
+    let report = plane.run_until_idle(&mut c);
+    assert_eq!(report.queued, 0);
+    assert_eq!(report.stats.total().completed, 6);
+    assert_eq!(
+        *order.lock().unwrap(),
+        vec![3, 6, 2, 5, 1, 4],
+        "Critical first, FIFO within each class"
+    );
+}
+
+#[test]
+fn empty_token_bucket_refuses_then_refills_on_the_virtual_clock() {
+    let mut c = cluster_with(|cfg| {
+        cfg.plane.burst = 2;
+        cfg.plane.refill_per_second = 1;
+    });
+    let mut plane = RequestPlane::new();
+    let ok = |_s: dedisys_core::Session<'_>| Ok(());
+    plane
+        .submit_with_deadline(&mut c, NodeId(0), PriorityClass::Normal, None, ok)
+        .unwrap();
+    plane
+        .submit_with_deadline(&mut c, NodeId(0), PriorityClass::Normal, None, ok)
+        .unwrap();
+    // The burst is spent; the third arrival is refused at admission.
+    let refused = plane.submit_with_deadline(&mut c, NodeId(0), PriorityClass::Normal, None, ok);
+    assert!(matches!(refused, Err(Error::Overloaded { .. })));
+    // Tokens accrue on the virtual clock: one second buys one token.
+    c.clock().advance(SimDuration::from_secs(1));
+    plane
+        .submit_with_deadline(&mut c, NodeId(0), PriorityClass::Normal, None, ok)
+        .unwrap();
+    assert_eq!(plane.stats().normal.rejected, 1);
+    assert_eq!(plane.stats().normal.admitted, 3);
+    // Other nodes hold their own buckets — NodeId(1) is unaffected.
+    plane
+        .submit_with_deadline(&mut c, NodeId(1), PriorityClass::Normal, None, ok)
+        .unwrap();
+    assert!(plane.conserves());
+}
+
+#[test]
+fn full_queue_displaces_lower_priority_or_rejects() {
+    let mut c = cluster_with(|cfg| {
+        cfg.plane.queue_capacity = 2;
+        cfg.plane.burst = 16;
+    });
+    let ring = RingRecorder::new(256);
+    c.telemetry().attach(Box::new(ring.clone()));
+    let mut plane = RequestPlane::new();
+    let ok = |_s: dedisys_core::Session<'_>| Ok(());
+    for _ in 0..2 {
+        plane
+            .submit_with_deadline(&mut c, NodeId(0), PriorityClass::Background, None, ok)
+            .unwrap();
+    }
+    // At the bound, a Critical arrival displaces the newest Background.
+    plane
+        .submit_with_deadline(&mut c, NodeId(0), PriorityClass::Critical, None, ok)
+        .unwrap();
+    assert_eq!(plane.stats().background.shed, 1);
+    assert_eq!(ring.records_of_kind("request_shed").len(), 1);
+    assert_eq!(plane.queue_depth(NodeId(0)), 2, "bound still respected");
+    // A Background arrival finds nothing lower to displace: rejected.
+    let refused =
+        plane.submit_with_deadline(&mut c, NodeId(0), PriorityClass::Background, None, ok);
+    assert!(matches!(refused, Err(Error::Overloaded { depth: 2, .. })));
+    assert_eq!(ring.records_of_kind("request_rejected").len(), 1);
+    assert!(plane.conserves());
+}
+
+#[test]
+fn expired_deadlines_are_shed_before_execution() {
+    let mut c = cluster_with(|_| {});
+    let mut plane = RequestPlane::new();
+    let ran = Arc::new(Mutex::new(false));
+    let flag = Arc::clone(&ran);
+    plane
+        .submit_with_deadline(
+            &mut c,
+            NodeId(0),
+            PriorityClass::Normal,
+            Some(SimDuration::from_millis(1)),
+            move |_s| {
+                *flag.lock().unwrap() = true;
+                Ok(())
+            },
+        )
+        .unwrap();
+    // The queue sits past the deadline before anything dispatches.
+    c.clock().advance(SimDuration::from_millis(5));
+    let report = plane.run_until_idle(&mut c);
+    assert!(!*ran.lock().unwrap(), "expired work must never execute");
+    assert_eq!(report.stats.normal.deadline_missed, 1);
+    assert_eq!(report.stats.normal.completed, 0);
+    assert!(plane.conserves());
+}
+
+#[test]
+fn degraded_mode_sheds_background_first() {
+    let mut c = cluster_with(|_| {});
+    let ring = RingRecorder::new(256);
+    c.telemetry().attach(Box::new(ring.clone()));
+    let mut plane = RequestPlane::new();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    plane
+        .submit(&mut c, NodeId(0), PriorityClass::Background, {
+            let order = Arc::clone(&order);
+            move |_s| {
+                order.lock().unwrap().push(1);
+                Ok(())
+            }
+        })
+        .unwrap();
+    plane
+        .submit(&mut c, NodeId(0), PriorityClass::Critical, write_order(&order, 2))
+        .unwrap();
+    c.partition(&[nodes![0], nodes![1, 2]]).unwrap();
+    let report = plane.run_until_idle(&mut c);
+    // Background was queued first but never ran; Critical completed.
+    assert_eq!(*order.lock().unwrap(), vec![2]);
+    assert_eq!(report.stats.background.shed, 1);
+    assert_eq!(report.stats.critical.completed, 1);
+    let shed = ring.records_of_kind("request_shed");
+    assert_eq!(shed.len(), 1);
+    assert!(plane.conserves());
+}
+
+#[test]
+fn background_survives_when_mode_shedding_is_disabled() {
+    let mut c = cluster_with(|cfg| {
+        cfg.plane.shed_background_when_degraded = false;
+    });
+    let mut plane = RequestPlane::new();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    plane
+        .submit(&mut c, NodeId(0), PriorityClass::Background, {
+            let order = Arc::clone(&order);
+            move |_s| {
+                order.lock().unwrap().push(1);
+                Ok(())
+            }
+        })
+        .unwrap();
+    c.partition(&[nodes![0], nodes![1, 2]]).unwrap();
+    let report = plane.run_until_idle(&mut c);
+    assert_eq!(*order.lock().unwrap(), vec![1]);
+    assert_eq!(report.stats.background.shed, 0);
+    assert_eq!(report.stats.background.completed, 1);
+}
+
+#[test]
+fn refuse_mode_minority_rejects_at_admission() {
+    let mut c = cluster_with(|cfg| {
+        cfg.membership.primary_policy = PrimaryPartitionPolicy::MajorityNodes;
+        cfg.membership.minority_writes = MinorityWriteHandling::Refuse;
+    });
+    let ring = RingRecorder::new(64);
+    c.telemetry().attach(Box::new(ring.clone()));
+    c.partition(&[nodes![0], nodes![1, 2]]).unwrap();
+    let mut plane = RequestPlane::new();
+    let ok = |_s: dedisys_core::Session<'_>| Ok(());
+    // The minority node is refused before anything is queued.
+    let refused = plane.submit(&mut c, NodeId(0), PriorityClass::Critical, ok);
+    assert!(matches!(
+        refused,
+        Err(Error::NotPrimary {
+            node: NodeId(0),
+            partition_size: 1,
+        })
+    ));
+    assert_eq!(plane.queue_depth(NodeId(0)), 0);
+    assert_eq!(ring.records_of_kind("request_rejected").len(), 1);
+    // The majority side still admits.
+    plane.submit(&mut c, NodeId(1), PriorityClass::Critical, ok).unwrap();
+    let report = plane.run_until_idle(&mut c);
+    assert_eq!(report.stats.critical.completed, 1);
+    assert_eq!(report.stats.critical.rejected, 1);
+    assert!(plane.conserves());
+}
+
+/// A `Write` sink into a shared buffer (see
+/// `tests/engine_transparency.rs`).
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One full mixed workload against a traced cluster; returns the raw
+/// JSONL bytes plus the serde-independent `(seq, at, kind)` stream.
+fn traced_workload() -> (Vec<u8>, Vec<(u64, u64, &'static str)>) {
+    let buf = SharedBuf::default();
+    let mut c = cluster_with(|cfg| {
+        cfg.plane.queue_capacity = 4;
+        cfg.plane.burst = 8;
+        cfg.plane.refill_per_second = 100;
+    });
+    c.telemetry()
+        .attach(Box::new(JsonlExporter::new(Box::new(buf.clone()))));
+    let ring = RingRecorder::new(8192);
+    c.telemetry().attach(Box::new(ring.clone()));
+    let mut plane = RequestPlane::new();
+    for round in 0u64..6 {
+        for (i, class) in PriorityClass::ALL.iter().enumerate() {
+            let node = NodeId(((round as u32) + i as u32) % 3);
+            let tag = round * 10 + i as u64;
+            let _ = plane.submit(&mut c, node, *class, move |mut session| {
+                let id = ObjectId::new("Item", format!("i{}", tag % 3));
+                session.set_field(&id, "v", Value::Int(tag as i64))?;
+                session.commit()
+            });
+        }
+        if round == 2 {
+            c.partition(&[nodes![0, 1], nodes![2]]).unwrap();
+        }
+        if round == 4 {
+            c.heal();
+        }
+        plane.run_until_idle(&mut c);
+        c.clock().advance(SimDuration::from_millis(20));
+    }
+    assert!(plane.conserves());
+    let stream: Vec<(u64, u64, &'static str)> = ring
+        .records()
+        .iter()
+        .map(|r| (r.seq, r.at.as_nanos(), r.event.kind()))
+        .collect();
+    drop(c);
+    let bytes = buf.0.lock().unwrap().clone();
+    (bytes, stream)
+}
+
+#[test]
+fn same_workload_produces_byte_identical_traces() {
+    let (bytes_a, stream_a) = traced_workload();
+    let (bytes_b, stream_b) = traced_workload();
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "JSONL trace must be deterministic");
+    assert!(
+        stream_a.iter().any(|(_, _, k)| *k == "request_admitted"),
+        "plane events present in the stream"
+    );
+    assert_eq!(stream_a, stream_b, "event stream must be deterministic");
+}
+
+#[test]
+fn conservation_and_metrics_under_mixed_load() {
+    let mut c = cluster_with(|cfg| {
+        cfg.plane.queue_capacity = 3;
+        cfg.plane.burst = 4;
+        cfg.plane.refill_per_second = 50;
+    });
+    let mut plane = RequestPlane::new();
+    let ok = |_s: dedisys_core::Session<'_>| Ok(());
+    let mut admitted = 0u64;
+    for _ in 0..40 {
+        for class in PriorityClass::ALL {
+            if plane.submit(&mut c, NodeId(0), class, ok).is_ok() {
+                admitted += 1;
+            }
+        }
+        c.clock().advance(SimDuration::from_millis(10));
+        plane.step(&mut c);
+    }
+    plane.run_until_idle(&mut c);
+    let t = plane.stats().total();
+    assert_eq!(t.offered, 120);
+    assert_eq!(t.admitted, admitted);
+    assert_eq!(t.offered, t.admitted + t.rejected);
+    assert_eq!(t.admitted, t.completed + t.shed + t.deadline_missed);
+    assert!(plane.conserves());
+    let snapshot = c.stats().telemetry;
+    assert_eq!(snapshot.counters["plane.admitted"], admitted);
+    assert_eq!(
+        snapshot.counters.get("plane.completed").copied().unwrap_or(0),
+        t.completed
+    );
+}
