@@ -36,6 +36,15 @@
 //! Critical p99 is strictly below the baseline's at the highest
 //! offered load in both modes.
 //!
+//! `repro shard-sweep [--seed S] [--nodes N] [--ticks T] [--sweep K]
+//! [--trace <path>]` runs the federation study: goodput and
+//! cross-shard abort rate per shard count, offered load and partition
+//! pattern, with cross-shard 2PC (including coordinator crashes
+//! recovered by presumed abort) under the `RejectDegraded` routing
+//! policy. Exits 1 if transferred value is not conserved across the
+//! shards in any cell. With `--sweep K` it runs the K-seed cross-shard
+//! chaos soak instead, exiting 1 on any invariant violation.
+//!
 //! `repro fig-par [--trace <path>]` runs the batch-validation pool
 //! study: the same validation-heavy workload under serial and
 //! `Threads(8)` evaluation, reporting the wall-clock speedup and
@@ -56,7 +65,9 @@
 //! object per line, stamped in virtual time only, so two runs of the
 //! same experiment write byte-identical files.
 
-use dedisys_bench::{ch2, ch5, chaos_soak, fig_compile, fig_par, flap_sweep, overload_sweep};
+use dedisys_bench::{
+    ch2, ch5, chaos_soak, fig_compile, fig_par, flap_sweep, overload_sweep, shard_sweep,
+};
 use std::path::PathBuf;
 
 const CH2: &[&str] = &[
@@ -92,8 +103,10 @@ fn usage() -> ! {
         "       repro flap-sweep [--seed S] [--nodes N] [--flaps F] [--sweep K] \
          [--trace <path>]"
     );
+    eprintln!("       repro overload-sweep [--seed S] [--nodes N] [--ticks T] [--trace <path>]");
     eprintln!(
-        "       repro overload-sweep [--seed S] [--nodes N] [--ticks T] [--trace <path>]"
+        "       repro shard-sweep [--seed S] [--nodes N] [--ticks T] [--sweep K] \
+         [--trace <path>]"
     );
     eprintln!("       repro fig-par [--trace <path>]");
     eprintln!("       repro fig-compile [--trace <path>]");
@@ -139,6 +152,10 @@ fn main() {
     }
     if args[0] == "overload-sweep" {
         overload_sweep_main(&args[1..], trace);
+        return;
+    }
+    if args[0] == "shard-sweep" {
+        shard_sweep_main(&args[1..], trace);
         return;
     }
     if args[0] == "fig-par" {
@@ -301,6 +318,52 @@ fn overload_sweep_main(args: &[String], trace: Option<PathBuf>) {
         std::fs::File::create(path).expect("create trace file");
     }
     overload_sweep::run(&opts);
+}
+
+fn shard_sweep_main(args: &[String], trace: Option<PathBuf>) {
+    let mut opts = shard_sweep::ShardSweepOptions {
+        trace,
+        ..shard_sweep::ShardSweepOptions::default()
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 2;
+        match args.get(*i - 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} needs a value");
+                usage();
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => opts.seed = value(&mut i, "--seed").parse().expect("--seed: u64"),
+            "--nodes" => opts.nodes = value(&mut i, "--nodes").parse().expect("--nodes: u32"),
+            "--ticks" => opts.ticks = value(&mut i, "--ticks").parse().expect("--ticks: u32"),
+            "--sweep" => {
+                opts.sweep = Some(value(&mut i, "--sweep").parse().expect("--sweep: u64"));
+            }
+            other => {
+                eprintln!("unknown shard-sweep flag '{other}'");
+                usage();
+            }
+        }
+    }
+    assert!(
+        opts.nodes >= 2,
+        "shard-sweep needs at least two nodes per shard"
+    );
+    assert!(opts.ticks >= 3, "shard-sweep needs at least three ticks");
+    if opts.sweep.is_some() && opts.trace.is_some() {
+        eprintln!("--trace applies to single runs only, not sweeps");
+        usage();
+    }
+    if let Some(path) = &opts.trace {
+        // Truncate once; every cell's exporter appends.
+        std::fs::File::create(path).expect("create trace file");
+    }
+    shard_sweep::run(&opts);
 }
 
 fn dispatch(id: &str) {

@@ -31,6 +31,11 @@
 //!   offered load and system mode, token-bucket admission + priority
 //!   shedding vs a no-admission FIFO baseline, with the
 //!   strictly-better-tail contract checked on every run.
+//! * [`shard_sweep`] — the federation study (`repro shard-sweep`):
+//!   goodput and cross-shard abort rate per shard count, offered load
+//!   and partition pattern under the `RejectDegraded` routing policy,
+//!   with the cross-shard value-conservation contract checked in
+//!   every cell; `--sweep K` runs the K-seed cross-shard chaos soak.
 
 pub mod ch2;
 pub mod ch5;
@@ -39,4 +44,5 @@ pub mod fig_compile;
 pub mod fig_par;
 pub mod flap_sweep;
 pub mod overload_sweep;
+pub mod shard_sweep;
 pub mod table;

@@ -128,7 +128,10 @@ fn build_cluster(opts: &OverloadOptions, degraded: bool) -> Cluster {
 /// `i`-th arrival of a run, derived from a splitmix-style hash of the
 /// seed so different seeds shuffle the interleaving.
 fn arrival(opts: &OverloadOptions, i: u64) -> (NodeId, PriorityClass, i64) {
-    let mut h = opts.seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut h = opts
+        .seed
+        .wrapping_add(i)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
     h ^= h >> 30;
     h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h ^= h >> 27;
@@ -156,7 +159,9 @@ fn request_work(
     move |mut session| {
         session.set_field(&id, "n", Value::Int(payload))?;
         session.commit()?;
-        sink.lock().unwrap().push((class, clock.now().since(submitted)));
+        sink.lock()
+            .unwrap()
+            .push((class, clock.now().since(submitted)));
         Ok(())
     }
 }

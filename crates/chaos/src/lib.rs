@@ -30,11 +30,15 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod federation;
 mod invariant;
 mod plan;
 mod rng;
 
 pub use engine::{ChaosConfig, ChaosEngine, ChaosReport};
+pub use federation::{
+    check_federation, FederationChaosConfig, FederationChaosEngine, FederationChaosReport,
+};
 pub use invariant::{InvariantChecker, InvariantViolation};
 pub use plan::{FaultPlan, FaultStep, PlannedFault};
 pub use rng::ChaosRng;

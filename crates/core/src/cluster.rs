@@ -20,13 +20,13 @@ use crate::session::Session;
 use crate::threat::{HistoryPolicy, ReconcileInstructions, StoreOutcome, ThreatStore};
 use crate::CostModel;
 use dedisys_constraints::{
-    ConstraintEngine, ConstraintKind, ConstraintRepository, LookupKind, LookupMode,
-    RegisteredConstraint, ValidationContext,
+    ConstraintEngine, ConstraintKind, ConstraintRepository, LookupKind, RegisteredConstraint,
+    ValidationContext,
 };
 use dedisys_gms::{
     AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault,
-    MembershipConfig as GmsMembershipConfig, MembershipEvent, MembershipSim,
-    MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig, ViewTracker,
+    MembershipConfig as GmsMembershipConfig, MembershipEvent, MembershipSim, MinorityWriteHandling,
+    NodeWeights, PrimaryPartitionPolicy, StabilizerConfig, ViewTracker,
 };
 use dedisys_net::{SimClock, Topology};
 use dedisys_object::{
@@ -142,6 +142,7 @@ pub struct ClusterBuilder {
     nodes: u32,
     protocol: ProtocolKind,
     weights: Option<NodeWeights>,
+    clock: Option<SimClock>,
     costs: CostModel,
     config: ClusterConfig,
     ccm_enabled: bool,
@@ -171,6 +172,7 @@ impl ClusterBuilder {
             nodes,
             protocol: ProtocolKind::PrimaryPerPartition,
             weights: None,
+            clock: None,
             costs: CostModel::default(),
             config: ClusterConfig::default(),
             ccm_enabled: true,
@@ -238,171 +240,12 @@ impl ClusterBuilder {
         self
     }
 
-    /// Selects the constraint-repository lookup mode.
-    #[deprecated(since = "0.3.0", note = "set `config().validation.lookup_mode` instead")]
-    pub fn lookup_mode(mut self, mode: LookupMode) -> Self {
-        self.config.validation.lookup_mode = mode;
-        self
-    }
-
-    /// Selects the threat-history policy (§5.5.1).
-    #[deprecated(since = "0.3.0", note = "set `config().durability.threat_policy` instead")]
-    pub fn threat_policy(mut self, policy: HistoryPolicy) -> Self {
-        self.config.durability.threat_policy = policy;
-        self
-    }
-
-    /// Selects immediate or deferred threat negotiation (§5.4).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().validation.negotiation_timing` instead"
-    )]
-    pub fn negotiation_timing(mut self, timing: NegotiationTiming) -> Self {
-        self.config.validation.negotiation_timing = timing;
-        self
-    }
-
-    /// Uses the reduced replica state history (latest state only).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().durability.reduced_replica_history` instead"
-    )]
-    pub fn reduced_replica_history(mut self, reduced: bool) -> Self {
-        self.config.durability.reduced_replica_history = reduced;
-        self
-    }
-
-    /// Selects how constraint reconciliation picks the threats to
-    /// re-evaluate (default: the object-indexed incremental engine).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().durability.reconcile_strategy` instead"
-    )]
-    pub fn reconcile_strategy(mut self, strategy: ReconcileStrategy) -> Self {
-        self.config.durability.reconcile_strategy = strategy;
-        self
-    }
-
-    /// Number of duplicate threat records tolerated before the
-    /// [`HistoryPolicy::Reduced`] store folds them (default: 32).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().durability.compaction_threshold` instead"
-    )]
-    pub fn compaction_threshold(mut self, records: usize) -> Self {
-        self.config.durability.compaction_threshold = records.max(1);
-        self
-    }
-
-    /// Selects how validation batches are evaluated (default:
-    /// [`ValidationParallelism::Serial`]). Parallel evaluation changes
-    /// wall-clock time only — virtual time, statistics and the
-    /// telemetry trace stay byte-identical to serial execution.
-    #[deprecated(since = "0.3.0", note = "set `config().validation.parallelism` instead")]
-    pub fn validation_parallelism(mut self, parallelism: ValidationParallelism) -> Self {
-        self.config.validation.parallelism = parallelism;
-        self
-    }
-
-    /// Selects the constraint evaluation engine (default:
-    /// [`ConstraintEngine::Interpreted`]). The engine is
-    /// verdict-transparent: satisfaction degrees, threats and
-    /// statistics counters are identical across engines — only the
-    /// virtual-time cost per check changes.
-    #[deprecated(since = "0.3.0", note = "set `config().validation.engine` instead")]
-    pub fn constraint_engine(mut self, engine: ConstraintEngine) -> Self {
-        self.config.validation.engine = engine;
-        self
-    }
-
-    /// Enables the per-node verdict cache (default: off). Cacheable
-    /// invariant verdicts are answered by a version-keyed probe
-    /// instead of re-evaluation; writes invalidate. Cache hits are
-    /// verdict-transparent — only the virtual-time charge differs.
-    #[deprecated(since = "0.3.0", note = "set `config().validation.verdict_cache` instead")]
-    pub fn verdict_cache(mut self, enabled: bool) -> Self {
-        self.config.validation.verdict_cache = enabled;
-        self
-    }
-
-    /// Enables the detector-driven membership pipeline with the given
-    /// failure-detector kind (default: disabled — tests script topology
-    /// changes explicitly via [`Cluster::partition`] and friends).
-    ///
-    /// With the pipeline enabled, physical link faults injected via
-    /// [`Cluster::drop_links`] / [`Cluster::set_link_fault`] are
-    /// *detected*: heartbeats are exchanged on the virtual clock,
-    /// suspicion is raised per the chosen detector, flap damping and
-    /// hysteresis stabilize the observed view, and the stabilized
-    /// partitioning is installed with a
-    /// `mode_transition { cause: detector }` event.
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().membership.detector_enabled` and `.detector` instead"
-    )]
-    pub fn detector(mut self, kind: DetectorKind) -> Self {
-        self.config.membership.detector_enabled = true;
-        self.config.membership.detector = kind;
-        self
-    }
-
-    /// Overrides the heartbeat/timeout configuration used by the
-    /// failure detector (default: [`DetectorConfig::default`]).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().membership.detector_config` instead"
-    )]
-    pub fn detector_config(mut self, config: DetectorConfig) -> Self {
-        self.config.membership.detector_config = config;
-        self
-    }
-
-    /// Overrides the φ-accrual parameters used when the detector kind
-    /// is [`DetectorKind::Adaptive`].
-    #[deprecated(since = "0.3.0", note = "set `config().membership.adaptive` instead")]
-    pub fn adaptive_config(mut self, config: AdaptiveConfig) -> Self {
-        self.config.membership.adaptive = config;
-        self
-    }
-
-    /// Overrides the hysteresis / flap-damping parameters of the view
-    /// stabilizer.
-    #[deprecated(since = "0.3.0", note = "set `config().membership.stabilizer` instead")]
-    pub fn stabilizer_config(mut self, config: StabilizerConfig) -> Self {
-        self.config.membership.stabilizer = config;
-        self
-    }
-
-    /// Seeds the deterministic loss/jitter draws of the membership
-    /// pipeline (default: 0). Same seed ⇒ byte-identical event stream.
-    #[deprecated(since = "0.3.0", note = "set `config().membership.seed` instead")]
-    pub fn detector_seed(mut self, seed: u64) -> Self {
-        self.config.membership.seed = seed;
-        self
-    }
-
-    /// Selects how a partition classifies itself primary (§5.5.2;
-    /// default: [`PrimaryPartitionPolicy::AlwaysPrimary`], the
-    /// historical behaviour where every partition accepts writes).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().membership.primary_policy` instead"
-    )]
-    pub fn primary_policy(mut self, policy: PrimaryPartitionPolicy) -> Self {
-        self.config.membership.primary_policy = policy;
-        self
-    }
-
-    /// Selects what happens to writes issued in a minority partition
-    /// under a quorum-based primary policy (default:
-    /// [`MinorityWriteHandling::Degrade`] — admitted as degraded-mode
-    /// writes that record consistency threats).
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().membership.minority_writes` instead"
-    )]
-    pub fn minority_writes(mut self, handling: MinorityWriteHandling) -> Self {
-        self.config.membership.minority_writes = handling;
+    /// Shares an externally owned virtual clock instead of creating a
+    /// fresh one — the federation layer builds every shard on one
+    /// clock so cross-shard timelines (2PC deadlines, detector
+    /// heartbeats, trace timestamps) stay mutually consistent.
+    pub fn clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
         self
     }
 
@@ -443,16 +286,6 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the application-wide default minimum satisfaction degree.
-    #[deprecated(
-        since = "0.3.0",
-        note = "set `config().validation.app_default_min_degree` instead"
-    )]
-    pub fn app_default_min_degree(mut self, degree: SatisfactionDegree) -> Self {
-        self.config.validation.app_default_min_degree = degree;
-        self
-    }
-
     /// Sets the default reconciliation instructions.
     pub fn default_instructions(mut self, instructions: ReconcileInstructions) -> Self {
         self.default_instructions = instructions;
@@ -483,7 +316,7 @@ impl ClusterBuilder {
                 self.nodes
             )));
         }
-        let clock = SimClock::new();
+        let clock = self.clock.unwrap_or_default();
         // One telemetry bus per cluster, stamped from the shared
         // virtual clock — every subsystem below observes the same
         // deterministic timeline.
@@ -1369,6 +1202,21 @@ impl Cluster {
             .collect();
         let resolved = due.len();
         for tx in due {
+            // The deadline path gets its own event before the shared
+            // presumed-abort resolution: operators alerting on abandoned
+            // coordinators need to tell "timed out waiting" apart from
+            // "resolved at coordinator restart" (both emit
+            // `two_pc_resolved`).
+            if let Some(info) = self.in_doubt.get(&tx) {
+                let coordinator = info.coordinator;
+                let overdue_ns = now.since(info.deadline).as_nanos();
+                self.telemetry.emit(|| TraceEvent::InDoubtTimeout {
+                    tx,
+                    coordinator,
+                    overdue_ns,
+                });
+                self.telemetry.metrics().incr("two_pc.in_doubt_timeout");
+            }
             self.presume_abort(tx);
         }
         resolved
@@ -1837,6 +1685,88 @@ impl Cluster {
             .committed_ids()
             .cloned()
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Object migration (federation state transfer)
+    // ------------------------------------------------------------------
+
+    /// The committed state of `id` on the first live replica — the
+    /// read half of a cross-cluster object migration. Returns `None`
+    /// when no live node holds a committed image.
+    pub fn export_object(&self, id: &ObjectId) -> Option<EntityState> {
+        self.topology
+            .nodes()
+            .filter(|n| !self.crashed.contains(n))
+            .find_map(|n| self.containers[n.index()].committed_entity(id).cloned())
+    }
+
+    /// Removes every live committed replica of `id` plus its placement
+    /// metadata — the source-side cleanup of a migration. Each removal
+    /// is journalled (a crashed source cannot resurrect the object),
+    /// and one WAL entry is charged per touched replica. Returns the
+    /// number of replicas dropped.
+    pub fn evict_object(&mut self, id: &ObjectId) -> u64 {
+        let nodes: Vec<NodeId> = self
+            .topology
+            .nodes()
+            .filter(|n| !self.crashed.contains(n))
+            .collect();
+        let mut dropped = 0u64;
+        for node in nodes {
+            if self.containers[node.index()].remove_committed(id).is_some() {
+                dropped += 1;
+            }
+        }
+        self.replication.unregister_object(id);
+        if dropped > 0 {
+            self.clock
+                .advance(self.costs.wal_replay_per_entry * dropped);
+            self.telemetry
+                .metrics()
+                .add("store.migrate.evicted", dropped);
+        }
+        dropped
+    }
+
+    /// Installs `entity` as committed state on every live node — the
+    /// write half of a migration, riding the same journalled install
+    /// path the WAL resync uses ([`Cluster::restart`]). The object is
+    /// registered with the live nodes as its replica set and the
+    /// lowest-numbered one as primary; `wal_replay_per_entry` is
+    /// charged per install. Returns the number of replicas written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when every node is crashed (nothing
+    /// can accept the transfer).
+    pub fn install_object(&mut self, entity: EntityState) -> Result<u64> {
+        let nodes: Vec<NodeId> = self
+            .topology
+            .nodes()
+            .filter(|n| !self.crashed.contains(n))
+            .collect();
+        let Some(primary) = nodes.first().copied() else {
+            return Err(Error::Config(format!(
+                "{}: no live node to install the migrated object on",
+                entity.id()
+            )));
+        };
+        let installed = nodes.len() as u64;
+        let id = entity.id().clone();
+        for node in &nodes {
+            self.containers[node.index()].install_committed(entity.clone());
+        }
+        if self.replication_enabled {
+            self.replication
+                .register_object(id, nodes.iter().copied(), primary)?;
+        }
+        self.clock
+            .advance(self.costs.wal_replay_per_entry * installed);
+        self.telemetry
+            .metrics()
+            .add("store.migrate.installed", installed);
+        Ok(installed)
     }
 
     // ------------------------------------------------------------------

@@ -91,7 +91,7 @@ pub use cluster::{
 pub use config::{
     ClusterConfig, DurabilityConfig, MembershipConfig, PlaneConfig, ValidationConfig,
 };
-pub use plane::{ClassCounters, PlaneReport, PlaneStats, RequestPlane};
+pub use plane::{ClassCounters, ModeGate, PlaneReport, PlaneStats, RequestPlane};
 pub use session::Session;
 
 /// Builds a `Vec<NodeId>` from integer literals — the terse spelling
@@ -117,8 +117,8 @@ pub use threat::{
 // Re-export the pieces users need to assemble a cluster.
 pub use dedisys_constraints::ConstraintEngine;
 pub use dedisys_gms::{
-    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipSim,
-    MinorityWriteHandling, NodeWeights, PrimaryPartitionPolicy, StabilizerConfig,
+    AdaptiveConfig, DetectorConfig, DetectorKind, LinkFault, MembershipSim, MinorityWriteHandling,
+    NodeWeights, PrimaryPartitionPolicy, StabilizerConfig,
 };
 pub use dedisys_replication::{
     HighestVersionWins, ProtocolKind, ReplicaConflict, ReplicaConsistencyHandler,

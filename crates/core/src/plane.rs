@@ -38,9 +38,7 @@ use crate::cluster::Cluster;
 use crate::config::PlaneConfig;
 use crate::session::Session;
 use dedisys_telemetry::{AdmissionReject, InvocationOutcome, ShedCause, TraceEvent};
-use dedisys_types::{
-    Error, NodeId, PriorityClass, Result, SimDuration, SimTime, SystemMode,
-};
+use dedisys_types::{Error, NodeId, PriorityClass, Result, SimDuration, SimTime, SystemMode};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -51,6 +49,22 @@ pub type RequestWork = Box<dyn for<'a> FnOnce(Session<'a>) -> Result<()>>;
 /// Token-bucket scaling: one token = `SCALE` bucket units, so refill
 /// arithmetic stays in integers (floats would break determinism).
 const SCALE: u64 = 1_000_000_000;
+
+/// How admission treats the cluster's [`SystemMode`]. A routing layer
+/// in front of several clusters (the federation router) sets
+/// [`ModeGate::RejectUnlessHealthy`] on a shard's plane so admission
+/// itself consults the target shard's mode instead of buffering work a
+/// degraded shard would serve with threatened consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ModeGate {
+    /// Mode never refuses at admission (the historical behaviour;
+    /// degraded modes still shed `Background` work at dispatch).
+    #[default]
+    Admit,
+    /// Any mode other than [`SystemMode::Healthy`] rejects at
+    /// admission with [`Error::ModeRestriction`].
+    RejectUnlessHealthy,
+}
 
 struct Queued {
     id: u64,
@@ -202,6 +216,7 @@ pub struct RequestPlane {
     next_id: u64,
     next_seq: u64,
     stats: PlaneStats,
+    mode_gate: ModeGate,
 }
 
 impl std::fmt::Debug for RequestPlane {
@@ -222,6 +237,17 @@ impl RequestPlane {
     /// The counters so far.
     pub fn stats(&self) -> &PlaneStats {
         &self.stats
+    }
+
+    /// Sets how admission treats the cluster's [`SystemMode`] (see
+    /// [`ModeGate`]; default [`ModeGate::Admit`]).
+    pub fn set_mode_gate(&mut self, gate: ModeGate) {
+        self.mode_gate = gate;
+    }
+
+    /// The current admission mode gate.
+    pub fn mode_gate(&self) -> ModeGate {
+        self.mode_gate
     }
 
     /// Requests currently queued on `node`.
@@ -280,6 +306,18 @@ impl RequestPlane {
         self.next_id += 1;
         let id = self.next_id;
         self.stats.class_mut(class).offered += 1;
+
+        // The mode gate rejects for a non-healthy cluster before any
+        // queueing — the federation router's RejectDegraded policy
+        // surfaces the target shard's mode at admission time.
+        if self.mode_gate == ModeGate::RejectUnlessHealthy && cluster.mode() != SystemMode::Healthy
+        {
+            let mode = cluster.mode();
+            self.reject(cluster, id, node, class, AdmissionReject::Degraded);
+            return Err(Error::ModeRestriction(format!(
+                "admission refused: target cluster is {mode:?}"
+            )));
+        }
 
         // Refuse-mode partitions reject at admission — the queue never
         // buffers work the write path is guaranteed to throw away.
@@ -342,9 +380,10 @@ impl RequestPlane {
         let telemetry = cluster.telemetry();
         telemetry.metrics().incr("plane.admitted");
         telemetry.metrics().incr(admit_metric(class));
-        telemetry
-            .metrics()
-            .observe(depth_metric(class), SimDuration::from_nanos(u64::from(depth)));
+        telemetry.metrics().observe(
+            depth_metric(class),
+            SimDuration::from_nanos(u64::from(depth)),
+        );
         telemetry.emit(|| TraceEvent::RequestAdmitted {
             request: id,
             node,
@@ -398,7 +437,11 @@ impl RequestPlane {
         let Some(((rank, _), node)) = next else {
             return false;
         };
-        let request = self.queues.get_mut(&node).expect("selected node exists").classes[rank]
+        let request = self
+            .queues
+            .get_mut(&node)
+            .expect("selected node exists")
+            .classes[rank]
             .pop_front()
             .expect("selected queue nonempty");
 

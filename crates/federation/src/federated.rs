@@ -1,0 +1,843 @@
+//! The federated cluster: N shards, one virtual clock, one router.
+//!
+//! See the crate docs for the subsystem overview. Everything here is
+//! synchronous and deterministic: shards are stepped by the caller,
+//! all randomness lives in the caller's seed, and the federation's own
+//! telemetry bus shares the one [`SimClock`] every shard runs on.
+
+use crate::shard_map::{MigrationStep, RebalancePlan, ShardId, ShardMap};
+use dedisys_core::{Cluster, ClusterBuilder, ClusterConfig, ModeGate, RequestPlane, Session};
+use dedisys_net::SimClock;
+use dedisys_object::{AppDescriptor, EntityState};
+use dedisys_telemetry::{Telemetry, TraceEvent};
+use dedisys_types::{
+    Error, NodeId, ObjectId, PriorityClass, Result, SimDuration, SimTime, SystemMode, TxId, Value,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the router treats a request whose target shard is not in
+/// [`SystemMode::Healthy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RoutingPolicy {
+    /// Consistency-first: refuse the request at the router (and at
+    /// each shard plane's admission, via
+    /// [`ModeGate::RejectUnlessHealthy`]) while the target shard is
+    /// degraded or reconciling.
+    RejectDegraded,
+    /// Availability-first: route regardless of the target shard's
+    /// mode; degraded shards serve with threatened consistency, as in
+    /// the single-cluster trade.
+    #[default]
+    RouteAnyway,
+    /// Availability plus routing stability: the first successful route
+    /// pins the object to its shard, and later requests follow the pin
+    /// even across map changes — until an explicit migration re-pins
+    /// it. Degraded pinned shards still serve.
+    Sticky,
+}
+
+/// The per-shard [`SystemMode`]s folded into one federation summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FederationMode {
+    /// Every shard is healthy.
+    Healthy,
+    /// Some shards are degraded or reconciling.
+    PartiallyDegraded {
+        /// Shards not in `Healthy` mode.
+        degraded: u32,
+        /// Total shards.
+        total: u32,
+    },
+    /// No shard is healthy.
+    Degraded,
+}
+
+/// Federation-level counters (also mirrored as `federation.*` metrics
+/// on the federation telemetry bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FederationStats {
+    /// Routing decisions taken (admitted or not).
+    pub routed: u64,
+    /// Requests refused by the `RejectDegraded` policy at the router.
+    pub rejected_degraded: u64,
+    /// Objects migrated between shards by explicit rebalances.
+    pub migrated: u64,
+    /// Cross-shard transactions begun.
+    pub xshard_begun: u64,
+    /// Cross-shard transactions that reached the prepared state on
+    /// every participant.
+    pub xshard_prepared: u64,
+    /// Cross-shard transactions committed on every participant.
+    pub xshard_committed: u64,
+    /// Cross-shard transactions aborted (explicitly, by a failed
+    /// prepare, or by presumed abort).
+    pub xshard_aborted: u64,
+    /// Aborts that came from federation-level presumed-abort recovery.
+    pub xshard_presumed_aborted: u64,
+}
+
+/// The recorded fate of one finished cross-shard transaction — the
+/// all-or-nothing evidence the chaos invariant checker audits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XShardOutcome {
+    /// Whether every participant committed (`false`: every participant
+    /// rolled back or is resolving to rollback via shard-level
+    /// presumed abort).
+    pub committed: bool,
+    /// Whether the abort came from federation-level presumed-abort
+    /// recovery after a coordinator crash.
+    pub presumed_abort: bool,
+    /// The per-shard participant transactions.
+    pub participants: Vec<(ShardId, TxId)>,
+}
+
+/// What [`FederatedCluster::rebalance`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Objects whose committed state moved.
+    pub migrated: u64,
+    /// Steps skipped because a participant shard had crashed nodes or
+    /// the object was locked — re-plan once the fault clears.
+    pub deferred: Vec<MigrationStep>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XState {
+    Staging,
+    Prepared,
+    /// Prepared everywhere, then the federation coordinator crashed:
+    /// waiting for the presumed-abort deadline.
+    InDoubt {
+        deadline: SimTime,
+    },
+}
+
+#[derive(Debug)]
+struct OpenXTx {
+    state: XState,
+    /// Shard → (coordinator node, participant transaction).
+    participants: BTreeMap<u32, (NodeId, TxId)>,
+}
+
+/// A shard-configuration hook applied to every shard before build.
+type ConfigureHook = Box<dyn Fn(&mut ClusterConfig)>;
+
+/// Builder for [`FederatedCluster`].
+pub struct FederationBuilder {
+    shards: u32,
+    nodes_per_shard: u32,
+    app: AppDescriptor,
+    vnodes: u32,
+    seed: u64,
+    policy: RoutingPolicy,
+    xshard_timeout: SimDuration,
+    configure: Option<ConfigureHook>,
+}
+
+impl FederationBuilder {
+    /// Virtual nodes per shard on the consistent-hash ring
+    /// (default: 32).
+    pub fn vnodes(mut self, vnodes: u32) -> Self {
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Seeds the ring hash (default: 0). Same seed ⇒ identical
+    /// placement.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the degraded-shard routing policy (default:
+    /// [`RoutingPolicy::RouteAnyway`]).
+    pub fn policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Presumed-abort deadline for cross-shard transactions whose
+    /// federation coordinator crashed (default: 50 virtual ms).
+    pub fn xshard_timeout(mut self, timeout: SimDuration) -> Self {
+        self.xshard_timeout = timeout;
+        self
+    }
+
+    /// Applies `f` to every shard's [`ClusterConfig`] before build.
+    pub fn configure(mut self, f: impl Fn(&mut ClusterConfig) + 'static) -> Self {
+        self.configure = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the federation: every shard on one shared clock, one
+    /// request plane per shard, and the federation telemetry bus on
+    /// the same clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for zero shards/nodes or an invalid
+    /// shard config.
+    pub fn build(self) -> Result<FederatedCluster> {
+        let map = ShardMap::new(self.shards, self.vnodes, self.seed)?;
+        let clock = SimClock::new();
+        let telemetry = Telemetry::new(clock.clone());
+        let mut shards = Vec::with_capacity(self.shards as usize);
+        let mut planes = Vec::with_capacity(self.shards as usize);
+        for shard in 0..self.shards {
+            let mut builder = ClusterBuilder::new(self.nodes_per_shard, self.app.clone())
+                .clock(clock.clone())
+                .configure(|c| {
+                    // Distinct per-shard membership seeds keep detector
+                    // draws independent while still derived from the
+                    // one federation seed.
+                    c.membership.seed = self.seed.wrapping_add(u64::from(shard));
+                });
+            if let Some(f) = &self.configure {
+                builder = builder.configure(f);
+            }
+            shards.push(builder.build()?);
+            let mut plane = RequestPlane::new();
+            if self.policy == RoutingPolicy::RejectDegraded {
+                plane.set_mode_gate(ModeGate::RejectUnlessHealthy);
+            }
+            planes.push(plane);
+        }
+        Ok(FederatedCluster {
+            clock,
+            telemetry,
+            shards,
+            planes,
+            map,
+            policy: self.policy,
+            sticky: BTreeMap::new(),
+            next_xtx: 0,
+            open_x: BTreeMap::new(),
+            resolved_x: BTreeMap::new(),
+            stats: FederationStats::default(),
+            xshard_timeout: self.xshard_timeout,
+        })
+    }
+}
+
+/// N independent [`Cluster`] shards on one shared virtual clock, with
+/// consistent-hash routing, explicit rebalancing, cross-shard 2PC and
+/// mode-aware admission. See the crate docs.
+pub struct FederatedCluster {
+    clock: SimClock,
+    telemetry: Telemetry,
+    shards: Vec<Cluster>,
+    planes: Vec<RequestPlane>,
+    map: ShardMap,
+    policy: RoutingPolicy,
+    sticky: BTreeMap<ObjectId, ShardId>,
+    next_xtx: u64,
+    open_x: BTreeMap<u64, OpenXTx>,
+    resolved_x: BTreeMap<u64, XShardOutcome>,
+    stats: FederationStats,
+    xshard_timeout: SimDuration,
+}
+
+impl std::fmt::Debug for FederatedCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedCluster")
+            .field("shards", &self.shards.len())
+            .field("mode", &self.mode())
+            .field("open_xshard", &self.open_x.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FederatedCluster {
+    /// Starts a builder for `shards` shards of `nodes_per_shard` nodes
+    /// each, every shard running `app`.
+    pub fn builder(shards: u32, nodes_per_shard: u32, app: AppDescriptor) -> FederationBuilder {
+        FederationBuilder {
+            shards,
+            nodes_per_shard,
+            app,
+            vnodes: 32,
+            seed: 0,
+            policy: RoutingPolicy::default(),
+            xshard_timeout: SimDuration::from_millis(50),
+            configure: None,
+        }
+    }
+
+    /// The shared virtual clock every shard runs on.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The federation-level telemetry bus (routing, migration and
+    /// cross-shard events; each shard keeps its own bus).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The current shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The degraded-shard routing policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Read access to one shard.
+    pub fn shard(&self, shard: ShardId) -> &Cluster {
+        &self.shards[shard.index()]
+    }
+
+    /// Write access to one shard (fault injection, direct operations).
+    pub fn shard_mut(&mut self, shard: ShardId) -> &mut Cluster {
+        &mut self.shards[shard.index()]
+    }
+
+    /// Read access to one shard's request plane.
+    pub fn plane(&self, shard: ShardId) -> &RequestPlane {
+        &self.planes[shard.index()]
+    }
+
+    /// Federation-level counters.
+    pub fn stats(&self) -> &FederationStats {
+        &self.stats
+    }
+
+    /// Outcomes of finished cross-shard transactions, by federation
+    /// transaction id.
+    pub fn xshard_outcomes(&self) -> &BTreeMap<u64, XShardOutcome> {
+        &self.resolved_x
+    }
+
+    /// Cross-shard transactions still open (staging or prepared,
+    /// including in-doubt ones).
+    pub fn open_xshard_count(&self) -> usize {
+        self.open_x.len()
+    }
+
+    /// Cross-shard transactions waiting on the federation-level
+    /// presumed-abort deadline.
+    pub fn xshard_in_doubt_count(&self) -> usize {
+        self.open_x
+            .values()
+            .filter(|x| matches!(x.state, XState::InDoubt { .. }))
+            .count()
+    }
+
+    /// The per-shard modes folded into one summary.
+    pub fn mode(&self) -> FederationMode {
+        let total = self.shards.len() as u32;
+        let degraded = self
+            .shards
+            .iter()
+            .filter(|s| s.mode() != SystemMode::Healthy)
+            .count() as u32;
+        match degraded {
+            0 => FederationMode::Healthy,
+            d if d == total => FederationMode::Degraded,
+            d => FederationMode::PartiallyDegraded { degraded: d, total },
+        }
+    }
+
+    /// The node a shard-level operation executes on: the shard's first
+    /// live node.
+    pub fn coordinator_node(&self, shard: ShardId) -> Option<NodeId> {
+        let cluster = &self.shards[shard.index()];
+        cluster.topology().nodes().find(|n| !cluster.is_crashed(*n))
+    }
+
+    /// Routes `id` under the current map and policy, emitting a
+    /// `shard_routed` event and bumping `federation.routed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ModeRestriction`] when the policy is
+    /// [`RoutingPolicy::RejectDegraded`] and the target shard is not
+    /// healthy.
+    pub fn route(&mut self, id: &ObjectId) -> Result<ShardId> {
+        let shard = match self.policy {
+            RoutingPolicy::Sticky => self
+                .sticky
+                .get(id)
+                .copied()
+                .unwrap_or_else(|| self.map.shard_of(id)),
+            _ => self.map.shard_of(id),
+        };
+        let mode = self.shards[shard.index()].mode();
+        let admitted =
+            !(self.policy == RoutingPolicy::RejectDegraded && mode != SystemMode::Healthy);
+        self.stats.routed += 1;
+        self.telemetry.metrics().incr("federation.routed");
+        let object = id.to_string();
+        self.telemetry.emit(move || TraceEvent::ShardRouted {
+            object,
+            shard: shard.0,
+            mode,
+            admitted,
+        });
+        if !admitted {
+            self.stats.rejected_degraded += 1;
+            self.telemetry
+                .metrics()
+                .incr("federation.rejected_degraded");
+            return Err(Error::ModeRestriction(format!(
+                "routing refused: shard {shard} is {mode:?}"
+            )));
+        }
+        if self.policy == RoutingPolicy::Sticky {
+            self.sticky.insert(id.clone(), shard);
+        }
+        Ok(shard)
+    }
+
+    /// Creates `id` (class defaults) on its owning shard, bypassing
+    /// the degraded-mode policy — placement follows the map even while
+    /// a shard is degraded. Returns the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard-level create errors.
+    pub fn create(&mut self, id: &ObjectId) -> Result<ShardId> {
+        let shard = match self.policy {
+            RoutingPolicy::Sticky => self
+                .sticky
+                .get(id)
+                .copied()
+                .unwrap_or_else(|| self.map.shard_of(id)),
+            _ => self.map.shard_of(id),
+        };
+        let node = self
+            .coordinator_node(shard)
+            .ok_or(Error::Config(format!("{shard}: every node crashed")))?;
+        let cluster = &mut self.shards[shard.index()];
+        let id = id.clone();
+        cluster.run_tx(node, move |c, tx| {
+            let entity = EntityState::for_class(c.app(), &id)?;
+            c.create(node, tx, entity)
+        })?;
+        Ok(shard)
+    }
+
+    /// Runs `f` in a fresh single-shard transaction on `id`'s shard
+    /// (routed, so the degraded-mode policy applies).
+    ///
+    /// # Errors
+    ///
+    /// Routing refusals ([`Error::ModeRestriction`]) and shard-level
+    /// transaction errors.
+    pub fn run_routed<T>(
+        &mut self,
+        id: &ObjectId,
+        f: impl for<'a> FnOnce(Session<'a>) -> Result<T>,
+    ) -> Result<T> {
+        let shard = self.route(id)?;
+        let node = self
+            .coordinator_node(shard)
+            .ok_or(Error::Config(format!("{shard}: every node crashed")))?;
+        f(self.shards[shard.index()].session(node))
+    }
+
+    /// Submits `work` for `id` through the target shard's request
+    /// plane under `class` — the routed admission path. The plane's
+    /// [`ModeGate`] mirrors the federation policy, so admission itself
+    /// consults the target shard's mode.
+    ///
+    /// # Errors
+    ///
+    /// Routing refusals plus every [`RequestPlane::submit`] error.
+    pub fn submit(
+        &mut self,
+        id: &ObjectId,
+        class: PriorityClass,
+        work: impl for<'a> FnOnce(Session<'a>) -> Result<()> + 'static,
+    ) -> Result<u64> {
+        let shard = self.route(id)?;
+        let node = self
+            .coordinator_node(shard)
+            .ok_or(Error::Config(format!("{shard}: every node crashed")))?;
+        self.planes[shard.index()].submit(&mut self.shards[shard.index()], node, class, work)
+    }
+
+    /// Takes one dispatch step across the federation: shards are
+    /// stepped in shard order, one plane action each. Returns `false`
+    /// once every plane is idle.
+    pub fn step(&mut self) -> bool {
+        let mut progressed = false;
+        for i in 0..self.shards.len() {
+            progressed |= self.planes[i].step(&mut self.shards[i]);
+        }
+        progressed
+    }
+
+    /// Drains every shard's plane. Returns the number of federation
+    /// steps taken.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-shard transactions
+    // ------------------------------------------------------------------
+
+    /// Opens a cross-shard transaction and returns its federation-wide
+    /// id. Participants join lazily as objects are staged.
+    pub fn xshard_begin(&mut self) -> u64 {
+        self.next_xtx += 1;
+        let xtx = self.next_xtx;
+        self.open_x.insert(
+            xtx,
+            OpenXTx {
+                state: XState::Staging,
+                participants: BTreeMap::new(),
+            },
+        );
+        self.stats.xshard_begun += 1;
+        self.telemetry.metrics().incr("federation.xshard.begun");
+        xtx
+    }
+
+    /// Stages one write (`id.field = value`) inside `xtx`, routing the
+    /// object and lazily opening a participant transaction on its
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Routing refusals, unknown/finished `xtx`
+    /// ([`Error::NoSuchTransaction`] with the participant id 0), and
+    /// shard-level invocation errors (the caller should
+    /// [`FederatedCluster::xshard_abort`] on failure).
+    pub fn xshard_set_field(
+        &mut self,
+        xtx: u64,
+        id: &ObjectId,
+        field: &str,
+        value: Value,
+    ) -> Result<ShardId> {
+        let shard = self.route(id)?;
+        let x = self
+            .open_x
+            .get(&xtx)
+            .filter(|x| x.state == XState::Staging)
+            .ok_or(Error::Config(format!("xshard tx {xtx} is not staging")))?;
+        let (node, tx) = match x.participants.get(&shard.0) {
+            Some(&(node, tx)) => (node, tx),
+            None => {
+                let node = self
+                    .coordinator_node(shard)
+                    .ok_or(Error::Config(format!("{shard}: every node crashed")))?;
+                let tx = self.shards[shard.index()].session(node).detach();
+                let x = self.open_x.get_mut(&xtx).expect("xtx just read");
+                x.participants.insert(shard.0, (node, tx));
+                (node, tx)
+            }
+        };
+        self.shards[shard.index()].set_field(node, tx, id, field, value)?;
+        Ok(shard)
+    }
+
+    /// Phase 1 across shards: prepares every participant. On any
+    /// refusal the already-prepared participants are rolled back and
+    /// the transaction resolves aborted.
+    ///
+    /// # Errors
+    ///
+    /// The participant's prepare error, after the all-shards rollback.
+    pub fn xshard_prepare(&mut self, xtx: u64) -> Result<()> {
+        let x = self
+            .open_x
+            .get(&xtx)
+            .filter(|x| x.state == XState::Staging)
+            .ok_or(Error::Config(format!("xshard tx {xtx} is not staging")))?;
+        let participants: Vec<(u32, NodeId, TxId)> = x
+            .participants
+            .iter()
+            .map(|(s, &(node, tx))| (*s, node, tx))
+            .collect();
+        for (shard, _, tx) in &participants {
+            if let Err(e) = self.shards[*shard as usize].prepare(*tx) {
+                // One no vote aborts the whole transaction. The
+                // refusing participant is already rolled back by
+                // `Cluster::prepare`; unwind the rest. (Compare by
+                // shard, not `TxId` — each shard numbers its own
+                // transactions, so ids collide across shards.)
+                for (other, _, other_tx) in &participants {
+                    if other != shard {
+                        let _ = self.shards[*other as usize].rollback(*other_tx);
+                    }
+                }
+                self.finish_xshard(xtx, false, false);
+                return Err(e);
+            }
+        }
+        let x = self.open_x.get_mut(&xtx).expect("xtx just read");
+        x.state = XState::Prepared;
+        self.stats.xshard_prepared += 1;
+        self.telemetry.metrics().incr("federation.xshard.prepared");
+        let shards: Vec<u32> = participants.iter().map(|(s, _, _)| *s).collect();
+        self.telemetry
+            .emit(move || TraceEvent::XShardPrepared { xtx, shards });
+        Ok(())
+    }
+
+    /// Phase 2 across shards: commits every participant. The decision
+    /// point re-checks that every participant is still committable —
+    /// if a shard-level coordinator crashed after phase 1 and dragged
+    /// its participant into the shard's in-doubt registry, the
+    /// federation aborts everywhere instead (the in-doubt participant
+    /// resolves to the same abort by shard-level presumed abort).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TxInDoubt`] when the decision point had to abort;
+    /// participant commit errors otherwise.
+    pub fn xshard_commit(&mut self, xtx: u64) -> Result<()> {
+        let x = self
+            .open_x
+            .get(&xtx)
+            .filter(|x| x.state == XState::Prepared)
+            .ok_or(Error::Config(format!("xshard tx {xtx} is not prepared")))?;
+        let participants: Vec<(u32, TxId)> = x
+            .participants
+            .iter()
+            .map(|(s, &(_, tx))| (*s, tx))
+            .collect();
+        if let Some(&(shard, tx)) = participants.iter().find(|(s, tx)| {
+            self.shards[*s as usize]
+                .in_doubt_txs()
+                .any(|(t, _)| t == *tx)
+        }) {
+            for (other, other_tx) in &participants {
+                if *other != shard {
+                    let _ = self.shards[*other as usize].rollback(*other_tx);
+                }
+            }
+            self.finish_xshard(xtx, false, false);
+            return Err(Error::TxInDoubt(tx));
+        }
+        let mut first_err = None;
+        for (shard, tx) in &participants {
+            if let Err(e) = self.shards[*shard as usize].commit(*tx) {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.finish_xshard(xtx, true, false);
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Explicitly aborts `xtx`, rolling back every participant.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or already-finished `xtx`.
+    pub fn xshard_abort(&mut self, xtx: u64) -> Result<()> {
+        let x = self
+            .open_x
+            .get(&xtx)
+            .ok_or(Error::Config(format!("xshard tx {xtx} is not open")))?;
+        let participants: Vec<(u32, TxId)> = x
+            .participants
+            .iter()
+            .map(|(s, &(_, tx))| (*s, tx))
+            .collect();
+        for (shard, tx) in &participants {
+            let _ = self.shards[*shard as usize].rollback(*tx);
+        }
+        self.finish_xshard(xtx, false, false);
+        Ok(())
+    }
+
+    /// Simulates the federation coordinator crashing after phase 1:
+    /// `xtx` must be prepared everywhere; its participants stay
+    /// prepared (locks held) until
+    /// [`FederatedCluster::resolve_xshard_in_doubt`] passes the
+    /// presumed-abort deadline.
+    ///
+    /// # Errors
+    ///
+    /// `xtx` is not in the prepared state.
+    pub fn crash_coordinator(&mut self, xtx: u64) -> Result<()> {
+        let deadline = self.clock.now() + self.xshard_timeout;
+        let x = self
+            .open_x
+            .get_mut(&xtx)
+            .filter(|x| x.state == XState::Prepared)
+            .ok_or(Error::Config(format!("xshard tx {xtx} is not prepared")))?;
+        x.state = XState::InDoubt { deadline };
+        self.telemetry.metrics().incr("federation.xshard.in_doubt");
+        Ok(())
+    }
+
+    /// Runs the federation-level in-doubt recovery: every coordinator-
+    /// crashed cross-shard transaction whose deadline has passed rolls
+    /// back on all participants (presumed abort, mirroring the
+    /// shard-level protocol). Returns the number resolved.
+    pub fn resolve_xshard_in_doubt(&mut self) -> usize {
+        let now = self.clock.now();
+        let due: Vec<u64> = self
+            .open_x
+            .iter()
+            .filter(|(_, x)| matches!(x.state, XState::InDoubt { deadline } if deadline <= now))
+            .map(|(xtx, _)| *xtx)
+            .collect();
+        let resolved = due.len();
+        for xtx in due {
+            let x = self.open_x.get(&xtx).expect("due xtx is open");
+            let participants: Vec<(u32, TxId)> = x
+                .participants
+                .iter()
+                .map(|(s, &(_, tx))| (*s, tx))
+                .collect();
+            for (shard, tx) in &participants {
+                // A participant may itself be shard-level in-doubt
+                // (its node coordinator crashed too); that path
+                // presumes abort on its own, to the same outcome.
+                let _ = self.shards[*shard as usize].rollback(*tx);
+            }
+            self.finish_xshard(xtx, false, true);
+        }
+        resolved
+    }
+
+    fn finish_xshard(&mut self, xtx: u64, committed: bool, presumed_abort: bool) {
+        let Some(x) = self.open_x.remove(&xtx) else {
+            return;
+        };
+        let participants: Vec<(ShardId, TxId)> = x
+            .participants
+            .iter()
+            .map(|(s, &(_, tx))| (ShardId(*s), tx))
+            .collect();
+        if committed {
+            self.stats.xshard_committed += 1;
+            self.telemetry.metrics().incr("federation.xshard.committed");
+        } else {
+            self.stats.xshard_aborted += 1;
+            self.telemetry.metrics().incr("federation.xshard.aborted");
+            if presumed_abort {
+                self.stats.xshard_presumed_aborted += 1;
+                self.telemetry
+                    .metrics()
+                    .incr("federation.xshard.presumed_abort");
+            }
+        }
+        self.resolved_x.insert(
+            xtx,
+            XShardOutcome {
+                committed,
+                presumed_abort,
+                participants,
+            },
+        );
+        self.telemetry.emit(move || TraceEvent::XShardResolved {
+            xtx,
+            committed,
+            presumed_abort,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    /// Every committed object across all shards, in id order.
+    pub fn committed_objects(&self) -> Vec<ObjectId> {
+        let mut ids = BTreeSet::new();
+        for (i, cluster) in self.shards.iter().enumerate() {
+            if let Some(node) = self.coordinator_node(ShardId(i as u32)) {
+                ids.extend(cluster.committed_ids_on(node));
+            }
+        }
+        ids.into_iter().collect()
+    }
+
+    /// Plans the migration to a ring over `shards` shards (same seed
+    /// and virtual-node count) across the current committed object
+    /// population.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardMap::with_shards`].
+    pub fn plan_rebalance_to(&self, shards: u32) -> Result<RebalancePlan> {
+        let target = self.map.with_shards(shards)?;
+        let keys = self.committed_objects();
+        Ok(self.map.plan_rebalance(&target, &keys))
+    }
+
+    /// Executes a rebalance plan: per step, the object's committed
+    /// state is exported from the source shard, evicted there, and
+    /// installed on the target shard over the journalled WAL path,
+    /// emitting `shard_migrated`. Steps whose source or target shard
+    /// currently has crashed nodes — or whose object is locked — are
+    /// deferred, not failed. The target map is installed afterwards.
+    ///
+    /// # Errors
+    ///
+    /// A plan targeting more shards than the federation hosts.
+    pub fn rebalance(&mut self, plan: RebalancePlan) -> Result<MigrationReport> {
+        if plan.target.shards() > self.shard_count() {
+            return Err(Error::Config(format!(
+                "plan targets {} shards, federation has {}",
+                plan.target.shards(),
+                self.shard_count()
+            )));
+        }
+        let mut migrated = 0u64;
+        let mut deferred = Vec::new();
+        for step in plan.steps {
+            let from = &self.shards[step.from.index()];
+            let to = &self.shards[step.to.index()];
+            let faulted = from.crashed_nodes().next().is_some()
+                || to.crashed_nodes().next().is_some()
+                || from.held_locks().iter().any(|(id, _)| *id == step.object);
+            if faulted {
+                deferred.push(step);
+                continue;
+            }
+            let Some(entity) = self.shards[step.from.index()].export_object(&step.object) else {
+                // Nothing committed under this id (deleted since the
+                // plan was made) — the map flip alone suffices.
+                continue;
+            };
+            self.shards[step.from.index()].evict_object(&step.object);
+            let replicas = self.shards[step.to.index()].install_object(entity)?;
+            migrated += 1;
+            self.stats.migrated += 1;
+            self.telemetry.metrics().incr("federation.migrated");
+            if self.policy == RoutingPolicy::Sticky {
+                self.sticky.insert(step.object.clone(), step.to);
+            }
+            let object = step.object.to_string();
+            let (f, t) = (step.from.0, step.to.0);
+            self.telemetry.emit(move || TraceEvent::ShardMigrated {
+                object,
+                from: f,
+                to: t,
+                replicas,
+            });
+        }
+        self.map = plan.target;
+        Ok(MigrationReport { migrated, deferred })
+    }
+}

@@ -1,0 +1,48 @@
+//! # dedisys-federation
+//!
+//! The sharded federation layer: many independent [`Cluster`]s
+//! ("shards") behind one deterministic router, scaling the paper's
+//! per-constraint availability/consistency trade to deployments where
+//! partitions and degraded modes differ *per shard*.
+//!
+//! * [`ShardMap`] — a deterministic consistent-hash ring with virtual
+//!   nodes. `shard_of(ObjectId)` is total and seed-stable; explicit
+//!   [`ShardMap::plan_rebalance`] produces typed [`MigrationStep`]s
+//!   that [`FederatedCluster::rebalance`] executes over the core
+//!   WAL/state-transfer path.
+//! * [`FederatedCluster`] — N shards built on **one shared virtual
+//!   clock and seed**, so cross-shard timelines (2PC deadlines,
+//!   detector heartbeats, trace timestamps) stay mutually consistent
+//!   and every run is byte-deterministic.
+//! * Cross-shard transactions — a federation coordinator drives the
+//!   per-shard `prepare`/in-doubt/presumed-abort machinery across
+//!   shards (`xshard_begin` → stage → `xshard_prepare` →
+//!   `xshard_commit`), with coordinator-crash recovery
+//!   ([`FederatedCluster::crash_coordinator`] +
+//!   [`FederatedCluster::resolve_xshard_in_doubt`]) and an
+//!   all-or-nothing outcome record per transaction.
+//! * Federated modes — per-shard [`SystemMode`] summarized as a
+//!   [`FederationMode`], with a [`RoutingPolicy`]
+//!   (`RejectDegraded` / `RouteAnyway` / `Sticky`) applied at routing
+//!   time and pushed into each shard's
+//!   [`RequestPlane`](dedisys_core::RequestPlane) admission via
+//!   [`ModeGate`](dedisys_core::ModeGate).
+//!
+//! Telemetry: `shard_routed`, `shard_migrated`, `xshard_prepared` and
+//! `xshard_resolved` events on the federation bus plus `federation.*`
+//! metrics; `repro shard-sweep` drives the goodput / cross-shard
+//! abort-rate table.
+
+mod federated;
+mod shard_map;
+
+pub use federated::{
+    FederatedCluster, FederationBuilder, FederationMode, FederationStats, MigrationReport,
+    RoutingPolicy, XShardOutcome,
+};
+pub use shard_map::{MigrationStep, RebalancePlan, ShardId, ShardMap};
+
+// Re-exported so federation users need not depend on dedisys-core for
+// the common construction path.
+pub use dedisys_core::Cluster;
+pub use dedisys_types::SystemMode;

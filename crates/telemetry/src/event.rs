@@ -118,6 +118,9 @@ pub enum AdmissionReject {
     /// The node sits in a non-primary partition under a
     /// refuse-minority-writes policy.
     NotPrimary,
+    /// The plane's mode gate refused admission because the target
+    /// cluster (shard) is not in `Healthy` mode.
+    Degraded,
 }
 
 /// Why an *admitted* request was dropped from a queue before it ran.
@@ -534,6 +537,66 @@ pub enum TraceEvent {
         /// Whether the install ultimately succeeded.
         succeeded: bool,
     },
+    /// An in-doubt transaction timed out of the registry via the
+    /// deadline path of `Cluster::resolve_in_doubt` (the coordinator
+    /// never came back); `two_pc_resolved { presumed_abort: true }`
+    /// follows immediately.
+    InDoubtTimeout {
+        /// The transaction that timed out.
+        tx: TxId,
+        /// The crashed coordinator it was waiting for.
+        coordinator: NodeId,
+        /// Virtual time past the presumed-abort deadline at
+        /// resolution.
+        overdue_ns: u64,
+    },
+    /// A federation router decision: `object` resolved to `shard` on
+    /// the consistent-hash ring (or the sticky table).
+    ShardRouted {
+        /// The routed object (`Class#key`).
+        object: String,
+        /// The target shard.
+        shard: u32,
+        /// The target shard's system mode at routing time.
+        mode: SystemMode,
+        /// Whether the routing policy admitted the request
+        /// (`false`: refused because the shard is degraded).
+        admitted: bool,
+    },
+    /// One object's committed state moved between shards during an
+    /// explicit federation rebalance.
+    ShardMigrated {
+        /// The migrated object (`Class#key`).
+        object: String,
+        /// The shard that gave the object up.
+        from: u32,
+        /// The shard that now owns it.
+        to: u32,
+        /// Replicas installed on the target shard.
+        replicas: u64,
+    },
+    /// Every participant shard of a cross-shard transaction voted yes
+    /// — the federation coordinator reached the commit decision point.
+    #[serde(rename = "xshard_prepared")]
+    XShardPrepared {
+        /// Federation-wide transaction id.
+        xtx: u64,
+        /// Participant shards, in shard order.
+        shards: Vec<u32>,
+    },
+    /// A cross-shard transaction finished: every participant committed,
+    /// or every participant rolled back.
+    #[serde(rename = "xshard_resolved")]
+    XShardResolved {
+        /// Federation-wide transaction id.
+        xtx: u64,
+        /// Whether the transaction committed on every shard.
+        committed: bool,
+        /// Whether an abort came from the federation-level
+        /// presumed-abort recovery (coordinator crash + deadline)
+        /// rather than an explicit abort or a failed prepare.
+        presumed_abort: bool,
+    },
 }
 
 impl TraceEvent {
@@ -581,6 +644,11 @@ impl TraceEvent {
             TraceEvent::RequestCompleted { .. } => "request_completed",
             TraceEvent::Reconfigure { .. } => "reconfigure",
             TraceEvent::ReplicaShipRetry { .. } => "replica_ship_retry",
+            TraceEvent::InDoubtTimeout { .. } => "in_doubt_timeout",
+            TraceEvent::ShardRouted { .. } => "shard_routed",
+            TraceEvent::ShardMigrated { .. } => "shard_migrated",
+            TraceEvent::XShardPrepared { .. } => "xshard_prepared",
+            TraceEvent::XShardResolved { .. } => "xshard_resolved",
         }
     }
 }

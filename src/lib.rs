@@ -1,3 +1,4 @@
 //! Facade crate re-exporting the DeDiSys-RS workspace.
 pub use dedisys_core as core;
+pub use dedisys_federation as federation;
 pub use dedisys_telemetry as telemetry;

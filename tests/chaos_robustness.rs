@@ -6,7 +6,9 @@ use dedisys_chaos::{ChaosConfig, ChaosEngine, FaultPlan, FaultStep};
 use dedisys_constraints::{
     expr::ExprConstraint, ConstraintMeta, ContextPreparation, RegisteredConstraint,
 };
-use dedisys_core::{Cluster, ClusterBuilder, CostModel, DeferAll, HighestVersionWins};
+use dedisys_core::{
+    Cluster, ClusterBuilder, CostModel, DeferAll, HighestVersionWins, RingRecorder,
+};
 use dedisys_object::{AppDescriptor, ClassDescriptor, EntityState};
 use dedisys_types::{Error, NodeId, ObjectId, SatisfactionDegree, TxId, Value};
 use proptest::prelude::*;
@@ -100,6 +102,51 @@ fn crash_during_prepare_parks_in_doubt_and_presumed_abort_releases_locks() {
         c.entity_on(NodeId(0), &id).unwrap().field("n"),
         &Value::Int(3)
     );
+}
+
+/// The deadline path of `resolve_in_doubt` announces itself: each
+/// transaction resolved by timeout emits one dedicated
+/// `in_doubt_timeout` event (naming the dead coordinator and how
+/// overdue the deadline was) *before* its presumed-abort
+/// `two_pc_resolved`.
+#[test]
+fn deadline_resolution_emits_a_dedicated_in_doubt_timeout_event() {
+    let mut c = cluster(3);
+    let ring = RingRecorder::new(1024);
+    c.telemetry().attach(Box::new(ring.clone()));
+    let id = seed_object(&mut c);
+    prepare_hanging_tx(&mut c, NodeId(1), &id);
+    c.crash(NodeId(1)).unwrap();
+
+    // Resolving before the deadline emits nothing.
+    assert_eq!(c.resolve_in_doubt(), 0);
+    assert!(ring.records_of_kind("in_doubt_timeout").is_empty());
+
+    let overdue = CostModel::default().in_doubt_timeout * 2;
+    c.clock().advance(overdue);
+    assert_eq!(c.resolve_in_doubt(), 1);
+    let timeouts = ring.records_of_kind("in_doubt_timeout");
+    assert_eq!(timeouts.len(), 1, "one timeout event per resolved tx");
+    match &timeouts[0].event {
+        dedisys_core::TraceEvent::InDoubtTimeout {
+            coordinator,
+            overdue_ns,
+            ..
+        } => {
+            assert_eq!(*coordinator, NodeId(1), "names the dead coordinator");
+            assert!(*overdue_ns > 0, "deadline was actually overdue");
+        }
+        other => panic!("wrong event payload: {other:?}"),
+    }
+    let resolved = ring.records_of_kind("two_pc_resolved");
+    assert_eq!(resolved.len(), 1);
+    assert!(
+        timeouts[0].seq < resolved[0].seq,
+        "timeout announces before the resolution"
+    );
+    // Restart-path resolution (no deadline involved) stays silent.
+    assert_eq!(c.resolve_in_doubt(), 0);
+    assert_eq!(ring.records_of_kind("in_doubt_timeout").len(), 1);
 }
 
 /// Coordinator restart resolves its in-doubt transactions immediately

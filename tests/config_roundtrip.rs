@@ -3,9 +3,9 @@
 //! the running cluster (per-subsystem getters read back from the live
 //! components, not from the config copy), runtime deltas applied via
 //! [`Cluster::reconfigure`] land atomically with one `reconfigure`
-//! event, and the deprecated per-knob builder shims are behaviourally
-//! identical to the typed API — byte-identical traces on the same
-//! workload.
+//! event, and the two typed builder spellings (`with_config` and
+//! `configure`) are behaviourally identical — byte-identical traces on
+//! the same workload.
 
 use dedisys_constraints::LookupMode;
 use dedisys_core::{
@@ -91,7 +91,10 @@ fn arb_minority() -> impl Strategy<Value = MinorityWriteHandling> {
 fn arb_detector() -> impl Strategy<Value = (bool, DetectorKind, u64)> {
     (
         any::<bool>(),
-        prop_oneof![Just(DetectorKind::FixedTimeout), Just(DetectorKind::Adaptive)],
+        prop_oneof![
+            Just(DetectorKind::FixedTimeout),
+            Just(DetectorKind::Adaptive)
+        ],
         0u64..1_000,
     )
 }
@@ -196,9 +199,15 @@ fn assert_observed_matches(cluster: &Cluster, expected: &ClusterConfig) {
         cluster.reduced_replica_history(),
         expected.durability.reduced_replica_history
     );
-    assert_eq!(cluster.threats().policy(), expected.durability.threat_policy);
+    assert_eq!(
+        cluster.threats().policy(),
+        expected.durability.threat_policy
+    );
     assert_eq!(cluster.primary_policy(), expected.membership.primary_policy);
-    assert_eq!(cluster.minority_writes(), expected.membership.minority_writes);
+    assert_eq!(
+        cluster.minority_writes(),
+        expected.membership.minority_writes
+    );
     assert_eq!(
         cluster.detector_enabled(),
         expected.membership.detector_enabled
@@ -301,8 +310,8 @@ fn reconfigure_refuses_build_time_fields_atomically() {
     assert_eq!(*cluster.config(), before, "rejected delta applies nothing");
 }
 
-/// The knob set both builder spellings below configure — broad enough
-/// to cover every deprecated shim that has a typed twin.
+/// The knob set both builder spellings below configure — one
+/// representative knob per config section.
 fn exercised(config: &mut ClusterConfig) {
     config.validation.lookup_mode = LookupMode::Scan;
     config.validation.parallelism = ValidationParallelism::Threads(2);
@@ -318,36 +327,27 @@ fn exercised(config: &mut ClusterConfig) {
     config.durability.reduced_replica_history = true;
 }
 
-#[allow(deprecated)]
-fn shimmed_builder() -> ClusterBuilder {
-    ClusterBuilder::new(3, app())
-        .lookup_mode(LookupMode::Scan)
-        .validation_parallelism(ValidationParallelism::Threads(2))
-        .constraint_engine(ConstraintEngine::Compiled)
-        .verdict_cache(true)
-        .negotiation_timing(NegotiationTiming::Deferred)
-        .app_default_min_degree(SatisfactionDegree::PossiblySatisfied)
-        .primary_policy(PrimaryPartitionPolicy::MajorityNodes)
-        .minority_writes(MinorityWriteHandling::Refuse)
-        .threat_policy(HistoryPolicy::Reduced)
-        .reconcile_strategy(ReconcileStrategy::FullScan)
-        .compaction_threshold(4)
-        .reduced_replica_history(true)
+/// Spelling one: hand the builder a ready-made config value.
+fn valued_builder() -> ClusterBuilder {
+    let mut config = ClusterConfig::default();
+    exercised(&mut config);
+    ClusterBuilder::new(3, app()).with_config(config)
 }
 
-fn typed_builder() -> ClusterBuilder {
+/// Spelling two: mutate the builder's config in place.
+fn mutated_builder() -> ClusterBuilder {
     ClusterBuilder::new(3, app()).configure(exercised)
 }
 
 #[test]
-fn deprecated_shims_build_the_identical_config() {
-    let shimmed = shimmed_builder().build().expect("shimmed build");
-    let typed = typed_builder().build().expect("typed build");
-    assert_eq!(shimmed.config(), typed.config());
+fn both_typed_spellings_build_the_identical_config() {
+    let valued = valued_builder().build().expect("with_config build");
+    let mutated = mutated_builder().build().expect("configure build");
+    assert_eq!(valued.config(), mutated.config());
     let mut expected = ClusterConfig::default();
     exercised(&mut expected);
-    assert_observed_matches(&shimmed, &expected);
-    assert_observed_matches(&typed, &expected);
+    assert_observed_matches(&valued, &expected);
+    assert_observed_matches(&mutated, &expected);
 }
 
 /// A `Write` sink into a shared buffer (see
@@ -394,10 +394,12 @@ fn traced_workload(make: fn() -> ClusterBuilder) -> (Vec<u8>, Vec<(u64, u64, &'s
             .set_field(&id, "v", Value::Int(round))
             .and_then(|()| session.commit());
         // Round 2 hits node 2 while it is alone under MajorityNodes +
-        // Refuse; both builder spellings must refuse identically.
+        // Refuse; both spellings must refuse identically.
         assert_eq!(write.is_err(), round == 2, "round {round}");
         if round == 1 {
-            cluster.partition(&[nodes![0, 1], nodes![2]]).expect("split");
+            cluster
+                .partition(&[nodes![0, 1], nodes![2]])
+                .expect("split");
         }
         if round == 3 {
             cluster.heal();
@@ -415,16 +417,16 @@ fn traced_workload(make: fn() -> ClusterBuilder) -> (Vec<u8>, Vec<(u64, u64, &'s
 }
 
 #[test]
-fn deprecated_shims_trace_byte_identically_to_typed_config() {
-    let (shim_bytes, shim_stream) = traced_workload(shimmed_builder);
-    let (typed_bytes, typed_stream) = traced_workload(typed_builder);
-    assert!(!shim_bytes.is_empty());
+fn both_typed_spellings_trace_byte_identically() {
+    let (valued_bytes, valued_stream) = traced_workload(valued_builder);
+    let (mutated_bytes, mutated_stream) = traced_workload(mutated_builder);
+    assert!(!valued_bytes.is_empty());
     assert_eq!(
-        shim_bytes, typed_bytes,
-        "shim-built and config-built clusters must write identical JSONL"
+        valued_bytes, mutated_bytes,
+        "with_config- and configure-built clusters must write identical JSONL"
     );
     assert_eq!(
-        shim_stream, typed_stream,
-        "shim-built and config-built clusters must emit identical events"
+        valued_stream, mutated_stream,
+        "with_config- and configure-built clusters must emit identical events"
     );
 }

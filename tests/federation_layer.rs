@@ -1,0 +1,358 @@
+//! The sharded federation layer end to end: consistent-hash routing
+//! over live shards, the three degraded-shard routing policies,
+//! cross-shard 2PC (commit, abort, participant refusal, federation
+//! coordinator crash + presumed abort) and explicit rebalancing over
+//! the WAL/state-transfer path.
+
+use dedisys_core::{nodes, ModeGate, RingRecorder};
+use dedisys_federation::{
+    FederatedCluster, FederationMode, RebalancePlan, RoutingPolicy, ShardId, ShardMap,
+};
+use dedisys_object::{AppDescriptor, ClassDescriptor};
+use dedisys_types::{Error, ObjectId, SimDuration, SystemMode, Value};
+
+fn app() -> AppDescriptor {
+    AppDescriptor::new("federation")
+        .with_class(ClassDescriptor::new("Item").with_field("v", Value::Int(0)))
+}
+
+/// The first `Item` id with the given hint prefix that the map routes
+/// to `shard` — deterministic per seed, so tests can aim writes at a
+/// chosen shard.
+fn id_on(map: &ShardMap, shard: ShardId, hint: &str) -> ObjectId {
+    (0..10_000)
+        .map(|i| ObjectId::new("Item", format!("{hint}{i}")))
+        .find(|id| map.shard_of(id) == shard)
+        .expect("some id routes to every shard")
+}
+
+fn federation(shards: u32, policy: RoutingPolicy) -> FederatedCluster {
+    FederatedCluster::builder(shards, 3, app())
+        .seed(7)
+        .policy(policy)
+        .build()
+        .expect("build federation")
+}
+
+fn write(fed: &mut FederatedCluster, id: &ObjectId, v: i64) -> dedisys_types::Result<()> {
+    fed.run_routed(id, |mut session| {
+        session.set_field(id, "v", Value::Int(v))?;
+        session.commit()
+    })
+}
+
+fn read(fed: &FederatedCluster, shard: ShardId, id: &ObjectId) -> Option<Value> {
+    let node = fed.coordinator_node(shard)?;
+    Some(fed.shard(shard).entity_on(node, id)?.field("v").clone())
+}
+
+// ---------------------------------------------------------------------
+// Quick start: routing + single-shard writes
+// ---------------------------------------------------------------------
+
+#[test]
+fn three_shard_quick_start_routes_creates_and_writes() {
+    let mut fed = federation(3, RoutingPolicy::RouteAnyway);
+    assert_eq!(fed.shard_count(), 3);
+    assert_eq!(fed.mode(), FederationMode::Healthy);
+
+    // Create enough objects that every shard owns at least one, then
+    // write through the router and read back on the owning shard.
+    let mut owners = std::collections::BTreeSet::new();
+    for i in 0..12 {
+        let id = ObjectId::new("Item", format!("qs{i}"));
+        let shard = fed.create(&id).expect("create");
+        assert_eq!(shard, fed.map().shard_of(&id), "placement follows the map");
+        owners.insert(shard);
+        write(&mut fed, &id, i).expect("routed write");
+        assert_eq!(read(&fed, shard, &id), Some(Value::Int(i)));
+    }
+    assert_eq!(owners.len(), 3, "12 keys cover all 3 shards at seed 7");
+    assert!(fed.stats().routed >= 12);
+
+    // Routing is deterministic: an identically-seeded federation agrees
+    // on every placement.
+    let twin = federation(3, RoutingPolicy::RouteAnyway);
+    for i in 0..12 {
+        let id = ObjectId::new("Item", format!("qs{i}"));
+        assert_eq!(fed.map().shard_of(&id), twin.map().shard_of(&id));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Routing policies
+// ---------------------------------------------------------------------
+
+#[test]
+fn reject_degraded_refuses_work_for_degraded_shards_only() {
+    let mut fed = federation(3, RoutingPolicy::RejectDegraded);
+    // The policy is pushed into every shard plane's admission gate.
+    for s in 0..3 {
+        assert_eq!(
+            fed.plane(ShardId(s)).mode_gate(),
+            ModeGate::RejectUnlessHealthy
+        );
+    }
+    let degraded_id = id_on(fed.map(), ShardId(0), "rd");
+    let healthy_id = id_on(fed.map(), ShardId(1), "rd");
+    fed.create(&degraded_id).unwrap();
+    fed.create(&healthy_id).unwrap();
+
+    fed.shard_mut(ShardId(0))
+        .partition(&[nodes![0, 1], nodes![2]])
+        .expect("split shard 0");
+    assert_eq!(fed.shard(ShardId(0)).mode(), SystemMode::Degraded);
+    assert_eq!(
+        fed.mode(),
+        FederationMode::PartiallyDegraded {
+            degraded: 1,
+            total: 3
+        }
+    );
+
+    let refused = write(&mut fed, &degraded_id, 1);
+    assert!(
+        matches!(refused, Err(Error::ModeRestriction(_))),
+        "{refused:?}"
+    );
+    assert!(fed.stats().rejected_degraded >= 1);
+    // Healthy shards keep serving.
+    write(&mut fed, &healthy_id, 2).expect("healthy shard serves");
+    assert_eq!(read(&fed, ShardId(1), &healthy_id), Some(Value::Int(2)));
+}
+
+#[test]
+fn route_anyway_serves_degraded_shards_with_threatened_consistency() {
+    let mut fed = federation(3, RoutingPolicy::RouteAnyway);
+    let id = id_on(fed.map(), ShardId(0), "ra");
+    fed.create(&id).unwrap();
+    fed.shard_mut(ShardId(0))
+        .partition(&[nodes![0, 1], nodes![2]])
+        .expect("split shard 0");
+    assert_eq!(fed.shard(ShardId(0)).mode(), SystemMode::Degraded);
+    write(&mut fed, &id, 9).expect("availability-first routing serves");
+    assert_eq!(read(&fed, ShardId(0), &id), Some(Value::Int(9)));
+}
+
+#[test]
+fn sticky_policy_follows_migrations_not_stale_pins() {
+    let mut fed = federation(3, RoutingPolicy::Sticky);
+    let id = id_on(fed.map(), ShardId(2), "st");
+    fed.create(&id).unwrap();
+    write(&mut fed, &id, 1).expect("pin on first route");
+
+    // Shrinking to 2 shards migrates everything S2 owned; the pin must
+    // follow the migration, not the original placement.
+    let plan = fed.plan_rebalance_to(2).expect("plan");
+    assert!(plan.steps.iter().any(|s| s.object == id));
+    fed.rebalance(plan).expect("rebalance");
+    let new_owner = fed.map().shard_of(&id);
+    assert_ne!(new_owner, ShardId(2));
+    write(&mut fed, &id, 5).expect("write lands on the new owner");
+    assert_eq!(read(&fed, new_owner, &id), Some(Value::Int(5)));
+    assert_eq!(read(&fed, ShardId(2), &id), None, "evicted from the source");
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard 2PC
+// ---------------------------------------------------------------------
+
+#[test]
+fn xshard_commit_applies_atomically_on_every_participant() {
+    let mut fed = federation(3, RoutingPolicy::RouteAnyway);
+    let ring = RingRecorder::new(512);
+    fed.telemetry().attach(Box::new(ring.clone()));
+    let a = id_on(fed.map(), ShardId(0), "xc");
+    let b = id_on(fed.map(), ShardId(1), "xc");
+    fed.create(&a).unwrap();
+    fed.create(&b).unwrap();
+
+    let xtx = fed.xshard_begin();
+    assert_eq!(
+        fed.xshard_set_field(xtx, &a, "v", Value::Int(10)),
+        Ok(ShardId(0))
+    );
+    assert_eq!(
+        fed.xshard_set_field(xtx, &b, "v", Value::Int(20)),
+        Ok(ShardId(1))
+    );
+    fed.xshard_prepare(xtx).expect("prepare everywhere");
+    assert_eq!(fed.stats().xshard_prepared, 1);
+    fed.xshard_commit(xtx).expect("commit everywhere");
+
+    assert_eq!(read(&fed, ShardId(0), &a), Some(Value::Int(10)));
+    assert_eq!(read(&fed, ShardId(1), &b), Some(Value::Int(20)));
+    assert_eq!(fed.open_xshard_count(), 0);
+    assert!(fed.shard(ShardId(0)).held_locks().is_empty());
+    assert!(fed.shard(ShardId(1)).held_locks().is_empty());
+    let outcome = &fed.xshard_outcomes()[&xtx];
+    assert!(outcome.committed);
+    assert!(!outcome.presumed_abort);
+    assert_eq!(outcome.participants.len(), 2);
+
+    let prepared = ring.records_of_kind("xshard_prepared");
+    let resolved = ring.records_of_kind("xshard_resolved");
+    assert_eq!(prepared.len(), 1);
+    assert_eq!(resolved.len(), 1);
+    assert!(prepared[0].seq < resolved[0].seq);
+}
+
+#[test]
+fn xshard_abort_rolls_back_every_participant() {
+    let mut fed = federation(3, RoutingPolicy::RouteAnyway);
+    let a = id_on(fed.map(), ShardId(0), "xa");
+    let b = id_on(fed.map(), ShardId(2), "xa");
+    fed.create(&a).unwrap();
+    fed.create(&b).unwrap();
+
+    let xtx = fed.xshard_begin();
+    fed.xshard_set_field(xtx, &a, "v", Value::Int(1)).unwrap();
+    fed.xshard_set_field(xtx, &b, "v", Value::Int(2)).unwrap();
+    fed.xshard_abort(xtx).expect("abort");
+
+    assert_eq!(read(&fed, ShardId(0), &a), Some(Value::Int(0)));
+    assert_eq!(read(&fed, ShardId(2), &b), Some(Value::Int(0)));
+    assert!(fed.shard(ShardId(0)).held_locks().is_empty());
+    assert!(fed.shard(ShardId(2)).held_locks().is_empty());
+    assert!(!fed.xshard_outcomes()[&xtx].committed);
+    assert_eq!(fed.stats().xshard_aborted, 1);
+}
+
+#[test]
+fn participant_refusal_during_prepare_aborts_the_whole_transaction() {
+    let mut fed = federation(3, RoutingPolicy::RouteAnyway);
+    let a = id_on(fed.map(), ShardId(0), "xr");
+    let b = id_on(fed.map(), ShardId(1), "xr");
+    fed.create(&a).unwrap();
+    fed.create(&b).unwrap();
+
+    let xtx = fed.xshard_begin();
+    fed.xshard_set_field(xtx, &a, "v", Value::Int(1)).unwrap();
+    let staged_on = fed.xshard_set_field(xtx, &b, "v", Value::Int(2)).unwrap();
+    // Crash the node carrying shard 1's participant transaction: its
+    // prepare vote becomes a refusal, which must unwind shard 0 too.
+    let node = fed.coordinator_node(staged_on).unwrap();
+    fed.shard_mut(staged_on).crash(node).unwrap();
+    assert!(fed.xshard_prepare(xtx).is_err(), "one no vote aborts");
+
+    assert_eq!(read(&fed, ShardId(0), &a), Some(Value::Int(0)));
+    assert!(fed.shard(ShardId(0)).held_locks().is_empty());
+    assert_eq!(fed.open_xshard_count(), 0);
+    assert!(!fed.xshard_outcomes()[&xtx].committed);
+}
+
+#[test]
+fn coordinator_crash_presumes_abort_after_the_deadline() {
+    let mut fed = FederatedCluster::builder(3, 3, app())
+        .seed(7)
+        .xshard_timeout(SimDuration::from_millis(50))
+        .build()
+        .unwrap();
+    let ring = RingRecorder::new(512);
+    fed.telemetry().attach(Box::new(ring.clone()));
+    let a = id_on(fed.map(), ShardId(0), "cc");
+    let b = id_on(fed.map(), ShardId(1), "cc");
+    fed.create(&a).unwrap();
+    fed.create(&b).unwrap();
+
+    let xtx = fed.xshard_begin();
+    fed.xshard_set_field(xtx, &a, "v", Value::Int(3)).unwrap();
+    fed.xshard_set_field(xtx, &b, "v", Value::Int(4)).unwrap();
+    fed.xshard_prepare(xtx).unwrap();
+    fed.crash_coordinator(xtx)
+        .expect("prepared tx goes in doubt");
+    assert_eq!(fed.xshard_in_doubt_count(), 1);
+    // Participants stay prepared — locks held, outcome unknowable.
+    assert_eq!(fed.shard(ShardId(0)).held_locks().len(), 1);
+
+    // Before the deadline nothing resolves…
+    assert_eq!(fed.resolve_xshard_in_doubt(), 0);
+    // …after it, presumed abort rolls back every participant.
+    fed.clock().advance(SimDuration::from_millis(50));
+    assert_eq!(fed.resolve_xshard_in_doubt(), 1);
+    assert_eq!(fed.xshard_in_doubt_count(), 0);
+    assert_eq!(fed.open_xshard_count(), 0);
+    assert_eq!(read(&fed, ShardId(0), &a), Some(Value::Int(0)));
+    assert_eq!(read(&fed, ShardId(1), &b), Some(Value::Int(0)));
+    assert!(fed.shard(ShardId(0)).held_locks().is_empty());
+    assert!(fed.shard(ShardId(1)).held_locks().is_empty());
+    let outcome = &fed.xshard_outcomes()[&xtx];
+    assert!(!outcome.committed);
+    assert!(outcome.presumed_abort);
+    assert_eq!(fed.stats().xshard_presumed_aborted, 1);
+    assert_eq!(ring.records_of_kind("xshard_resolved").len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Rebalancing
+// ---------------------------------------------------------------------
+
+#[test]
+fn rebalance_moves_committed_state_over_the_wal_path() {
+    let mut fed = federation(4, RoutingPolicy::RouteAnyway);
+    let ring = RingRecorder::new(1024);
+    fed.telemetry().attach(Box::new(ring.clone()));
+    let mut values = std::collections::BTreeMap::new();
+    for i in 0..20 {
+        let id = ObjectId::new("Item", format!("rb{i}"));
+        fed.create(&id).unwrap();
+        write(&mut fed, &id, 100 + i).unwrap();
+        values.insert(id, 100 + i);
+    }
+
+    let plan = fed.plan_rebalance_to(3).expect("shrink plan");
+    assert!(!plan.steps.is_empty(), "S3's keys must move");
+    assert!(plan.steps.iter().all(|s| s.from == ShardId(3)));
+    let expected_moves = plan.steps.len() as u64;
+    let report = fed.rebalance(plan).expect("rebalance");
+    assert_eq!(report.migrated, expected_moves);
+    assert!(report.deferred.is_empty());
+    assert_eq!(fed.map().shards(), 3);
+    assert_eq!(fed.stats().migrated, expected_moves);
+    assert_eq!(
+        ring.records_of_kind("shard_migrated").len(),
+        expected_moves as usize
+    );
+
+    // Every object survives with its committed value, at its new owner.
+    for (id, v) in &values {
+        let owner = fed.map().shard_of(id);
+        assert!(owner.0 < 3);
+        assert_eq!(read(&fed, owner, id), Some(Value::Int(*v)), "{id}");
+        write(&mut fed, id, v + 1).expect("writable after migration");
+    }
+}
+
+#[test]
+fn rebalance_defers_steps_whose_shards_are_faulted() {
+    let mut fed = federation(3, RoutingPolicy::RouteAnyway);
+    let id = id_on(fed.map(), ShardId(2), "df");
+    fed.create(&id).unwrap();
+    write(&mut fed, &id, 7).unwrap();
+
+    // A transaction holding the object's lock on the source shard
+    // defers (not fails) the step: migrating pessimistically-locked
+    // state would tear an open transaction in half.
+    let node = fed.coordinator_node(ShardId(2)).unwrap();
+    let holder = {
+        let mut session = fed.shard_mut(ShardId(2)).session(node);
+        session.set_field(&id, "v", Value::Int(8)).unwrap();
+        session.prepare().unwrap()
+    };
+    let plan = fed.plan_rebalance_to(2).expect("plan");
+    let report = fed.rebalance(plan).expect("rebalance");
+    assert!(report.deferred.iter().any(|s| s.object == id));
+    // The object is untouched on its old shard; the deferred steps are
+    // retried directly once the lock clears.
+    let deferred = report.deferred;
+    fed.shard_mut(ShardId(2)).rollback(holder).unwrap();
+    let report = fed
+        .rebalance(RebalancePlan {
+            target: fed.map().clone(),
+            steps: deferred,
+        })
+        .expect("retry");
+    assert_eq!(report.migrated, 1);
+    let owner = fed.map().shard_of(&id);
+    assert_eq!(read(&fed, owner, &id), Some(Value::Int(7)));
+}

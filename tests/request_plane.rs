@@ -177,7 +177,12 @@ fn degraded_mode_sheds_background_first() {
         })
         .unwrap();
     plane
-        .submit(&mut c, NodeId(0), PriorityClass::Critical, write_order(&order, 2))
+        .submit(
+            &mut c,
+            NodeId(0),
+            PriorityClass::Critical,
+            write_order(&order, 2),
+        )
         .unwrap();
     c.partition(&[nodes![0], nodes![1, 2]]).unwrap();
     let report = plane.run_until_idle(&mut c);
@@ -236,7 +241,9 @@ fn refuse_mode_minority_rejects_at_admission() {
     assert_eq!(plane.queue_depth(NodeId(0)), 0);
     assert_eq!(ring.records_of_kind("request_rejected").len(), 1);
     // The majority side still admits.
-    plane.submit(&mut c, NodeId(1), PriorityClass::Critical, ok).unwrap();
+    plane
+        .submit(&mut c, NodeId(1), PriorityClass::Critical, ok)
+        .unwrap();
     let report = plane.run_until_idle(&mut c);
     assert_eq!(report.stats.critical.completed, 1);
     assert_eq!(report.stats.critical.rejected, 1);
@@ -345,7 +352,11 @@ fn conservation_and_metrics_under_mixed_load() {
     let snapshot = c.stats().telemetry;
     assert_eq!(snapshot.counters["plane.admitted"], admitted);
     assert_eq!(
-        snapshot.counters.get("plane.completed").copied().unwrap_or(0),
+        snapshot
+            .counters
+            .get("plane.completed")
+            .copied()
+            .unwrap_or(0),
         t.completed
     );
 }
